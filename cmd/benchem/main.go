@@ -1,0 +1,109 @@
+// Command benchem regenerates the paper's evaluation tables and figures
+// from the live system (see DESIGN.md's per-experiment index):
+//
+//	benchem -exp table1        PyMatcher deployments vs incumbents (Table 1)
+//	benchem -exp table2        CloudMatcher deployments (Table 2)
+//	benchem -exp table3        tool inventory per guide step (Table 3)
+//	benchem -exp table4        CloudMatcher service catalog (Table 4)
+//	benchem -exp guide         one full Figure 2 guide run
+//	benchem -exp concurrency   CloudMatcher 0.1 vs 1.0 (Figure 5)
+//	benchem -exp smurf         Falcon vs Smurf labeling effort (§5.3)
+//	benchem -exp mlrules       ML/rules/ML+rules ablation (§6)
+//	benchem -exp blockers      blocker recall/reduction ablation
+//	benchem -exp all           everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|all)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			fmt.Println("== Table 1: PyMatcher deployments (ML workflow vs incumbent rules) ==")
+			rows, err := experiments.RunTable1(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable1(rows))
+		case "table2":
+			fmt.Println("== Table 2: CloudMatcher deployments ==")
+			rows, err := experiments.RunTable2(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable2(rows))
+		case "table3":
+			fmt.Println("== Table 3: tools per step of the PyMatcher guide ==")
+			fmt.Print(experiments.FormatTable3(experiments.Table3()))
+		case "table4":
+			fmt.Println("== Table 4: CloudMatcher services ==")
+			fmt.Print(experiments.FormatTable4())
+		case "guide":
+			fmt.Println("== Figure 2: the PyMatcher how-to guide, end to end ==")
+			res, err := experiments.RunGuide(2000, 2000, 600, 600, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("down-sampled to %d/%d rows\n", res.DownsampledA, res.DownsampledB)
+			fmt.Printf("blocker chosen: %s -> %d candidates\n", res.BlockerChosen, res.Candidates)
+			fmt.Printf("cross-validation winner: %s (F1 %.2f)\n", res.CVWinner, res.CVF1)
+			fmt.Printf("final accuracy: P %.1f%%  R %.1f%%  (%d questions)\n",
+				100*res.Precision, 100*res.Recall, res.Questions)
+		case "concurrency":
+			fmt.Println("== Figure 5: serial CloudMatcher 0.1 vs concurrent 1.0 ==")
+			res, err := experiments.RunConcurrency(6, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatConcurrency(res))
+		case "smurf":
+			fmt.Println("== §5.3: Smurf labeling reduction vs Falcon ==")
+			rows, err := experiments.RunSmurfComparison(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSmurf(rows))
+		case "mlrules":
+			fmt.Println("== §6 ablation: ML only vs rules only vs ML+rules ==")
+			rows, err := experiments.RunMLRulesAblation(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatMLRules(rows))
+		case "blockers":
+			fmt.Println("== ablation: blocker recall vs reduction ==")
+			rows, err := experiments.RunBlockerAblation(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatBlockers(rows))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "concurrency", "table2"}
+	} else {
+		names = []string{*exp}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "benchem: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command cloudmatcher serves the CloudMatcher microservice catalog over
+// HTTP — the cloud-native shape of the envisioned Magellan ecosystem
+// (Figure 6). Endpoints:
+//
+//	GET  /services   list the 18 basic + 2 composite services (Table 4)
+//	POST /jobs       submit a workflow DAG; returns step-by-step results
+//	GET  /healthz    liveness probe
+//
+// Example job (self-service Falcon over inline CSVs):
+//
+//	curl -s localhost:8080/jobs -d '{
+//	  "name": "demo", "seed": 1,
+//	  "gold": [["a1","b1"]],
+//	  "steps": [
+//	    {"id":"ua","service":"upload_dataset","args":{"csv":"id,name\na1,acme corp\n","out":"a"}},
+//	    {"id":"ub","service":"upload_dataset","args":{"csv":"id,name\nb1,acme corporation\n","out":"b"}},
+//	    {"id":"ka","service":"set_key","args":{"table":"a","key":"id"},"after":["ua"]},
+//	    {"id":"kb","service":"set_key","args":{"table":"b","key":"id"},"after":["ub"]},
+//	    {"id":"f","service":"falcon","args":{"a":"a","b":"b"},"after":["ka","kb"]}
+//	  ]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/cloud"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	batch := flag.Int("batch-workers", 4, "batch engine worker count")
+	users := flag.Int("user-workers", 16, "user-interaction engine worker count")
+	crowd := flag.Int("crowd-workers", 16, "crowd engine worker count")
+	flag.Parse()
+
+	mm := cloud.NewMetamanager(cloud.NewRegistry(), cloud.EngineConfig{
+		BatchWorkers: *batch,
+		UserWorkers:  *users,
+		CrowdWorkers: *crowd,
+	})
+	defer mm.Close()
+
+	basic, composite := mm.Registry().Counts()
+	fmt.Printf("cloudmatcher: %d basic + %d composite services on %s\n", basic, composite, *addr)
+	if err := http.ListenAndServe(*addr, cloud.NewServer(mm).Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudmatcher:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/table"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "cli", Domain: datagen.BookDomain(),
+		SizeA: 200, SizeB: 200, MatchFraction: 0.5, Typo: 0.2, Seed: 51,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.csv")
+	bPath := filepath.Join(dir, "b.csv")
+	goldPath := filepath.Join(dir, "gold.csv")
+	outPath := filepath.Join(dir, "matches.csv")
+	if err := task.A.WriteCSVFile(aPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.B.WriteCSVFile(bPath); err != nil {
+		t.Fatal(err)
+	}
+	gold := table.New("gold", table.StringSchema("ltable_id", "rtable_id"))
+	for _, p := range task.Gold.Pairs() {
+		gold.MustAppend(table.String(p[0]), table.String(p[1]))
+	}
+	if err := gold.WriteCSVFile(goldPath); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run(aPath, bPath, "id", goldPath, outPath, 300, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := table.ReadCSVFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no matches written")
+	}
+	tp := 0
+	for i := 0; i < out.Len(); i++ {
+		if task.Gold.IsMatch(out.Get(i, "ltable_id").AsString(), out.Get(i, "rtable_id").AsString()) {
+			tp++
+		}
+	}
+	if frac := float64(tp) / float64(out.Len()); frac < 0.8 {
+		t.Errorf("CLI output precision %.3f too low", frac)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "id", "", "out.csv", 10, 1); err == nil {
+		t.Fatal("want missing-flags error")
+	}
+	dir := t.TempDir()
+	bogus := filepath.Join(dir, "missing.csv")
+	if err := run(bogus, bogus, "id", bogus, filepath.Join(dir, "o.csv"), 10, 1); err == nil {
+		t.Fatal("want file-not-found error")
+	}
+	// Bad key column.
+	aPath := filepath.Join(dir, "a.csv")
+	if err := os.WriteFile(aPath, []byte("id,name\n1,x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(aPath, aPath, "nokey", aPath, filepath.Join(dir, "o.csv"), 10, 1); err == nil ||
+		!strings.Contains(err.Error(), "key") {
+		t.Fatalf("want key error, got %v", err)
+	}
+}

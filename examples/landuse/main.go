@@ -1,0 +1,126 @@
+// Land Use: the "saving the Amazon forest" application of the paper's
+// Appendix B. Two ranch registries (government records vs slaughterhouse
+// supplier lists) must be matched so that cattle bought from a compliant
+// ranch can be traced back through resales to ranches with deforestation.
+// PyMatcher's ML workflow is compared against the incumbent vendor
+// solution (conservative exact-match rules), reproducing the paper's
+// "much higher recall ... slightly reducing precision" result, and the
+// matches are then used to trace supply chains back to "bad" ranches.
+//
+// Run with: go run ./examples/landuse
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/label"
+	"repro/internal/ml"
+	"repro/internal/rules"
+	"repro/internal/table"
+)
+
+func main() {
+	// Government registry (A) vs slaughterhouse supplier list (B), with
+	// the messy transcription Appendix B describes.
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "ranches", Domain: datagen.RanchDomain(),
+		SizeA: 1500, SizeB: 1500, MatchFraction: 0.4, Typo: 0.35, Missing: 0.1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := label.NewOracle(task.Gold)
+
+	s, err := core.NewSession(task.A, task.B, 7)
+	must(err)
+	_, err = s.Block(block.WholeTupleOverlapBlocker{MinOverlap: 2})
+	must(err)
+	_, err = s.SampleAndLabel(500, oracle)
+	must(err)
+
+	// PyMatcher's workflow: a random forest over auto-generated features.
+	mlMatches, _, err := s.TrainAndPredict(func() ml.Classifier { return &ml.RandomForest{Seed: 7} })
+	must(err)
+	mlConf := core.Evaluate(mlMatches, task.Gold)
+
+	// The company solution the team had used for three years: exact
+	// name + exact municipality.
+	var rs rules.RuleSet
+	rs.Add(rules.MustParse("incumbent", "exact_name >= 1 AND exact_municipality >= 1"))
+	incumbent, err := core.NewRuleMatcher(rs, s.Features.Names())
+	must(err)
+	baseMatches, _, err := s.TrainAndPredict(func() ml.Classifier { return incumbent })
+	must(err)
+	baseConf := core.Evaluate(baseMatches, task.Gold)
+
+	fmt.Println("matching government registry against supplier list:")
+	fmt.Printf("  incumbent rules:  P %5.1f%%  R %5.1f%%  F1 %5.1f%%\n",
+		100*baseConf.Precision(), 100*baseConf.Recall(), 100*baseConf.F1())
+	fmt.Printf("  PyMatcher (RF):   P %5.1f%%  R %5.1f%%  F1 %5.1f%%\n",
+		100*mlConf.Precision(), 100*mlConf.Recall(), 100*mlConf.F1())
+
+	// With ranches linked across registries, trace supply chains: mark
+	// 5% of registry ranches as deforesting, simulate resale chains among
+	// supplier-list ranches, and count how many chains each solution can
+	// flag as tainted. Higher match recall -> more tainted chains caught.
+	rng := rand.New(rand.NewSource(99))
+	bad := map[string]bool{}
+	for i := 0; i < task.A.Len(); i++ {
+		if rng.Float64() < 0.05 {
+			bad[task.A.Get(i, "id").AsString()] = true
+		}
+	}
+	chains := makeChains(task.B.Len(), 400, rng)
+
+	fmt.Printf("\nsupply-chain audit (%d chains, %d deforesting ranches):\n", len(chains), len(bad))
+	fmt.Printf("  incumbent flags:  %d tainted chains\n", taintedChains(chains, baseMatches, bad))
+	fmt.Printf("  PyMatcher flags:  %d tainted chains\n", taintedChains(chains, mlMatches, bad))
+	fmt.Println("\nhigher matching recall directly translates into more complete")
+	fmt.Println("deforestation tracing — the impact Appendix B reports.")
+}
+
+// makeChains builds resale chains of supplier-list ranch indices: each
+// chain is a path bN -> bM -> ... -> slaughterhouse.
+func makeChains(nRanches, nChains int, rng *rand.Rand) [][]string {
+	chains := make([][]string, nChains)
+	for c := range chains {
+		hops := 2 + rng.Intn(3)
+		chain := make([]string, hops)
+		for h := range chain {
+			chain[h] = fmt.Sprintf("b%d", rng.Intn(nRanches))
+		}
+		chains[c] = chain
+	}
+	return chains
+}
+
+// taintedChains counts chains containing any supplier ranch whose matched
+// registry ranch is deforesting.
+func taintedChains(chains [][]string, matches *table.Table, bad map[string]bool) int {
+	// matched maps supplier id -> registry id.
+	matched := map[string]string{}
+	for i := 0; i < matches.Len(); i++ {
+		matched[matches.Get(i, "rtable_id").AsString()] = matches.Get(i, "ltable_id").AsString()
+	}
+	count := 0
+	for _, chain := range chains {
+		for _, rid := range chain {
+			if bad[matched[rid]] {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

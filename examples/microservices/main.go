@@ -1,0 +1,101 @@
+// Microservices: the envisioned cloud-native Magellan ecosystem of
+// Figure 6. An in-process CloudMatcher server is started on a local port;
+// a client then lists its service catalog over HTTP and submits a
+// self-service EM job as a JSON DAG, just as a cloud deployment would.
+//
+// Run with: go run ./examples/microservices
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/datagen"
+)
+
+func main() {
+	mm := cloud.NewMetamanager(cloud.NewRegistry(), cloud.EngineConfig{})
+	defer mm.Close()
+	srv := httptest.NewServer(cloud.NewServer(mm).Handler())
+	defer srv.Close()
+	fmt.Println("cloudmatcher listening at", srv.URL)
+
+	// 1. Discover the service catalog.
+	resp, err := http.Get(srv.URL + "/services")
+	must(err)
+	var services []map[string]any
+	must(json.NewDecoder(resp.Body).Decode(&services))
+	resp.Body.Close()
+	fmt.Printf("catalog: %d services, e.g.:\n", len(services))
+	for _, s := range services[:5] {
+		fmt.Printf("  %-26s [%s]\n", s["name"], s["kind"])
+	}
+
+	// 2. Generate a small books workload and ship it as CSV payloads.
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "books", Domain: datagen.BookDomain(),
+		SizeA: 300, SizeB: 300, MatchFraction: 0.5, Typo: 0.2, Seed: 5,
+	})
+	must(err)
+	var csvA, csvB strings.Builder
+	must(task.A.WriteCSV(&csvA))
+	must(task.B.WriteCSV(&csvB))
+
+	// 3. Submit a Falcon job as a JSON DAG. The gold matches power the
+	// simulated labeler on the server side.
+	job := map[string]any{
+		"name": "books-demo",
+		"seed": 5,
+		"gold": task.Gold.Pairs(),
+		"steps": []map[string]any{
+			{"id": "ua", "service": "upload_dataset", "args": map[string]any{"csv": csvA.String(), "out": "a"}},
+			{"id": "ub", "service": "upload_dataset", "args": map[string]any{"csv": csvB.String(), "out": "b"}},
+			{"id": "ka", "service": "set_key", "args": map[string]any{"table": "a", "key": "id"}, "after": []string{"ua"}},
+			{"id": "kb", "service": "set_key", "args": map[string]any{"table": "b", "key": "id"}, "after": []string{"ub"}},
+			{"id": "falcon", "service": "falcon", "args": map[string]any{"a": "a", "b": "b", "sample_size": 600},
+				"after": []string{"ka", "kb"}},
+		},
+	}
+	body, err := json.Marshal(job)
+	must(err)
+	resp, err = http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	must(err)
+	defer resp.Body.Close()
+
+	var result struct {
+		Name  string `json:"name"`
+		Error string `json:"error"`
+		Steps []struct {
+			Step   string `json:"step"`
+			Output string `json:"output"`
+			Error  string `json:"error"`
+		} `json:"steps"`
+		Questions int     `json:"questions"`
+		CostUSD   float64 `json:"cost_usd"`
+	}
+	must(json.NewDecoder(resp.Body).Decode(&result))
+	if result.Error != "" {
+		log.Fatal("job failed: ", result.Error)
+	}
+	fmt.Printf("\njob %q completed (%d steps):\n", result.Name, len(result.Steps))
+	for _, s := range result.Steps {
+		out := s.Output
+		if out == "" {
+			out = "ok"
+		}
+		fmt.Printf("  %-8s %s\n", s.Step, out)
+	}
+	fmt.Printf("labeling: %d questions\n", result.Questions)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

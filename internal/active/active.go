@@ -1,0 +1,261 @@
+// Package active implements the committee-based active learning at the
+// heart of Falcon/CloudMatcher (Figure 3, steps 2 and 5). A random forest
+// is trained on a small labeled seed; each round, the pairs on which the
+// forest's trees disagree most (highest vote entropy) are sent to the
+// labeler, and the forest is refit. Uncertainty sampling concentrates the
+// lay user's scarce labels on the decision boundary, which is why
+// CloudMatcher needs only 160–1200 questions per task (Table 2).
+package active
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/label"
+	"repro/internal/ml"
+)
+
+// Pool is the unlabeled example pool: one feature vector per candidate
+// pair together with the pair ids used to phrase labeling questions.
+type Pool struct {
+	X     [][]float64
+	LIDs  []string
+	RIDs  []string
+	Names []string // feature names (optional)
+}
+
+// Validate checks the pool's parallel slices agree.
+func (p *Pool) Validate() error {
+	if len(p.X) != len(p.LIDs) || len(p.X) != len(p.RIDs) {
+		return fmt.Errorf("active: pool shape mismatch: %d vectors, %d/%d ids", len(p.X), len(p.LIDs), len(p.RIDs))
+	}
+	return nil
+}
+
+// Len returns the pool size.
+func (p *Pool) Len() int { return len(p.X) }
+
+// Config tunes the active-learning loop.
+type Config struct {
+	// SeedSize is the number of randomly chosen pairs labeled before the
+	// first fit; 0 means 20.
+	SeedSize int
+	// BatchSize is the number of pairs labeled per round; 0 means 10.
+	BatchSize int
+	// MaxRounds bounds the number of query rounds; 0 means 20.
+	MaxRounds int
+	// Trees is the forest size; 0 means 10.
+	Trees int
+	// Alpha is the forest's match-vote fraction; 0 means 0.5.
+	Alpha float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) seedSize() int {
+	if c.SeedSize <= 0 {
+		return 20
+	}
+	return c.SeedSize
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize <= 0 {
+		return 10
+	}
+	return c.BatchSize
+}
+
+func (c Config) maxRounds() int {
+	if c.MaxRounds <= 0 {
+		return 20
+	}
+	return c.MaxRounds
+}
+
+// Result is the outcome of an active-learning session.
+type Result struct {
+	// Forest is the final fitted model.
+	Forest *ml.RandomForest
+	// Labeled is the accumulated training set (one row per question).
+	Labeled *ml.Dataset
+	// Rounds is the number of query rounds executed after seeding.
+	Rounds int
+}
+
+// Learn runs the active-learning loop over the pool, asking questions of
+// the labeler. It stops early when the pool is exhausted, every remaining
+// pair has zero committee entropy, or the labeler's budget runs out (when
+// lab is a *label.Budgeted).
+func Learn(pool *Pool, lab label.Labeler, cfg Config) (*Result, error) {
+	if err := pool.Validate(); err != nil {
+		return nil, err
+	}
+	if pool.Len() == 0 {
+		return nil, fmt.Errorf("active: empty pool")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	labeled := make(map[int]int) // pool index -> label
+	budget, budgeted := lab.(*label.Budgeted)
+
+	ask := func(i int) bool {
+		y := 0
+		if lab.Label(pool.LIDs[i], pool.RIDs[i]) {
+			y = 1
+		}
+		labeled[i] = y
+		return !(budgeted && budget.Exhausted() != nil)
+	}
+
+	// Seed phase: label a random sample.
+	perm := rng.Perm(pool.Len())
+	seedN := cfg.seedSize()
+	if seedN > pool.Len() {
+		seedN = pool.Len()
+	}
+	for _, i := range perm[:seedN] {
+		if !ask(i) {
+			break
+		}
+	}
+
+	// EM candidate pools are heavily skewed toward non-matches; a seed
+	// with no positive example leaves the forest degenerate. Probe the
+	// pairs with the highest mean feature value (most similar-looking)
+	// until a positive turns up, as practical implementations do.
+	if countPos(labeled) == 0 {
+		order := byMeanFeatureDesc(pool)
+		probes := 0
+		for _, i := range order {
+			if _, done := labeled[i]; done {
+				continue
+			}
+			if !ask(i) {
+				break
+			}
+			probes++
+			if labeled[i] == 1 || probes >= cfg.batchSize()*2 {
+				break
+			}
+		}
+	}
+
+	forest := &ml.RandomForest{NumTrees: cfg.Trees, Alpha: cfg.Alpha, Seed: cfg.Seed}
+	fit := func() error {
+		ds := datasetFrom(pool, labeled)
+		if ds.Len() == 0 {
+			return fmt.Errorf("active: no labels obtained")
+		}
+		return forest.Fit(ds)
+	}
+	if err := fit(); err != nil {
+		return nil, err
+	}
+
+	rounds := 0
+	for rounds < cfg.maxRounds() {
+		if budgeted && budget.Remaining() == 0 {
+			break
+		}
+		batch := selectUncertain(pool, labeled, forest, cfg.batchSize())
+		if len(batch) == 0 {
+			break // pool exhausted or committee unanimous everywhere
+		}
+		stopped := false
+		for _, i := range batch {
+			if !ask(i) {
+				stopped = true
+				break
+			}
+		}
+		if err := fit(); err != nil {
+			return nil, err
+		}
+		rounds++
+		if stopped {
+			break
+		}
+	}
+	return &Result{Forest: forest, Labeled: datasetFrom(pool, labeled), Rounds: rounds}, nil
+}
+
+// selectUncertain returns up to k unlabeled pool indices with the highest
+// committee entropy, skipping zero-entropy (unanimous) pairs.
+func selectUncertain(pool *Pool, labeled map[int]int, f *ml.RandomForest, k int) []int {
+	type cand struct {
+		i int
+		e float64
+	}
+	var cands []cand
+	for i := range pool.X {
+		if _, done := labeled[i]; done {
+			continue
+		}
+		if e := f.Entropy(pool.X[i]); e > 0 {
+			cands = append(cands, cand{i, e})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].e != cands[b].e {
+			return cands[a].e > cands[b].e
+		}
+		return cands[a].i < cands[b].i
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int, len(cands))
+	for j, c := range cands {
+		out[j] = c.i
+	}
+	return out
+}
+
+func countPos(labeled map[int]int) int {
+	n := 0
+	for _, y := range labeled {
+		n += y
+	}
+	return n
+}
+
+func byMeanFeatureDesc(pool *Pool) []int {
+	means := make([]float64, pool.Len())
+	for i, x := range pool.X {
+		var s float64
+		for _, v := range x {
+			s += v
+		}
+		if len(x) > 0 {
+			means[i] = s / float64(len(x))
+		}
+	}
+	order := make([]int, pool.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if means[order[a]] != means[order[b]] {
+			return means[order[a]] > means[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+func datasetFrom(pool *Pool, labeled map[int]int) *ml.Dataset {
+	idxs := make([]int, 0, len(labeled))
+	for i := range labeled {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	x := make([][]float64, len(idxs))
+	y := make([]int, len(idxs))
+	for k, i := range idxs {
+		x[k] = pool.X[i]
+		y[k] = labeled[i]
+	}
+	return &ml.Dataset{X: x, Y: y, Names: pool.Names}
+}

@@ -1,0 +1,75 @@
+package block
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func benchTables(n int) (*table.Table, *table.Table) {
+	sch := table.StringSchema("id", "name", "city")
+	a := table.New("A", sch)
+	b := table.New("B", sch)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("widget model%d series%d", i, i%100)
+		city := fmt.Sprintf("city%d", i%50)
+		a.MustAppend(table.String(fmt.Sprintf("a%d", i)), table.String(name), table.String(city))
+		b.MustAppend(table.String(fmt.Sprintf("b%d", i)), table.String(name), table.String(city))
+	}
+	if err := a.SetKey("id"); err != nil {
+		panic(err)
+	}
+	if err := b.SetKey("id"); err != nil {
+		panic(err)
+	}
+	return a, b
+}
+
+func BenchmarkOverlapBlocker2K(b *testing.B) {
+	at, bt := benchTables(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat := table.NewCatalog()
+		if _, err := (OverlapBlocker{Attr: "name", MinOverlap: 2}).Block(at, bt, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttrEquivalenceBlocker2K(b *testing.B) {
+	at, bt := benchTables(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat := table.NewCatalog()
+		if _, err := (AttrEquivalenceBlocker{Attr: "city"}).Block(at, bt, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortedNeighborhood2K(b *testing.B) {
+	at, bt := benchTables(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat := table.NewCatalog()
+		if _, err := (SortedNeighborhoodBlocker{Attr: "name", Window: 5}).Block(at, bt, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDebugBlocker(b *testing.B) {
+	at, bt := benchTables(500)
+	cat := table.NewCatalog()
+	cand, err := AttrEquivalenceBlocker{Attr: "city"}.Block(at, bt, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DebugBlocker(cand, cat, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package block
+
+import (
+	"repro/internal/table"
+)
+
+// BlackBoxBlocker applies an arbitrary user predicate to every cross pair,
+// keeping pairs for which Keep returns true. It is the escape hatch for
+// blocking logic no built-in blocker expresses; like the cross blocker it
+// enumerates |L|×|R| pairs, so it suits the down-sampled tables of the
+// development stage rather than production runs.
+type BlackBoxBlocker struct {
+	// Label names the blocker in candidate-set provenance.
+	Label string
+	// Keep decides whether the pair survives blocking.
+	Keep func(lrow, rrow table.Row) bool
+}
+
+// Name implements Blocker.
+func (b BlackBoxBlocker) Name() string {
+	if b.Label != "" {
+		return "black_box(" + b.Label + ")"
+	}
+	return "black_box"
+}
+
+// Block implements Blocker.
+func (b BlackBoxBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+	if err := requireKeys(lt, rt); err != nil {
+		return nil, err
+	}
+	pairs, err := table.NewPairTable(b.Name(), lt, rt, cat)
+	if err != nil {
+		return nil, err
+	}
+	lkey := lt.Schema().Lookup(lt.Key())
+	rkey := rt.Schema().Lookup(rt.Key())
+	for i := 0; i < lt.Len(); i++ {
+		for j := 0; j < rt.Len(); j++ {
+			if b.Keep(lt.Row(i), rt.Row(j)) {
+				table.AppendPair(pairs, lt.Row(i)[lkey].AsString(), rt.Row(j)[rkey].AsString())
+			}
+		}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,167 @@
+// Package block implements the blocking step of entity matching: the
+// heuristics that cheaply discard obviously non-matching tuple pairs so the
+// matcher only scores a small candidate set. It provides the blocker
+// inventory of PyMatcher (Table 3): attribute-equivalence, hash, overlap,
+// rule-based, sorted-neighborhood, and black-box blockers, plus candidate
+// set combinators and the blocking debugger that estimates how many true
+// matches a blocker discarded.
+//
+// Every blocker produces a candidate-set table with the conventional
+// (_id, ltable_id, rtable_id) schema, registered in a table.Catalog so
+// downstream tools can re-validate its FK metadata (the paper's
+// self-containment principle).
+package block
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Blocker generates a candidate set from two base tables.
+type Blocker interface {
+	// Block returns a new pair table over lt and rt registered in cat.
+	Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error)
+	// Name identifies the blocker, e.g. "overlap(name,k=2)".
+	Name() string
+}
+
+// requireKeys validates that both tables have declared keys; every blocker
+// needs them to emit (lid, rid) pairs.
+func requireKeys(lt, rt *table.Table) error {
+	if lt.Key() == "" {
+		return fmt.Errorf("block: table %q has no key", lt.Name())
+	}
+	if rt.Key() == "" {
+		return fmt.Errorf("block: table %q has no key", rt.Name())
+	}
+	return nil
+}
+
+// CrossBlocker emits the full cross product. It exists as the "no blocking"
+// baseline for debugging and for tiny tables; the candidate set has
+// |L|×|R| rows.
+type CrossBlocker struct{}
+
+// Name implements Blocker.
+func (CrossBlocker) Name() string { return "cross" }
+
+// Block implements Blocker.
+func (CrossBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+	if err := requireKeys(lt, rt); err != nil {
+		return nil, err
+	}
+	pairs, err := table.NewPairTable("cross("+lt.Name()+","+rt.Name()+")", lt, rt, cat)
+	if err != nil {
+		return nil, err
+	}
+	lkey := lt.Schema().Lookup(lt.Key())
+	rkey := rt.Schema().Lookup(rt.Key())
+	for i := 0; i < lt.Len(); i++ {
+		lid := lt.Row(i)[lkey].AsString()
+		for j := 0; j < rt.Len(); j++ {
+			table.AppendPair(pairs, lid, rt.Row(j)[rkey].AsString())
+		}
+	}
+	return pairs, nil
+}
+
+// AttrEquivalenceBlocker keeps pairs whose named attribute values are
+// exactly equal (nulls never match). It is the classic equi-join blocker:
+// "persons residing in different states cannot match".
+type AttrEquivalenceBlocker struct {
+	// Attr is the attribute name, which must exist in both tables.
+	Attr string
+}
+
+// Name implements Blocker.
+func (b AttrEquivalenceBlocker) Name() string { return "attr_equiv(" + b.Attr + ")" }
+
+// Block implements Blocker.
+func (b AttrEquivalenceBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+	return HashBlocker{Attr: b.Attr}.block(lt, rt, cat, b.Name())
+}
+
+// HashBlocker buckets tuples by a transform of an attribute value and
+// keeps pairs falling in the same bucket. With a nil Transform it reduces
+// to attribute equivalence; transforms like "lower-cased first 3 letters"
+// trade precision for recall.
+type HashBlocker struct {
+	Attr string
+	// Transform maps the attribute value to its bucket key; nil means
+	// identity. Returning "" sends the tuple to no bucket (it pairs with
+	// nothing), which is how nulls are handled.
+	Transform func(string) string
+}
+
+// Name implements Blocker.
+func (b HashBlocker) Name() string { return "hash(" + b.Attr + ")" }
+
+// Block implements Blocker.
+func (b HashBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+	return b.block(lt, rt, cat, b.Name())
+}
+
+func (b HashBlocker) block(lt, rt *table.Table, cat *table.Catalog, name string) (*table.Table, error) {
+	if err := requireKeys(lt, rt); err != nil {
+		return nil, err
+	}
+	lj := lt.Schema().Lookup(b.Attr)
+	rj := rt.Schema().Lookup(b.Attr)
+	if lj < 0 || rj < 0 {
+		return nil, fmt.Errorf("block: %s: attribute %q missing from %q or %q", name, b.Attr, lt.Name(), rt.Name())
+	}
+	key := func(v table.Value) string {
+		if v.IsNull() {
+			return ""
+		}
+		s := v.AsString()
+		if b.Transform != nil {
+			return b.Transform(s)
+		}
+		return s
+	}
+	// Bucket the right table.
+	rkey := rt.Schema().Lookup(rt.Key())
+	buckets := make(map[string][]string)
+	for j := 0; j < rt.Len(); j++ {
+		k := key(rt.Row(j)[rj])
+		if k == "" {
+			continue
+		}
+		buckets[k] = append(buckets[k], rt.Row(j)[rkey].AsString())
+	}
+	pairs, err := table.NewPairTable(name, lt, rt, cat)
+	if err != nil {
+		return nil, err
+	}
+	lkey := lt.Schema().Lookup(lt.Key())
+	for i := 0; i < lt.Len(); i++ {
+		k := key(lt.Row(i)[lj])
+		if k == "" {
+			continue
+		}
+		lid := lt.Row(i)[lkey].AsString()
+		for _, rid := range buckets[k] {
+			table.AppendPair(pairs, lid, rid)
+		}
+	}
+	return pairs, nil
+}
+
+// LowerTransform lower-cases and trims the value: the usual normalization
+// for hash blocking on names.
+func LowerTransform(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// PrefixTransform returns a transform taking the lower-cased first n runes.
+func PrefixTransform(n int) func(string) string {
+	return func(s string) string {
+		s = LowerTransform(s)
+		r := []rune(s)
+		if len(r) > n {
+			r = r[:n]
+		}
+		return string(r)
+	}
+}

@@ -1,0 +1,125 @@
+package block
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// pairKey canonicalizes one row of a pair table for set operations.
+func pairKey(t *table.Table, meta table.PairMeta, i int) string {
+	return t.Get(i, meta.LID).AsString() + "\x00" + t.Get(i, meta.RID).AsString()
+}
+
+// Union merges candidate sets produced over the same base tables,
+// deduplicating pairs. Users union the outputs of several cheap blockers
+// to recover matches any single one would miss.
+func Union(cat *table.Catalog, cands ...*table.Table) (*table.Table, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("block: union of zero candidate sets")
+	}
+	meta0, ok := cat.PairMeta(cands[0])
+	if !ok {
+		return nil, fmt.Errorf("block: union: %q not registered", cands[0].Name())
+	}
+	out, err := table.NewPairTable("union", meta0.LTable, meta0.RTable, cat)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for _, c := range cands {
+		meta, ok := cat.PairMeta(c)
+		if !ok {
+			return nil, fmt.Errorf("block: union: %q not registered", c.Name())
+		}
+		if meta.LTable != meta0.LTable || meta.RTable != meta0.RTable {
+			return nil, fmt.Errorf("block: union: %q is over different base tables", c.Name())
+		}
+		for i := 0; i < c.Len(); i++ {
+			k := pairKey(c, meta, i)
+			if !seen[k] {
+				seen[k] = true
+				table.AppendPair(out, c.Get(i, meta.LID).AsString(), c.Get(i, meta.RID).AsString())
+			}
+		}
+	}
+	return out, nil
+}
+
+// Intersect keeps only pairs present in every candidate set. Users
+// intersect blockers to tighten precision when each captures a necessary
+// condition for matching.
+func Intersect(cat *table.Catalog, cands ...*table.Table) (*table.Table, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("block: intersection of zero candidate sets")
+	}
+	meta0, ok := cat.PairMeta(cands[0])
+	if !ok {
+		return nil, fmt.Errorf("block: intersect: %q not registered", cands[0].Name())
+	}
+	counts := make(map[string]int)
+	for ci, c := range cands {
+		meta, ok := cat.PairMeta(c)
+		if !ok {
+			return nil, fmt.Errorf("block: intersect: %q not registered", c.Name())
+		}
+		if meta.LTable != meta0.LTable || meta.RTable != meta0.RTable {
+			return nil, fmt.Errorf("block: intersect: %q is over different base tables", c.Name())
+		}
+		seenHere := make(map[string]bool)
+		for i := 0; i < c.Len(); i++ {
+			k := pairKey(c, meta, i)
+			if !seenHere[k] {
+				seenHere[k] = true
+				if counts[k] == ci { // present in all previous sets
+					counts[k]++
+				}
+			}
+		}
+	}
+	out, err := table.NewPairTable("intersect", meta0.LTable, meta0.RTable, cat)
+	if err != nil {
+		return nil, err
+	}
+	// Preserve the order of the first candidate set.
+	emitted := make(map[string]bool)
+	for i := 0; i < cands[0].Len(); i++ {
+		k := pairKey(cands[0], meta0, i)
+		if counts[k] == len(cands) && !emitted[k] {
+			emitted[k] = true
+			table.AppendPair(out, cands[0].Get(i, meta0.LID).AsString(), cands[0].Get(i, meta0.RID).AsString())
+		}
+	}
+	return out, nil
+}
+
+// Minus returns the pairs of a that are absent from b (both over the same
+// base tables): the pairs a blocker change would add or drop, which the
+// debugger reports.
+func Minus(cat *table.Catalog, a, b *table.Table) (*table.Table, error) {
+	metaA, ok := cat.PairMeta(a)
+	if !ok {
+		return nil, fmt.Errorf("block: minus: %q not registered", a.Name())
+	}
+	metaB, ok := cat.PairMeta(b)
+	if !ok {
+		return nil, fmt.Errorf("block: minus: %q not registered", b.Name())
+	}
+	if metaA.LTable != metaB.LTable || metaA.RTable != metaB.RTable {
+		return nil, fmt.Errorf("block: minus: candidate sets are over different base tables")
+	}
+	inB := make(map[string]bool)
+	for i := 0; i < b.Len(); i++ {
+		inB[pairKey(b, metaB, i)] = true
+	}
+	out, err := table.NewPairTable(a.Name()+"-"+b.Name(), metaA.LTable, metaA.RTable, cat)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !inB[pairKey(a, metaA, i)] {
+			table.AppendPair(out, a.Get(i, metaA.LID).AsString(), a.Get(i, metaA.RID).AsString())
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package block
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/tokenize"
+)
+
+// MissedPair is a likely match that blocking discarded, found by the
+// blocking debugger.
+type MissedPair struct {
+	LID, RID string
+	// Sim is the whole-tuple Jaccard similarity that flagged the pair.
+	Sim float64
+}
+
+// DebugBlocker searches for probable matches missing from the candidate
+// set — the "blocking debugger" pain-point tool of Table 3. It concatenates
+// all non-key string attributes of each tuple, finds the topK most similar
+// cross pairs via an inverted token index, and returns those not already
+// in cand. A blocker whose debugger output contains plausible matches is
+// too aggressive.
+func DebugBlocker(cand *table.Table, cat *table.Catalog, topK int) ([]MissedPair, error) {
+	meta, ok := cat.PairMeta(cand)
+	if !ok {
+		return nil, fmt.Errorf("block: debug: pair table %q not registered", cand.Name())
+	}
+	if topK <= 0 {
+		topK = 20
+	}
+	lt, rt := meta.LTable, meta.RTable
+
+	inCand := make(map[string]bool, cand.Len())
+	for i := 0; i < cand.Len(); i++ {
+		inCand[pairKey(cand, meta, i)] = true
+	}
+
+	tok := tokenize.Alphanumeric{ReturnSet: true}
+	ltoks := tupleTokens(lt, tok)
+	rtoks := tupleTokens(rt, tok)
+
+	// Inverted index over the right table, skipping stop-word-like tokens.
+	inv := make(map[string][]int)
+	for j, toks := range rtoks {
+		for _, t := range toks {
+			inv[t] = append(inv[t], j)
+		}
+	}
+	maxPosting := rt.Len()/10 + 50
+
+	lkey := lt.Schema().Lookup(lt.Key())
+	rkey := rt.Schema().Lookup(rt.Key())
+	var missed []MissedPair
+	for i := 0; i < lt.Len(); i++ {
+		counts := make(map[int]int)
+		for _, t := range ltoks[i] {
+			post := inv[t]
+			if len(post) > maxPosting {
+				continue
+			}
+			for _, j := range post {
+				counts[j]++
+			}
+		}
+		lid := lt.Row(i)[lkey].AsString()
+		for j, c := range counts {
+			if c < 2 && len(ltoks[i]) > 2 {
+				continue // too little overlap to bother verifying
+			}
+			rid := rt.Row(j)[rkey].AsString()
+			if inCand[lid+"\x00"+rid] {
+				continue
+			}
+			s := sim.Jaccard(ltoks[i], rtoks[j])
+			missed = append(missed, MissedPair{LID: lid, RID: rid, Sim: s})
+		}
+	}
+	sort.Slice(missed, func(a, b int) bool {
+		if missed[a].Sim != missed[b].Sim {
+			return missed[a].Sim > missed[b].Sim
+		}
+		if missed[a].LID != missed[b].LID {
+			return missed[a].LID < missed[b].LID
+		}
+		return missed[a].RID < missed[b].RID
+	})
+	if len(missed) > topK {
+		missed = missed[:topK]
+	}
+	return missed, nil
+}
+
+// tupleTokens concatenates all non-key string attributes of each row and
+// tokenizes the result.
+func tupleTokens(t *table.Table, tok tokenize.Tokenizer) [][]string {
+	var cols []int
+	for j := 0; j < t.Schema().Len(); j++ {
+		c := t.Schema().Col(j)
+		if c.Name == t.Key() {
+			continue
+		}
+		cols = append(cols, j)
+	}
+	out := make([][]string, t.Len())
+	var b strings.Builder
+	for i := 0; i < t.Len(); i++ {
+		b.Reset()
+		for _, j := range cols {
+			v := t.Row(i)[j]
+			if v.IsNull() {
+				continue
+			}
+			b.WriteString(v.AsString())
+			b.WriteByte(' ')
+		}
+		out[i] = tok.Tokenize(b.String())
+	}
+	return out
+}
+
+// Stats summarizes a candidate set against known gold matches.
+type Stats struct {
+	// Candidates is the candidate-set size.
+	Candidates int
+	// GoldMatches is the number of known true matches.
+	GoldMatches int
+	// Found is how many gold matches survived blocking.
+	Found int
+	// Recall is Found / GoldMatches (1 when no gold matches).
+	Recall float64
+	// ReductionRatio is 1 - Candidates / (|L|·|R|): how much of the cross
+	// product blocking eliminated.
+	ReductionRatio float64
+}
+
+// EvalAgainstGold computes blocker recall and reduction ratio given the
+// gold match pairs as (lid, rid) tuples.
+func EvalAgainstGold(cand *table.Table, cat *table.Catalog, gold [][2]string) (Stats, error) {
+	meta, ok := cat.PairMeta(cand)
+	if !ok {
+		return Stats{}, fmt.Errorf("block: eval: pair table %q not registered", cand.Name())
+	}
+	inCand := make(map[string]bool, cand.Len())
+	for i := 0; i < cand.Len(); i++ {
+		inCand[pairKey(cand, meta, i)] = true
+	}
+	st := Stats{Candidates: cand.Len(), GoldMatches: len(gold)}
+	for _, g := range gold {
+		if inCand[g[0]+"\x00"+g[1]] {
+			st.Found++
+		}
+	}
+	if st.GoldMatches == 0 {
+		st.Recall = 1
+	} else {
+		st.Recall = float64(st.Found) / float64(st.GoldMatches)
+	}
+	cross := float64(meta.LTable.Len()) * float64(meta.RTable.Len())
+	if cross > 0 {
+		st.ReductionRatio = 1 - float64(cand.Len())/cross
+	}
+	return st, nil
+}

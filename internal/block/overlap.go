@@ -1,0 +1,137 @@
+package block
+
+import (
+	"fmt"
+
+	"repro/internal/simjoin"
+	"repro/internal/table"
+	"repro/internal/tokenize"
+)
+
+// OverlapBlocker keeps pairs whose tokenized attribute values share at
+// least MinOverlap tokens. It runs as a prefix-filtered set-overlap join
+// (package simjoin), so it scales far beyond the cross product.
+type OverlapBlocker struct {
+	Attr string
+	// Tokenizer splits the attribute value; nil means lower-cased
+	// alphanumeric word tokens.
+	Tokenizer tokenize.Tokenizer
+	// MinOverlap is the required shared-token count; 0 means 1.
+	MinOverlap int
+	// Workers parallelizes the join; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Blocker.
+func (b OverlapBlocker) Name() string {
+	return fmt.Sprintf("overlap(%s,k=%d)", b.Attr, b.minOverlap())
+}
+
+func (b OverlapBlocker) minOverlap() int {
+	if b.MinOverlap < 1 {
+		return 1
+	}
+	return b.MinOverlap
+}
+
+func (b OverlapBlocker) tokenizer() tokenize.Tokenizer {
+	if b.Tokenizer == nil {
+		return tokenize.Alphanumeric{ReturnSet: true}
+	}
+	return b.Tokenizer
+}
+
+// Block implements Blocker.
+func (b OverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+	if err := requireKeys(lt, rt); err != nil {
+		return nil, err
+	}
+	lrecs, err := tokenRecords(lt, b.Attr, b.tokenizer())
+	if err != nil {
+		return nil, err
+	}
+	rrecs, err := tokenRecords(rt, b.Attr, b.tokenizer())
+	if err != nil {
+		return nil, err
+	}
+	joined, err := simjoin.OverlapJoin(lrecs, rrecs, b.minOverlap(), simjoin.Options{Workers: b.Workers})
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := table.NewPairTable(b.Name(), lt, rt, cat)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range joined {
+		table.AppendPair(pairs, p.LID, p.RID)
+	}
+	return pairs, nil
+}
+
+// JaccardBlocker keeps pairs whose tokenized attribute Jaccard similarity
+// is at least Threshold, executed as a filtered similarity join. It is the
+// blocker equivalent of py_stringsimjoin's jaccard_join.
+type JaccardBlocker struct {
+	Attr      string
+	Tokenizer tokenize.Tokenizer
+	Threshold float64
+	Workers   int
+}
+
+// Name implements Blocker.
+func (b JaccardBlocker) Name() string {
+	return fmt.Sprintf("jaccard(%s,t=%.2f)", b.Attr, b.Threshold)
+}
+
+// Block implements Blocker.
+func (b JaccardBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+	if err := requireKeys(lt, rt); err != nil {
+		return nil, err
+	}
+	tok := b.Tokenizer
+	if tok == nil {
+		tok = tokenize.Alphanumeric{ReturnSet: true}
+	}
+	lrecs, err := tokenRecords(lt, b.Attr, tok)
+	if err != nil {
+		return nil, err
+	}
+	rrecs, err := tokenRecords(rt, b.Attr, tok)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := simjoin.JaccardJoin(lrecs, rrecs, b.Threshold, simjoin.Options{Workers: b.Workers})
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := table.NewPairTable(b.Name(), lt, rt, cat)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range joined {
+		table.AppendPair(pairs, p.LID, p.RID)
+	}
+	return pairs, nil
+}
+
+// tokenRecords tokenizes one attribute of every row into simjoin records
+// keyed by the table key.
+func tokenRecords(t *table.Table, attr string, tok tokenize.Tokenizer) ([]simjoin.Record, error) {
+	j := t.Schema().Lookup(attr)
+	if j < 0 {
+		return nil, fmt.Errorf("block: attribute %q missing from %q", attr, t.Name())
+	}
+	kj := t.Schema().Lookup(t.Key())
+	out := make([]simjoin.Record, 0, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		v := t.Row(i)[j]
+		if v.IsNull() {
+			continue
+		}
+		out = append(out, simjoin.Record{
+			ID:     t.Row(i)[kj].AsString(),
+			Tokens: tok.Tokenize(v.AsString()),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package block
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// SortedNeighborhoodBlocker merges both tables, sorts by a key derived
+// from an attribute, slides a fixed-size window over the sorted sequence,
+// and emits every cross-table pair that co-occurs in some window. It is
+// the classic sorted-neighborhood method of record linkage.
+type SortedNeighborhoodBlocker struct {
+	Attr string
+	// Window is the sliding-window size; 0 means 5.
+	Window int
+	// KeyFunc derives the sort key from the attribute value; nil means
+	// lower-cased trimmed identity.
+	KeyFunc func(string) string
+}
+
+// Name implements Blocker.
+func (b SortedNeighborhoodBlocker) Name() string {
+	return fmt.Sprintf("sorted_neighborhood(%s,w=%d)", b.Attr, b.window())
+}
+
+func (b SortedNeighborhoodBlocker) window() int {
+	if b.Window < 2 {
+		return 5
+	}
+	return b.Window
+}
+
+// Block implements Blocker.
+func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+	if err := requireKeys(lt, rt); err != nil {
+		return nil, err
+	}
+	lj := lt.Schema().Lookup(b.Attr)
+	rj := rt.Schema().Lookup(b.Attr)
+	if lj < 0 || rj < 0 {
+		return nil, fmt.Errorf("block: %s: attribute %q missing", b.Name(), b.Attr)
+	}
+	keyFn := b.KeyFunc
+	if keyFn == nil {
+		keyFn = func(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+	}
+
+	type entry struct {
+		key  string
+		id   string
+		left bool
+	}
+	var entries []entry
+	lkey := lt.Schema().Lookup(lt.Key())
+	for i := 0; i < lt.Len(); i++ {
+		v := lt.Row(i)[lj]
+		if v.IsNull() {
+			continue
+		}
+		entries = append(entries, entry{keyFn(v.AsString()), lt.Row(i)[lkey].AsString(), true})
+	}
+	rkey := rt.Schema().Lookup(rt.Key())
+	for i := 0; i < rt.Len(); i++ {
+		v := rt.Row(i)[rj]
+		if v.IsNull() {
+			continue
+		}
+		entries = append(entries, entry{keyFn(v.AsString()), rt.Row(i)[rkey].AsString(), false})
+	}
+	sort.SliceStable(entries, func(a, c int) bool { return entries[a].key < entries[c].key })
+
+	pairs, err := table.NewPairTable(b.Name(), lt, rt, cat)
+	if err != nil {
+		return nil, err
+	}
+	w := b.window()
+	seen := make(map[[2]string]bool)
+	for i := range entries {
+		hi := i + w
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		for j := i + 1; j < hi; j++ {
+			a, c := entries[i], entries[j]
+			if a.left == c.left {
+				continue
+			}
+			if !a.left {
+				a, c = c, a
+			}
+			k := [2]string{a.id, c.id}
+			if !seen[k] {
+				seen[k] = true
+				table.AppendPair(pairs, a.id, c.id)
+			}
+		}
+	}
+	return pairs, nil
+}

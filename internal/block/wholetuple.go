@@ -1,0 +1,69 @@
+package block
+
+import (
+	"fmt"
+
+	"repro/internal/simjoin"
+	"repro/internal/table"
+	"repro/internal/tokenize"
+)
+
+// WholeTupleOverlapBlocker keeps pairs whose concatenated non-key string
+// attributes share at least MinOverlap tokens. It is the schema-agnostic,
+// recall-oriented blocker Falcon seeds its candidate set with before
+// applying learned blocking rules: a pair of tuples sharing no token at
+// all scores zero on every similarity feature and could never survive a
+// useful blocking rule anyway.
+type WholeTupleOverlapBlocker struct {
+	// MinOverlap is the required shared-token count; 0 means 1.
+	MinOverlap int
+	// Workers parallelizes the join; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Blocker.
+func (b WholeTupleOverlapBlocker) Name() string {
+	k := b.MinOverlap
+	if k < 1 {
+		k = 1
+	}
+	return fmt.Sprintf("whole_tuple_overlap(k=%d)", k)
+}
+
+// Block implements Blocker.
+func (b WholeTupleOverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+	if err := requireKeys(lt, rt); err != nil {
+		return nil, err
+	}
+	k := b.MinOverlap
+	if k < 1 {
+		k = 1
+	}
+	tok := tokenize.Alphanumeric{ReturnSet: true}
+	lrecs := wholeTupleRecords(lt, tok)
+	rrecs := wholeTupleRecords(rt, tok)
+	joined, err := simjoin.OverlapJoin(lrecs, rrecs, k, simjoin.Options{Workers: b.Workers})
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := table.NewPairTable(b.Name(), lt, rt, cat)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range joined {
+		table.AppendPair(pairs, p.LID, p.RID)
+	}
+	return pairs, nil
+}
+
+// wholeTupleRecords tokenizes the concatenation of all non-key attributes
+// of every row.
+func wholeTupleRecords(t *table.Table, tok tokenize.Tokenizer) []simjoin.Record {
+	toks := tupleTokens(t, tok)
+	kj := t.Schema().Lookup(t.Key())
+	out := make([]simjoin.Record, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		out[i] = simjoin.Record{ID: t.Row(i)[kj].AsString(), Tokens: toks[i]}
+	}
+	return out
+}

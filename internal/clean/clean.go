@@ -1,0 +1,103 @@
+// Package clean implements the dirty-data detection the paper's lessons
+// call for: "it is important that we can detect dirty data, isolate it,
+// and then clean it, to maximize EM accuracy" (§5.3). The Vendors task of
+// Table 2 is the motivating case: Brazilian vendors entered a handful of
+// generic addresses instead of real ones, making those records
+// unmatchable; once detected and removed, accuracy recovered.
+//
+// The detectors here are the self-service analogues: over-frequent value
+// detection (copy-pasted placeholder values repeat across far more records
+// than a genuine value would), null-rate screening, and row isolation.
+package clean
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// SuspiciousValue is one flagged attribute value.
+type SuspiciousValue struct {
+	Value string
+	Count int
+	// Share is Count / non-null rows.
+	Share float64
+}
+
+// DetectOverFrequent flags values of the named column that occur in more
+// than share (0..1) of the non-null rows — the signature of placeholder
+// junk like "main street 1". Values are returned most frequent first.
+// Columns expected to be low-cardinality (categories) should not be
+// screened; pick share well above their natural frequency.
+func DetectOverFrequent(t *table.Table, attr string, share float64) ([]SuspiciousValue, error) {
+	j := t.Schema().Lookup(attr)
+	if j < 0 {
+		return nil, fmt.Errorf("clean: no column %q in %q", attr, t.Name())
+	}
+	if share <= 0 || share >= 1 {
+		return nil, fmt.Errorf("clean: share %v out of (0, 1)", share)
+	}
+	counts := make(map[string]int)
+	nonNull := 0
+	for i := 0; i < t.Len(); i++ {
+		v := t.Row(i)[j]
+		if v.IsNull() {
+			continue
+		}
+		nonNull++
+		counts[v.AsString()]++
+	}
+	if nonNull == 0 {
+		return nil, nil
+	}
+	var out []SuspiciousValue
+	for v, c := range counts {
+		s := float64(c) / float64(nonNull)
+		if s > share {
+			out = append(out, SuspiciousValue{Value: v, Count: c, Share: s})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value < out[b].Value
+	})
+	return out, nil
+}
+
+// NullReport lists columns whose null ratio exceeds the threshold — the
+// Vehicles pathology ("the data was so incomplete").
+func NullReport(t *table.Table, threshold float64) []string {
+	var out []string
+	for _, cp := range t.Profile(1).Columns {
+		if cp.NullRatio > threshold {
+			out = append(out, cp.Name)
+		}
+	}
+	return out
+}
+
+// Isolate splits the table into (clean, dirty): rows whose attr value is
+// in the flagged set go to dirty. The flagged set typically comes from
+// DetectOverFrequent. Metadata (name, key) is preserved on both halves.
+func Isolate(t *table.Table, attr string, flagged []SuspiciousValue) (clean, dirty *table.Table, err error) {
+	j := t.Schema().Lookup(attr)
+	if j < 0 {
+		return nil, nil, fmt.Errorf("clean: no column %q in %q", attr, t.Name())
+	}
+	bad := make(map[string]bool, len(flagged))
+	for _, f := range flagged {
+		bad[f.Value] = true
+	}
+	clean = t.Filter(func(r table.Row) bool {
+		return r[j].IsNull() || !bad[r[j].AsString()]
+	})
+	dirty = t.Filter(func(r table.Row) bool {
+		return !r[j].IsNull() && bad[r[j].AsString()]
+	})
+	clean.SetName(t.Name() + "_clean")
+	dirty.SetName(t.Name() + "_dirty")
+	return clean, dirty, nil
+}

@@ -1,0 +1,281 @@
+package cloud
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/label"
+	"repro/internal/table"
+)
+
+func csvOf(t *testing.T, tab *table.Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func smallTask(t *testing.T, seed int64) *datagen.Task {
+	t.Helper()
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "cloudtest", Domain: datagen.PersonDomain(),
+		SizeA: 150, SizeB: 150, MatchFraction: 0.5, Typo: 0.2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestRegistryCounts(t *testing.T) {
+	r := NewRegistry()
+	basic, composite := r.Counts()
+	if basic != 18 {
+		t.Errorf("basic services = %d, want 18 (Table 4)", basic)
+	}
+	if composite != 2 {
+		t.Errorf("composite services = %d, want 2 (Table 4)", composite)
+	}
+	if _, err := r.Lookup("falcon"); err != nil {
+		t.Error("falcon composite missing")
+	}
+	if _, err := r.Lookup("nope"); err == nil {
+		t.Error("want unknown-service error")
+	}
+	if err := r.Register(&Service{Name: "falcon", Run: func(*JobContext, Args) (any, error) { return nil, nil }}); err == nil {
+		t.Error("want duplicate-registration error")
+	}
+	if err := r.Register(&Service{}); err == nil {
+		t.Error("want invalid-service error")
+	}
+}
+
+func TestArgsHelpers(t *testing.T) {
+	a := Args{"s": "x", "n": 3, "f": 1.5, "jn": float64(7)}
+	if v, err := a.Str("s"); err != nil || v != "x" {
+		t.Error("Str broken")
+	}
+	if _, err := a.Str("missing"); err == nil {
+		t.Error("want missing-arg error")
+	}
+	if _, err := a.Str("n"); err == nil {
+		t.Error("want type error")
+	}
+	if v, err := a.Int("n"); err != nil || v != 3 {
+		t.Error("Int broken")
+	}
+	if v, err := a.Int("jn"); err != nil || v != 7 {
+		t.Error("Int via float64 broken")
+	}
+	if a.IntOr("missing", 9) != 9 || a.StrOr("missing", "d") != "d" {
+		t.Error("defaults broken")
+	}
+	if a.FloatOr("f", 0) != 1.5 || a.FloatOr("n", 0) != 3 || a.FloatOr("missing", 2.5) != 2.5 {
+		t.Error("FloatOr broken")
+	}
+}
+
+func TestJobContextStore(t *testing.T) {
+	ctx := NewJobContext(label.NewOracle(label.NewGold(nil)), 1)
+	ctx.Put("x", 42)
+	if v, ok := ctx.Get("x"); !ok || v != 42 {
+		t.Error("store broken")
+	}
+	if _, err := ctx.Table("x"); err == nil {
+		t.Error("want not-a-table error")
+	}
+	if _, err := ctx.Table("missing"); err == nil {
+		t.Error("want missing-object error")
+	}
+}
+
+func TestValidateDAG(t *testing.T) {
+	ctx := NewJobContext(label.NewOracle(label.NewGold(nil)), 1)
+	cases := []struct {
+		name string
+		job  *Job
+	}{
+		{"no context", &Job{Name: "j", Steps: []Step{{ID: "a", Service: "x"}}}},
+		{"no steps", &Job{Name: "j", Ctx: ctx}},
+		{"empty id", &Job{Name: "j", Ctx: ctx, Steps: []Step{{Service: "x"}}}},
+		{"dup id", &Job{Name: "j", Ctx: ctx, Steps: []Step{{ID: "a", Service: "x"}, {ID: "a", Service: "x"}}}},
+		{"unknown dep", &Job{Name: "j", Ctx: ctx, Steps: []Step{{ID: "a", Service: "x", After: []string{"ghost"}}}}},
+		{"cycle", &Job{Name: "j", Ctx: ctx, Steps: []Step{
+			{ID: "a", Service: "x", After: []string{"b"}},
+			{ID: "b", Service: "x", After: []string{"a"}},
+		}}},
+	}
+	for _, c := range cases {
+		if err := validateDAG(c.job); err == nil {
+			t.Errorf("%s: want validation error", c.name)
+		}
+	}
+}
+
+func TestSubmitFalconJob(t *testing.T) {
+	task := smallTask(t, 41)
+	mm := NewMetamanager(NewRegistry(), EngineConfig{})
+	defer mm.Close()
+	ctx := NewJobContext(label.NewOracle(task.Gold), 7)
+	job := FalconJob("members", csvOf(t, task.A), csvOf(t, task.B), "id", "id", ctx, 500)
+	res := mm.Submit(job)
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+	if len(res.Steps) != 5 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	matches, err := ctx.Table("matches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := 0
+	for i := 0; i < matches.Len(); i++ {
+		if task.Gold.IsMatch(matches.Get(i, "ltable_id").AsString(), matches.Get(i, "rtable_id").AsString()) {
+			tp++
+		}
+	}
+	if matches.Len() == 0 || float64(tp)/float64(matches.Len()) < 0.8 {
+		t.Errorf("falcon job precision %d/%d too low", tp, matches.Len())
+	}
+}
+
+func TestSubmitStepFailureSkipsDescendants(t *testing.T) {
+	mm := NewMetamanager(NewRegistry(), EngineConfig{})
+	defer mm.Close()
+	ctx := NewJobContext(label.NewOracle(label.NewGold(nil)), 1)
+	job := &Job{
+		Name: "failing",
+		Ctx:  ctx,
+		Steps: []Step{
+			{ID: "bad", Service: "upload_dataset", Args: Args{"csv": "", "out": "t"}}, // empty CSV fails
+			{ID: "after", Service: "profile_dataset", Args: Args{"table": "t"}, After: []string{"bad"}},
+			{ID: "after2", Service: "profile_dataset", Args: Args{"table": "t"}, After: []string{"after"}},
+			{ID: "independent", Service: "upload_dataset", Args: Args{"csv": "id\n1\n", "out": "u"}},
+		},
+	}
+	res := mm.Submit(job)
+	if res.Err == nil {
+		t.Fatal("want job error")
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("steps reported = %d, want 4", len(res.Steps))
+	}
+	if sr := res.Find("after"); sr == nil || !sr.Skipped {
+		t.Error("step after a failure must be skipped")
+	}
+	if sr := res.Find("after2"); sr == nil || !sr.Skipped {
+		t.Error("skipping must cascade")
+	}
+	if sr := res.Find("independent"); sr == nil || sr.Err != nil {
+		t.Error("independent step must still run")
+	}
+}
+
+func TestSubmitUnknownService(t *testing.T) {
+	mm := NewMetamanager(NewRegistry(), EngineConfig{})
+	defer mm.Close()
+	ctx := NewJobContext(label.NewOracle(label.NewGold(nil)), 1)
+	res := mm.Submit(&Job{Name: "j", Ctx: ctx, Steps: []Step{{ID: "a", Service: "ghost"}}})
+	if res.Err == nil {
+		t.Fatal("want unknown-service error")
+	}
+}
+
+func TestConcurrentJobsInterleave(t *testing.T) {
+	// Figure 5's premise: CloudMatcher 1.0 serves several users at once.
+	// Submit several jobs concurrently and check they all complete.
+	mm := NewMetamanager(NewRegistry(), EngineConfig{BatchWorkers: 4})
+	defer mm.Close()
+	const jobs = 4
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			task := smallTask(t, int64(50+j))
+			ctx := NewJobContext(label.NewOracle(task.Gold), int64(j))
+			job := FalconJob("concurrent", csvOf(t, task.A), csvOf(t, task.B), "id", "id", ctx, 400)
+			res := mm.Submit(job)
+			errs[j] = res.Err
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Errorf("job %d failed: %v", j, err)
+		}
+	}
+}
+
+func TestStepByStepGuideJob(t *testing.T) {
+	// Compose basic services manually (the CloudMatcher 2.0 flexibility
+	// story): upload, key, block, extract, label, train, predict.
+	task := smallTask(t, 42)
+	mm := NewMetamanager(NewRegistry(), EngineConfig{})
+	defer mm.Close()
+	ctx := NewJobContext(label.NewOracle(task.Gold), 3)
+	job := &Job{
+		Name: "manual",
+		Ctx:  ctx,
+		Steps: []Step{
+			{ID: "ua", Service: "upload_dataset", Args: Args{"csv": csvOf(t, task.A), "out": "a"}},
+			{ID: "ub", Service: "upload_dataset", Args: Args{"csv": csvOf(t, task.B), "out": "b"}},
+			{ID: "ka", Service: "set_key", Args: Args{"table": "a", "key": "id"}, After: []string{"ua"}},
+			{ID: "kb", Service: "set_key", Args: Args{"table": "b", "key": "id"}, After: []string{"ub"}},
+			{ID: "profile", Service: "profile_dataset", Args: Args{"table": "a"}, After: []string{"ka"}},
+			{ID: "blockit", Service: "overlap_block", Args: Args{"a": "a", "b": "b", "k": 2, "out": "cand"}, After: []string{"ka", "kb"}},
+			{ID: "feat", Service: "generate_features", Args: Args{"a": "a", "b": "b", "out": "features"}, After: []string{"ka", "kb"}},
+			{ID: "vec", Service: "extract_feature_vectors", Args: Args{"features": "features", "pairs": "cand", "out": "vectors"}, After: []string{"blockit", "feat"}},
+			{ID: "samp", Service: "sample_pairs", Args: Args{"pairs": "cand", "n": 200, "out": "sample"}, After: []string{"blockit"}},
+			{ID: "svec", Service: "extract_feature_vectors", Args: Args{"features": "features", "pairs": "sample", "out": "svectors"}, After: []string{"samp", "feat"}},
+			{ID: "lab", Service: "label_pairs", Args: Args{"pairs": "sample", "out": "labels"}, After: []string{"samp"}},
+			{ID: "train", Service: "train_classifier", Args: Args{"vectors": "svectors", "labels": "labels", "out": "classifier"}, After: []string{"svec", "lab"}},
+			{ID: "pred", Service: "predict_matches", Args: Args{"vectors": "vectors", "classifier": "classifier", "out": "matches"}, After: []string{"train", "vec"}},
+			{ID: "eval", Service: "evaluate_matches", Args: Args{"matches": "matches", "n": 40}, After: []string{"pred"}},
+		},
+	}
+	res := mm.Submit(job)
+	if res.Err != nil {
+		t.Fatalf("job failed: %v", res.Err)
+	}
+	eval := res.Find("eval")
+	if eval == nil {
+		t.Fatal("no eval result")
+	}
+	acc, ok := eval.Output.(float64)
+	if !ok {
+		t.Fatalf("eval output = %T", eval.Output)
+	}
+	if acc < 0.8 {
+		t.Errorf("spot-check accuracy %.3f too low", acc)
+	}
+}
+
+func TestServiceKindsAssigned(t *testing.T) {
+	r := NewRegistry()
+	wantUser := map[string]bool{"set_key": true, "edit_metadata": true, "label_pairs": true,
+		"evaluate_matches": true, "evaluate_blocking_rules": true, "active_learning": true, "falcon": true}
+	for _, s := range r.List() {
+		if s.Name == "crowd_label_pairs" && s.Kind != KindCrowd {
+			t.Error("crowd_label_pairs must run on the crowd engine")
+		}
+		if wantUser[s.Name] && s.Kind != KindUser {
+			t.Errorf("%s must run on the user engine", s.Name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindBatch.String() != "batch" || KindUser.String() != "user" || KindCrowd.String() != "crowd" {
+		t.Error("kind names broken")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind")
+	}
+}

@@ -1,0 +1,143 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/label"
+)
+
+// Server is the HTTP façade over a Metamanager: the shape the envisioned
+// cloud-native Magellan ecosystem (Figure 6) exposes its microservices in.
+// It serves:
+//
+//	GET  /services   — the service catalog (Table 4)
+//	POST /jobs       — submit a workflow DAG and block for its result
+//	GET  /healthz    — liveness
+//
+// Interactive labeling cannot ride a synchronous HTTP call, so job
+// payloads carry the gold matches ("gold": [["a1","b1"], ...]) from which
+// a simulated labeler is built — the same substitution the rest of the
+// reproduction uses for humans.
+type Server struct {
+	mm *Metamanager
+}
+
+// NewServer wraps a metamanager.
+func NewServer(mm *Metamanager) *Server { return &Server{mm: mm} }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /services", s.handleServices)
+	mux.HandleFunc("POST /jobs", s.handleJobs)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// serviceInfo is the JSON form of one catalog entry.
+type serviceInfo struct {
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Composite bool   `json:"composite"`
+	Doc       string `json:"doc"`
+}
+
+func (s *Server) handleServices(w http.ResponseWriter, r *http.Request) {
+	var out []serviceInfo
+	for _, svc := range s.mm.Registry().List() {
+		out = append(out, serviceInfo{
+			Name: svc.Name, Kind: svc.Kind.String(), Composite: svc.Composite, Doc: svc.Doc,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobRequest is the POST /jobs payload.
+type jobRequest struct {
+	Name  string      `json:"name"`
+	Seed  int64       `json:"seed"`
+	Gold  [][2]string `json:"gold"`
+	Noise float64     `json:"labeler_error"`
+	Steps []struct {
+		ID      string         `json:"id"`
+		Service string         `json:"service"`
+		Args    map[string]any `json:"args"`
+		After   []string       `json:"after"`
+	} `json:"steps"`
+}
+
+// jobResponse is the POST /jobs reply.
+type jobResponse struct {
+	Name  string `json:"name"`
+	Error string `json:"error,omitempty"`
+	Steps []struct {
+		Step    string `json:"step"`
+		Service string `json:"service"`
+		Output  string `json:"output,omitempty"`
+		Error   string `json:"error,omitempty"`
+		Skipped bool   `json:"skipped,omitempty"`
+	} `json:"steps"`
+	Questions int     `json:"questions"`
+	CostUSD   float64 `json:"cost_usd"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad json: " + err.Error()})
+		return
+	}
+	gold := label.NewGold(req.Gold)
+	var lab label.Labeler
+	if req.Noise > 0 {
+		lab = label.NewNoisyUser(gold, req.Noise, req.Seed)
+	} else {
+		lab = label.NewOracle(gold)
+	}
+	ctx := NewJobContext(lab, req.Seed)
+	job := &Job{Name: req.Name, Ctx: ctx}
+	for _, st := range req.Steps {
+		job.Steps = append(job.Steps, Step{ID: st.ID, Service: st.Service, Args: st.Args, After: st.After})
+	}
+	res := s.mm.Submit(job)
+
+	resp := jobResponse{Name: res.Name}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	for _, sr := range res.Steps {
+		entry := struct {
+			Step    string `json:"step"`
+			Service string `json:"service"`
+			Output  string `json:"output,omitempty"`
+			Error   string `json:"error,omitempty"`
+			Skipped bool   `json:"skipped,omitempty"`
+		}{Step: sr.Step, Service: sr.Service, Skipped: sr.Skipped}
+		if sr.Output != nil {
+			entry.Output = fmt.Sprint(sr.Output)
+		}
+		if sr.Err != nil {
+			entry.Error = sr.Err.Error()
+		}
+		resp.Steps = append(resp.Steps, entry)
+	}
+	st := lab.Stats()
+	resp.Questions = st.Questions
+	resp.CostUSD = st.CostUSD
+	status := http.StatusOK
+	if res.Err != nil {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,606 @@
+package cloud
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/active"
+	"repro/internal/block"
+	"repro/internal/falcon"
+	"repro/internal/feature"
+	"repro/internal/ml"
+	"repro/internal/rules"
+	"repro/internal/table"
+)
+
+// vectors is the stored form of extracted feature matrices.
+type vectors struct {
+	X     [][]float64
+	Names []string
+	Pairs *table.Table
+}
+
+// labels is the stored form of a labeling round, aligned with a pair
+// table's rows.
+type labels struct {
+	Y     []int
+	Pairs *table.Table
+}
+
+// registerBasic installs the 18 basic services of Table 4.
+func registerBasic(r *Registry) {
+	mustRegister := func(s *Service) {
+		if err := r.Register(s); err != nil {
+			panic(err)
+		}
+	}
+
+	mustRegister(&Service{
+		Name: "upload_dataset", Kind: KindBatch,
+		Doc: "parse a CSV payload into a named table",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			csv, err := a.Str("csv")
+			if err != nil {
+				return nil, err
+			}
+			out, err := a.Str("out")
+			if err != nil {
+				return nil, err
+			}
+			t, err := table.ReadCSV(strings.NewReader(csv), out)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(out, t)
+			return fmt.Sprintf("%d rows", t.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "set_key", Kind: KindUser,
+		Doc: "declare (and validate) a table's key column",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			t, err := argTable(ctx, a, "table")
+			if err != nil {
+				return nil, err
+			}
+			key, err := a.Str("key")
+			if err != nil {
+				return nil, err
+			}
+			return nil, t.SetKey(key)
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "profile_dataset", Kind: KindBatch,
+		Doc: "per-column statistics of a table",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			t, err := argTable(ctx, a, "table")
+			if err != nil {
+				return nil, err
+			}
+			return t.Profile(a.IntOr("top_k", 5)), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "edit_metadata", Kind: KindUser,
+		Doc: "rename a table (catalog metadata edit)",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			t, err := argTable(ctx, a, "table")
+			if err != nil {
+				return nil, err
+			}
+			name, err := a.Str("name")
+			if err != nil {
+				return nil, err
+			}
+			t.SetName(name)
+			return nil, nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "down_sample", Kind: KindBatch,
+		Doc: "intelligently down-sample two tables preserving matches",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			at, err := argTable(ctx, a, "a")
+			if err != nil {
+				return nil, err
+			}
+			bt, err := argTable(ctx, a, "b")
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(ctx.Seed))
+			as, bs, err := table.DownSample(at, bt, a.IntOr("size_a", 1000), a.IntOr("size_b", 1000), rng)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out_a", "a_sample"), as)
+			ctx.Put(a.StrOr("out_b", "b_sample"), bs)
+			return fmt.Sprintf("%d/%d rows", as.Len(), bs.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "overlap_block", Kind: KindBatch,
+		Doc: "token-overlap blocking into a candidate set",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			at, err := argTable(ctx, a, "a")
+			if err != nil {
+				return nil, err
+			}
+			bt, err := argTable(ctx, a, "b")
+			if err != nil {
+				return nil, err
+			}
+			var blk block.Blocker
+			if attr := a.StrOr("attr", ""); attr != "" {
+				blk = block.OverlapBlocker{Attr: attr, MinOverlap: a.IntOr("k", 1)}
+			} else {
+				blk = block.WholeTupleOverlapBlocker{MinOverlap: a.IntOr("k", 1)}
+			}
+			cand, err := blk.Block(at, bt, ctx.Catalog)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "candidates"), cand)
+			return fmt.Sprintf("%d pairs", cand.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "sample_pairs", Kind: KindBatch,
+		Doc: "random sample of a pair table",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			p, err := argTable(ctx, a, "pairs")
+			if err != nil {
+				return nil, err
+			}
+			meta, ok := ctx.Catalog.PairMeta(p)
+			if !ok {
+				return nil, fmt.Errorf("cloud: %q is not a registered pair table", p.Name())
+			}
+			rng := rand.New(rand.NewSource(ctx.Seed + 1))
+			s := p.Sample(a.IntOr("n", 100), rng)
+			if err := ctx.Catalog.RegisterPair(s, meta); err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "pair_sample"), s)
+			return fmt.Sprintf("%d pairs", s.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "generate_features", Kind: KindBatch,
+		Doc: "auto-generate a similarity feature set for two tables",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			at, err := argTable(ctx, a, "a")
+			if err != nil {
+				return nil, err
+			}
+			bt, err := argTable(ctx, a, "b")
+			if err != nil {
+				return nil, err
+			}
+			fs, err := feature.AutoGenerate(at, bt)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "features"), fs)
+			return fmt.Sprintf("%d features", fs.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "extract_feature_vectors", Kind: KindBatch,
+		Doc: "compute feature vectors for a candidate set",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			fs, err := argFeatures(ctx, a, "features")
+			if err != nil {
+				return nil, err
+			}
+			p, err := argTable(ctx, a, "pairs")
+			if err != nil {
+				return nil, err
+			}
+			x, err := feature.Vectors(fs, p, ctx.Catalog, feature.ExtractOptions{})
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "vectors"), &vectors{X: x, Names: fs.Names(), Pairs: p})
+			return fmt.Sprintf("%d vectors", len(x)), nil
+		},
+	})
+
+	labelRun := func(ctx *JobContext, a Args) (any, error) {
+		p, err := argTable(ctx, a, "pairs")
+		if err != nil {
+			return nil, err
+		}
+		meta, ok := ctx.Catalog.PairMeta(p)
+		if !ok {
+			return nil, fmt.Errorf("cloud: %q is not a registered pair table", p.Name())
+		}
+		y := make([]int, p.Len())
+		for i := 0; i < p.Len(); i++ {
+			if ctx.Labeler.Label(p.Get(i, meta.LID).AsString(), p.Get(i, meta.RID).AsString()) {
+				y[i] = 1
+			}
+		}
+		ctx.Put(a.StrOr("out", "labels"), &labels{Y: y, Pairs: p})
+		return fmt.Sprintf("%d labels", len(y)), nil
+	}
+	mustRegister(&Service{
+		Name: "label_pairs", Kind: KindUser,
+		Doc: "the submitting user labels a pair sample", Run: labelRun,
+	})
+	mustRegister(&Service{
+		Name: "crowd_label_pairs", Kind: KindCrowd,
+		Doc: "crowd workers label a pair sample", Run: labelRun,
+	})
+
+	mustRegister(&Service{
+		Name: "train_classifier", Kind: KindBatch,
+		Doc: "train a matcher on labeled feature vectors",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			v, err := argVectors(ctx, a, "vectors")
+			if err != nil {
+				return nil, err
+			}
+			l, err := argLabels(ctx, a, "labels")
+			if err != nil {
+				return nil, err
+			}
+			if l.Pairs != v.Pairs {
+				return nil, fmt.Errorf("cloud: labels and vectors come from different pair tables")
+			}
+			ds, err := ml.NewDataset(v.X, l.Y, v.Names)
+			if err != nil {
+				return nil, err
+			}
+			model, err := newClassifier(a.StrOr("model", "random_forest"), ctx.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := model.Fit(ds); err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "classifier"), model)
+			return model.Name(), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "predict_matches", Kind: KindBatch,
+		Doc: "apply a trained matcher to a candidate set",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			v, err := argVectors(ctx, a, "vectors")
+			if err != nil {
+				return nil, err
+			}
+			cv, ok := ctx.Get(a.StrOr("classifier", "classifier"))
+			if !ok {
+				return nil, fmt.Errorf("cloud: no classifier in job store")
+			}
+			model, ok := cv.(ml.Classifier)
+			if !ok {
+				return nil, fmt.Errorf("cloud: stored classifier is %T", cv)
+			}
+			meta, ok := ctx.Catalog.PairMeta(v.Pairs)
+			if !ok {
+				return nil, fmt.Errorf("cloud: vector pair table unregistered")
+			}
+			matches, err := table.NewPairTable("matches", meta.LTable, meta.RTable, ctx.Catalog)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < v.Pairs.Len(); i++ {
+				if ml.Predict(model, v.X[i]) == 1 {
+					table.AppendPair(matches,
+						v.Pairs.Get(i, meta.LID).AsString(),
+						v.Pairs.Get(i, meta.RID).AsString())
+				}
+			}
+			ctx.Put(a.StrOr("out", "matches"), matches)
+			return fmt.Sprintf("%d matches", matches.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "evaluate_matches", Kind: KindUser,
+		Doc: "the user spot-checks predicted matches (sampled accuracy)",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			m, err := argTable(ctx, a, "matches")
+			if err != nil {
+				return nil, err
+			}
+			meta, ok := ctx.Catalog.PairMeta(m)
+			if !ok {
+				return nil, fmt.Errorf("cloud: %q is not a registered pair table", m.Name())
+			}
+			rng := rand.New(rand.NewSource(ctx.Seed + 2))
+			s := m.Sample(a.IntOr("n", 50), rng)
+			correct := 0
+			for i := 0; i < s.Len(); i++ {
+				if ctx.Labeler.Label(s.Get(i, meta.LID).AsString(), s.Get(i, meta.RID).AsString()) {
+					correct++
+				}
+			}
+			if s.Len() == 0 {
+				return 1.0, nil
+			}
+			return float64(correct) / float64(s.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "extract_blocking_rules", Kind: KindBatch,
+		Doc: "mine candidate blocking rules from a random forest",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			fv, ok := ctx.Get(a.StrOr("forest", "forest"))
+			if !ok {
+				return nil, fmt.Errorf("cloud: no forest in job store")
+			}
+			forest, ok := fv.(*ml.RandomForest)
+			if !ok {
+				return nil, fmt.Errorf("cloud: stored forest is %T", fv)
+			}
+			fs, err := argFeatures(ctx, a, "features")
+			if err != nil {
+				return nil, err
+			}
+			rs, err := falcon.ExtractBlockingRules(forest, fs.Names())
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "rules"), rs)
+			return fmt.Sprintf("%d rules", rs.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "evaluate_blocking_rules", Kind: KindUser,
+		Doc: "the user reviews rules against labeled pairs; precise rules kept",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			rsv, ok := ctx.Get(a.StrOr("rules", "rules"))
+			if !ok {
+				return nil, fmt.Errorf("cloud: no rules in job store")
+			}
+			rs, ok := rsv.(rules.RuleSet)
+			if !ok {
+				return nil, fmt.Errorf("cloud: stored rules are %T", rsv)
+			}
+			v, err := argVectors(ctx, a, "vectors")
+			if err != nil {
+				return nil, err
+			}
+			meta, ok := ctx.Catalog.PairMeta(v.Pairs)
+			if !ok {
+				return nil, fmt.Errorf("cloud: vector pair table unregistered")
+			}
+			threshold := a.FloatOr("precision", 0.95)
+			samples := a.IntOr("samples", 10)
+			rng := rand.New(rand.NewSource(ctx.Seed + 3))
+			var kept rules.RuleSet
+			for _, r := range rs.Rules {
+				c, err := rules.Compile(r, v.Names)
+				if err != nil {
+					continue
+				}
+				var fired []int
+				for i := range v.X {
+					if c.Fires(v.X[i]) {
+						fired = append(fired, i)
+					}
+				}
+				if len(fired) == 0 {
+					continue
+				}
+				rng.Shuffle(len(fired), func(x, y int) { fired[x], fired[y] = fired[y], fired[x] })
+				n := samples
+				if n > len(fired) {
+					n = len(fired)
+				}
+				nonMatch := 0
+				for _, i := range fired[:n] {
+					if !ctx.Labeler.Label(v.Pairs.Get(i, meta.LID).AsString(), v.Pairs.Get(i, meta.RID).AsString()) {
+						nonMatch++
+					}
+				}
+				if float64(nonMatch)/float64(n) >= threshold {
+					kept.Add(r)
+				}
+			}
+			ctx.Put(a.StrOr("out", "precise_rules"), kept)
+			return fmt.Sprintf("%d/%d rules kept", kept.Len(), rs.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "execute_blocking_rules", Kind: KindBatch,
+		Doc: "block two tables with a rule set over a token-overlap seed",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			at, err := argTable(ctx, a, "a")
+			if err != nil {
+				return nil, err
+			}
+			bt, err := argTable(ctx, a, "b")
+			if err != nil {
+				return nil, err
+			}
+			rsv, ok := ctx.Get(a.StrOr("rules", "precise_rules"))
+			if !ok {
+				return nil, fmt.Errorf("cloud: no rules in job store")
+			}
+			rs, ok := rsv.(rules.RuleSet)
+			if !ok {
+				return nil, fmt.Errorf("cloud: stored rules are %T", rsv)
+			}
+			fs, err := argFeatures(ctx, a, "features")
+			if err != nil {
+				return nil, err
+			}
+			seed := block.WholeTupleOverlapBlocker{MinOverlap: a.IntOr("k", 1)}
+			var cand *table.Table
+			if rs.Len() > 0 {
+				cand, err = block.RuleBlocker{Seed: seed, Rules: rs, Features: fs}.Block(at, bt, ctx.Catalog)
+			} else {
+				cand, err = seed.Block(at, bt, ctx.Catalog)
+			}
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "candidates"), cand)
+			return fmt.Sprintf("%d pairs", cand.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "debug_blocker", Kind: KindBatch,
+		Doc: "surface likely matches a candidate set dropped",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			p, err := argTable(ctx, a, "pairs")
+			if err != nil {
+				return nil, err
+			}
+			return block.DebugBlocker(p, ctx.Catalog, a.IntOr("top_k", 20))
+		},
+	})
+
+}
+
+// registerComposite installs the 2 composite services.
+func registerComposite(r *Registry) {
+	mustRegister := func(s *Service) {
+		if err := r.Register(s); err != nil {
+			panic(err)
+		}
+	}
+
+	mustRegister(&Service{
+		Name: "active_learning", Kind: KindUser, Composite: true,
+		Doc: "active-learn a random forest over a candidate set",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			v, err := argVectors(ctx, a, "vectors")
+			if err != nil {
+				return nil, err
+			}
+			meta, ok := ctx.Catalog.PairMeta(v.Pairs)
+			if !ok {
+				return nil, fmt.Errorf("cloud: vector pair table unregistered")
+			}
+			pool := &active.Pool{X: v.X, Names: v.Names}
+			for i := 0; i < v.Pairs.Len(); i++ {
+				pool.LIDs = append(pool.LIDs, v.Pairs.Get(i, meta.LID).AsString())
+				pool.RIDs = append(pool.RIDs, v.Pairs.Get(i, meta.RID).AsString())
+			}
+			res, err := active.Learn(pool, ctx.Labeler, active.Config{
+				Seed:      ctx.Seed + 5,
+				SeedSize:  a.IntOr("seed_size", 20),
+				BatchSize: a.IntOr("batch_size", 10),
+				MaxRounds: a.IntOr("max_rounds", 20),
+			})
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "forest"), res.Forest)
+			return fmt.Sprintf("%d labels", res.Labeled.Len()), nil
+		},
+	})
+
+	mustRegister(&Service{
+		Name: "falcon", Kind: KindUser, Composite: true,
+		Doc: "the end-to-end Falcon self-service EM workflow",
+		Run: func(ctx *JobContext, a Args) (any, error) {
+			at, err := argTable(ctx, a, "a")
+			if err != nil {
+				return nil, err
+			}
+			bt, err := argTable(ctx, a, "b")
+			if err != nil {
+				return nil, err
+			}
+			res, err := falcon.Run(at, bt, ctx.Labeler, ctx.Catalog, falcon.Config{
+				SampleSize: a.IntOr("sample_size", 2000),
+				Seed:       ctx.Seed + 6,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ctx.Put(a.StrOr("out", "matches"), res.Matches)
+			ctx.Put(a.StrOr("out", "matches")+"_result", res)
+			return fmt.Sprintf("%d matches, %d questions", res.Matches.Len(), res.TotalQuestions()), nil
+		},
+	})
+}
+
+func argTable(ctx *JobContext, a Args, key string) (*table.Table, error) {
+	name, err := a.Str(key)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Table(name)
+}
+
+func argFeatures(ctx *JobContext, a Args, key string) (*feature.Set, error) {
+	name := a.StrOr(key, key)
+	v, ok := ctx.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("cloud: no feature set %q in job store", name)
+	}
+	fs, ok := v.(*feature.Set)
+	if !ok {
+		return nil, fmt.Errorf("cloud: object %q is %T, not a feature set", name, v)
+	}
+	return fs, nil
+}
+
+func argVectors(ctx *JobContext, a Args, key string) (*vectors, error) {
+	name := a.StrOr(key, key)
+	v, ok := ctx.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("cloud: no vectors %q in job store", name)
+	}
+	vv, ok := v.(*vectors)
+	if !ok {
+		return nil, fmt.Errorf("cloud: object %q is %T, not vectors", name, v)
+	}
+	return vv, nil
+}
+
+func argLabels(ctx *JobContext, a Args, key string) (*labels, error) {
+	name := a.StrOr(key, key)
+	v, ok := ctx.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("cloud: no labels %q in job store", name)
+	}
+	lv, ok := v.(*labels)
+	if !ok {
+		return nil, fmt.Errorf("cloud: object %q is %T, not labels", name, v)
+	}
+	return lv, nil
+}
+
+// newClassifier instantiates a matcher by family name.
+func newClassifier(name string, seed int64) (ml.Classifier, error) {
+	switch name {
+	case "decision_tree":
+		return &ml.DecisionTree{Seed: seed}, nil
+	case "random_forest":
+		return &ml.RandomForest{Seed: seed}, nil
+	case "logistic_regression":
+		return &ml.LogisticRegression{Seed: seed}, nil
+	case "naive_bayes":
+		return &ml.GaussianNB{}, nil
+	case "linear_svm":
+		return &ml.LinearSVM{Seed: seed}, nil
+	case "knn":
+		return &ml.KNN{}, nil
+	default:
+		return nil, fmt.Errorf("cloud: unknown classifier %q", name)
+	}
+}

@@ -1,0 +1,198 @@
+// Package cluster implements the post-processing stage of EM workflows
+// that the paper notes recent work includes alongside blocking and
+// matching: "post-processing, e.g., clustering and merging matches"
+// (Section 3). Predicted match pairs are grouped into entity clusters by
+// connected components (optionally with a minimum-agreement filter), and
+// each cluster can be merged into one canonical record by per-attribute
+// voting.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// Cluster is one resolved entity: the record ids (qualified as "A:id" or
+// "B:id") it spans.
+type Cluster struct {
+	// Members lists the qualified record ids, sorted.
+	Members []string
+}
+
+// ConnectedComponents groups the pairs of a match table into clusters:
+// two records are in the same cluster when connected by any chain of
+// matches. Left ids are qualified "A:", right ids "B:"; singleton records
+// that never matched are not reported.
+func ConnectedComponents(matches *table.Table, cat *table.Catalog) ([]Cluster, error) {
+	meta, ok := cat.PairMeta(matches)
+	if !ok {
+		return nil, fmt.Errorf("cluster: match table %q not registered in catalog", matches.Name())
+	}
+	uf := newUnionFind()
+	for i := 0; i < matches.Len(); i++ {
+		l := "A:" + matches.Get(i, meta.LID).AsString()
+		r := "B:" + matches.Get(i, meta.RID).AsString()
+		uf.union(l, r)
+	}
+	groups := make(map[string][]string)
+	for id := range uf.parent {
+		root := uf.find(id)
+		groups[root] = append(groups[root], id)
+	}
+	clusters := make([]Cluster, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		clusters = append(clusters, Cluster{Members: members})
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a].Members[0] < clusters[b].Members[0] })
+	return clusters, nil
+}
+
+// unionFind is a path-compressing disjoint-set over string ids.
+type unionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[string]string), rank: make(map[string]int)}
+}
+
+func (u *unionFind) find(x string) string {
+	if _, ok := u.parent[x]; !ok {
+		u.parent[x] = x
+	}
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Merge builds one canonical record per cluster by per-attribute majority
+// vote over the member records (ties broken by the lexically smallest
+// value; nulls never win over present values). Only attributes shared by
+// both base tables are merged; the output table's "members" column lists
+// the qualified source ids.
+func Merge(clusters []Cluster, matches *table.Table, cat *table.Catalog) (*table.Table, error) {
+	meta, ok := cat.PairMeta(matches)
+	if !ok {
+		return nil, fmt.Errorf("cluster: match table %q not registered in catalog", matches.Name())
+	}
+	lt, rt := meta.LTable, meta.RTable
+	lidx, err := lt.KeyIndex()
+	if err != nil {
+		return nil, err
+	}
+	ridx, err := rt.KeyIndex()
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared non-key attributes in left-table order.
+	var attrs []string
+	for _, c := range lt.Schema().Columns() {
+		if c.Name == lt.Key() || c.Name == rt.Key() {
+			continue
+		}
+		if rt.Schema().Has(c.Name) {
+			attrs = append(attrs, c.Name)
+		}
+	}
+	cols := make([]table.Column, 0, len(attrs)+2)
+	cols = append(cols, table.Column{Name: "entity_id", Kind: table.KindInt})
+	for _, a := range attrs {
+		cols = append(cols, table.Column{Name: a, Kind: table.KindString})
+	}
+	cols = append(cols, table.Column{Name: "members", Kind: table.KindString})
+	out := table.New("merged_entities", table.MustSchema(cols...))
+
+	for ci, cl := range clusters {
+		row := make(table.Row, 0, len(cols))
+		row = append(row, table.Int(int64(ci)))
+		for _, attr := range attrs {
+			counts := make(map[string]int)
+			for _, m := range cl.Members {
+				v, err := memberValue(m, attr, lt, rt, lidx, ridx)
+				if err != nil {
+					return nil, err
+				}
+				if v != "" {
+					counts[v]++
+				}
+			}
+			row = append(row, table.String(majority(counts)))
+		}
+		row = append(row, table.String(join(cl.Members)))
+		if err := out.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.SetKey("entity_id"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// memberValue resolves a qualified member id to its attribute value.
+func memberValue(member, attr string, lt, rt *table.Table, lidx, ridx map[string]int) (string, error) {
+	if len(member) < 2 {
+		return "", fmt.Errorf("cluster: malformed member id %q", member)
+	}
+	side, id := member[:2], member[2:]
+	switch side {
+	case "A:":
+		i, ok := lidx[id]
+		if !ok {
+			return "", fmt.Errorf("cluster: member %q not in left table", member)
+		}
+		return lt.Get(i, attr).AsString(), nil
+	case "B:":
+		i, ok := ridx[id]
+		if !ok {
+			return "", fmt.Errorf("cluster: member %q not in right table", member)
+		}
+		return rt.Get(i, attr).AsString(), nil
+	default:
+		return "", fmt.Errorf("cluster: member id %q lacks an A:/B: qualifier", member)
+	}
+}
+
+// majority returns the most frequent value, ties broken lexically; ""
+// when no values were present.
+func majority(counts map[string]int) string {
+	best, bestN := "", 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && (best == "" || v < best)) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ";"
+		}
+		out += s
+	}
+	return out
+}

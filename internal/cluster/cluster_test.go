@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func matchFixture(t *testing.T) (*table.Table, *table.Catalog) {
+	t.Helper()
+	sch := table.StringSchema("id", "name", "city")
+	a := table.New("A", sch)
+	a.MustAppend(table.String("a1"), table.String("dave smith"), table.String("madison"))
+	a.MustAppend(table.String("a2"), table.String("dan smith"), table.String("middleton"))
+	a.MustAppend(table.String("a3"), table.String("joe wilson"), table.String("san jose"))
+	b := table.New("B", sch)
+	b.MustAppend(table.String("b1"), table.String("david smith"), table.String("madison"))
+	b.MustAppend(table.String("b2"), table.String("d smith"), table.String("madison"))
+	b.MustAppend(table.String("b3"), table.String("daniel smith"), table.String("middleton"))
+	if err := a.SetKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	cat := table.NewCatalog()
+	m, err := table.NewPairTable("matches", a, b, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 matches b1 and b2 (a chain); a2 matches b3; a3 matches nothing.
+	table.AppendPair(m, "a1", "b1")
+	table.AppendPair(m, "a1", "b2")
+	table.AppendPair(m, "a2", "b3")
+	return m, cat
+}
+
+func TestConnectedComponents(t *testing.T) {
+	m, cat := matchFixture(t)
+	clusters, err := ConnectedComponents(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2: %v", len(clusters), clusters)
+	}
+	want0 := []string{"A:a1", "B:b1", "B:b2"}
+	if strings.Join(clusters[0].Members, ",") != strings.Join(want0, ",") {
+		t.Errorf("cluster 0 = %v, want %v", clusters[0].Members, want0)
+	}
+	want1 := []string{"A:a2", "B:b3"}
+	if strings.Join(clusters[1].Members, ",") != strings.Join(want1, ",") {
+		t.Errorf("cluster 1 = %v, want %v", clusters[1].Members, want1)
+	}
+}
+
+func TestConnectedComponentsTransitive(t *testing.T) {
+	sch := table.StringSchema("id", "name")
+	a := table.New("A", sch)
+	b := table.New("B", sch)
+	for _, id := range []string{"a1", "a2", "a3"} {
+		a.MustAppend(table.String(id), table.String("x"))
+	}
+	for _, id := range []string{"b1", "b2"} {
+		b.MustAppend(table.String(id), table.String("x"))
+	}
+	a.SetKey("id")
+	b.SetKey("id")
+	cat := table.NewCatalog()
+	m, err := table.NewPairTable("m", a, b, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1-b1, a2-b1, a2-b2, a3-b2: all five records chain into one entity.
+	table.AppendPair(m, "a1", "b1")
+	table.AppendPair(m, "a2", "b1")
+	table.AppendPair(m, "a2", "b2")
+	table.AppendPair(m, "a3", "b2")
+	clusters, err := ConnectedComponents(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || len(clusters[0].Members) != 5 {
+		t.Fatalf("expected one 5-member cluster, got %v", clusters)
+	}
+}
+
+func TestConnectedComponentsUnregistered(t *testing.T) {
+	cat := table.NewCatalog()
+	orphan := table.New("x", table.DefaultPairSchema())
+	if _, err := ConnectedComponents(orphan, cat); err == nil {
+		t.Fatal("want unregistered error")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	m, cat := matchFixture(t)
+	clusters, err := ConnectedComponents(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(clusters, m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 2 {
+		t.Fatalf("merged = %d rows", merged.Len())
+	}
+	// Cluster 0 (a1, b1, b2): city "madison" wins 3-0.
+	if got := merged.Get(0, "city").AsString(); got != "madison" {
+		t.Errorf("merged city = %q", got)
+	}
+	// Members column lists all three records.
+	mem := merged.Get(0, "members").AsString()
+	for _, want := range []string{"A:a1", "B:b1", "B:b2"} {
+		if !strings.Contains(mem, want) {
+			t.Errorf("members %q missing %s", mem, want)
+		}
+	}
+	if merged.Key() != "entity_id" {
+		t.Error("merged table should have entity_id as key")
+	}
+}
+
+func TestMergeMajorityTieBreak(t *testing.T) {
+	sch := table.StringSchema("id", "name")
+	a := table.New("A", sch)
+	a.MustAppend(table.String("a1"), table.String("beta"))
+	b := table.New("B", sch)
+	b.MustAppend(table.String("b1"), table.String("alpha"))
+	a.SetKey("id")
+	b.SetKey("id")
+	cat := table.NewCatalog()
+	m, err := table.NewPairTable("m", a, b, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.AppendPair(m, "a1", "b1")
+	clusters, err := ConnectedComponents(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(clusters, m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-1 tie: lexically smallest value wins.
+	if got := merged.Get(0, "name").AsString(); got != "alpha" {
+		t.Errorf("tie break = %q, want alpha", got)
+	}
+}
+
+func TestMergeIgnoresNulls(t *testing.T) {
+	sch := table.StringSchema("id", "name")
+	a := table.New("A", sch)
+	a.MustAppend(table.String("a1"), table.Null(table.KindString))
+	b := table.New("B", sch)
+	b.MustAppend(table.String("b1"), table.String("present"))
+	a.SetKey("id")
+	b.SetKey("id")
+	cat := table.NewCatalog()
+	m, err := table.NewPairTable("m", a, b, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.AppendPair(m, "a1", "b1")
+	clusters, _ := ConnectedComponents(m, cat)
+	merged, err := Merge(clusters, m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Get(0, "name").AsString(); got != "present" {
+		t.Errorf("null beat a present value: %q", got)
+	}
+}
+
+func TestMajorityHelper(t *testing.T) {
+	if majority(map[string]int{}) != "" {
+		t.Error("empty majority should be empty")
+	}
+	if majority(map[string]int{"x": 2, "y": 1}) != "x" {
+		t.Error("majority broken")
+	}
+}

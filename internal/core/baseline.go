@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/rules"
+)
+
+// RuleMatcher is a matcher driven entirely by hand-written match rules —
+// no learning. It stands in for the incumbent "company solutions"
+// PyMatcher was compared against in Table 1 (e.g. the vendor system the
+// Land Use team had used for three years): such systems are typically
+// conservative exact-or-near-exact rules with high precision and poor
+// recall, which is exactly the behaviour the ablation benchmarks contrast
+// ML against.
+type RuleMatcher struct {
+	// Match is the disjunction of rules that declare a pair a match.
+	Match rules.RuleSet
+
+	compiled *rules.CompiledRuleSet
+	names    []string
+}
+
+// NewRuleMatcher compiles the rule set against the feature-name order the
+// matcher will be scored with.
+func NewRuleMatcher(match rules.RuleSet, featureNames []string) (*RuleMatcher, error) {
+	c, err := rules.CompileSet(match, featureNames)
+	if err != nil {
+		return nil, err
+	}
+	return &RuleMatcher{Match: match, compiled: c, names: featureNames}, nil
+}
+
+// Name implements ml.Classifier.
+func (m *RuleMatcher) Name() string { return "rule_matcher" }
+
+// Fit implements ml.Classifier as a no-op: rules are not trained. It still
+// validates that the dataset's feature names match the compiled order, the
+// self-containment check that prevents silently scoring the wrong columns.
+func (m *RuleMatcher) Fit(d *ml.Dataset) error {
+	if m.compiled == nil {
+		return fmt.Errorf("core: rule matcher not compiled; use NewRuleMatcher")
+	}
+	if d.Names != nil {
+		if len(d.Names) != len(m.names) {
+			return fmt.Errorf("core: rule matcher compiled for %d features, dataset has %d", len(m.names), len(d.Names))
+		}
+		for i := range d.Names {
+			if d.Names[i] != m.names[i] {
+				return fmt.Errorf("core: rule matcher feature order mismatch at %d: %q vs %q", i, m.names[i], d.Names[i])
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProba implements ml.Classifier: 1 when any match rule fires.
+func (m *RuleMatcher) PredictProba(x []float64) float64 {
+	if m.compiled == nil {
+		return 0
+	}
+	if fired, _ := m.compiled.AnyFires(x); fired {
+		return 1
+	}
+	return 0
+}

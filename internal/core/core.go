@@ -1,0 +1,340 @@
+// Package core implements PyMatcher, the power-user EM system of the
+// Magellan project, as a Go library. It ties the ecosystem's packages
+// (table, tokenize, sim, simjoin, block, feature, rules, ml, label)
+// together behind the how-to guide of Figure 2:
+//
+//	A, B --down sample--> A', B' --try blockers--> pick X --block--> C
+//	  --sample--> S --label--> G --cross-validate--> pick matcher V
+//	  --predict on C--> +/- --evaluate, debug, iterate--
+//
+// A Session drives the development stage on down-sampled tables; the
+// accurate configuration it converges to is captured as a Workflow — the
+// equivalent of the Python script the paper ships to the production stage —
+// which executes on the full tables with multicore scaling.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/feature"
+	"repro/internal/label"
+	"repro/internal/ml"
+	"repro/internal/rules"
+	"repro/internal/table"
+)
+
+// Session is one development-stage EM project over two tables.
+type Session struct {
+	// A and B are the (possibly down-sampled) tables being matched.
+	A, B *table.Table
+	// Catalog tracks pair-table metadata for every intermediate result.
+	Catalog *table.Catalog
+	// Features is the working feature set (auto-generated at session
+	// start, user-editable afterwards — the paper's global variable F).
+	Features *feature.Set
+
+	// Candidates is the current candidate set (after Block).
+	Candidates *table.Table
+	// Labeled is the current labeled sample (after LabelSample).
+	Labeled *LabeledSet
+
+	// candX caches the candidate set's feature vectors between
+	// SampleAndLabel and TrainAndPredict.
+	candX [][]float64
+	rng   *rand.Rand
+}
+
+// LabeledSet is a labeled pair sample: the set G of the guide.
+type LabeledSet struct {
+	Pairs *table.Table // pair table (subset of the candidate set)
+	X     [][]float64  // feature vectors, aligned with Pairs rows
+	Y     []int        // labels, aligned with Pairs rows
+	Names []string     // feature names
+}
+
+// Dataset converts the labeled set to an ml.Dataset.
+func (ls *LabeledSet) Dataset() (*ml.Dataset, error) {
+	return ml.NewDataset(ls.X, ls.Y, ls.Names)
+}
+
+// NewSession validates the input tables (both need keys) and
+// auto-generates the initial feature set.
+func NewSession(a, b *table.Table, seed int64) (*Session, error) {
+	if a.Key() == "" || b.Key() == "" {
+		return nil, fmt.Errorf("core: both tables need keys (run SetKey first)")
+	}
+	fs, err := feature.AutoGenerate(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		A: a, B: b,
+		Catalog:  table.NewCatalog(),
+		Features: fs,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// DownSample replaces the session tables with intelligently down-sampled
+// versions (step 1 of the guide). The original tables are untouched; keep
+// them for the production run.
+func (s *Session) DownSample(sizeA, sizeB int) error {
+	a, b, err := table.DownSample(s.A, s.B, sizeA, sizeB, s.rng)
+	if err != nil {
+		return err
+	}
+	s.A, s.B = a, b
+	s.Candidates = nil
+	s.Labeled = nil
+	s.candX = nil
+	return nil
+}
+
+// BlockerReport scores one candidate blocker during blocker selection.
+type BlockerReport struct {
+	Name string
+	// Candidates is the candidate-set size the blocker produced.
+	Candidates int
+	// LikelyMissed is how many of the debugger's top suggestions the
+	// labeler confirmed as true matches the blocker dropped.
+	LikelyMissed int
+	// Err is non-nil when the blocker failed outright.
+	Err error
+}
+
+// TryBlockers runs each blocker on the session tables and scores it: the
+// "experiment with blockers X and Y, examine their output" step. For each
+// blocker the blocking debugger proposes its topK most-similar dropped
+// pairs and the labeler says which are true matches. The best blocker is
+// the one confirmed to miss fewest matches, with candidate-set size as the
+// tiebreak; its index is returned alongside the per-blocker reports.
+func (s *Session) TryBlockers(blockers []block.Blocker, lab label.Labeler, topK int) (best int, reports []BlockerReport, err error) {
+	if len(blockers) == 0 {
+		return 0, nil, fmt.Errorf("core: no blockers to try")
+	}
+	reports = make([]BlockerReport, len(blockers))
+	for i, blk := range blockers {
+		reports[i].Name = blk.Name()
+		cand, berr := blk.Block(s.A, s.B, s.Catalog)
+		if berr != nil {
+			reports[i].Err = berr
+			reports[i].LikelyMissed = 1 << 30
+			continue
+		}
+		reports[i].Candidates = cand.Len()
+		missed, derr := block.DebugBlocker(cand, s.Catalog, topK)
+		if derr != nil {
+			reports[i].Err = derr
+			continue
+		}
+		for _, m := range missed {
+			if lab.Label(m.LID, m.RID) {
+				reports[i].LikelyMissed++
+			}
+		}
+		s.Catalog.Drop(cand)
+	}
+	best = 0
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Err != nil {
+			continue
+		}
+		if reports[best].Err != nil ||
+			reports[i].LikelyMissed < reports[best].LikelyMissed ||
+			(reports[i].LikelyMissed == reports[best].LikelyMissed && reports[i].Candidates < reports[best].Candidates) {
+			best = i
+		}
+	}
+	if reports[best].Err != nil {
+		return 0, reports, fmt.Errorf("core: every blocker failed; first error: %w", reports[best].Err)
+	}
+	return best, reports, nil
+}
+
+// Block runs the chosen blocker and stores the candidate set C.
+func (s *Session) Block(blk block.Blocker) (*table.Table, error) {
+	cand, err := blk.Block(s.A, s.B, s.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	s.Candidates = cand
+	s.Labeled = nil
+	s.candX = nil
+	return cand, nil
+}
+
+// SampleAndLabel takes a sample S of n candidate pairs and labels it with
+// the labeler, producing the labeled set G. Candidate sets are
+// overwhelmingly non-matches, so a uniform sample would leave the matcher
+// with almost no positive examples; half the sample is therefore taken
+// from the pairs with the highest mean feature value (the likely matches a
+// real user would make sure to label), half uniformly at random.
+func (s *Session) SampleAndLabel(n int, lab label.Labeler) (*LabeledSet, error) {
+	if s.Candidates == nil {
+		return nil, fmt.Errorf("core: block before sampling (guide order)")
+	}
+	meta, _ := s.Catalog.PairMeta(s.Candidates)
+	allX, err := feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.candX = allX
+
+	idxs := biasedSample(allX, n, s.rng)
+	sample := s.Candidates.Select(idxs)
+	sample.SetName("labeled_sample")
+	if err := s.Catalog.RegisterPair(sample, meta); err != nil {
+		return nil, err
+	}
+	x := make([][]float64, len(idxs))
+	y := make([]int, len(idxs))
+	for k, i := range idxs {
+		x[k] = allX[i]
+		if lab.Label(sample.Get(k, meta.LID).AsString(), sample.Get(k, meta.RID).AsString()) {
+			y[k] = 1
+		}
+	}
+	s.Labeled = &LabeledSet{Pairs: sample, X: x, Y: y, Names: s.Features.Names()}
+	return s.Labeled, nil
+}
+
+// biasedSample returns up to n row indices: half the rows with the
+// highest mean feature value, half uniform from the remainder.
+func biasedSample(x [][]float64, n int, rng *rand.Rand) []int {
+	if n >= len(x) {
+		out := make([]int, len(x))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	means := make([]float64, len(x))
+	for i, row := range x {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if len(row) > 0 {
+			means[i] = sum / float64(len(row))
+		}
+	}
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if means[order[a]] != means[order[b]] {
+			return means[order[a]] > means[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	top := order[:n/2]
+	rest := append([]int(nil), order[n/2:]...)
+	rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+	out := append(append([]int(nil), top...), rest[:n-len(top)]...)
+	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}
+
+// SelectMatcher cross-validates the matcher lineup on the labeled set and
+// returns the CV report, best first (the "select matcher via CV" step).
+func (s *Session) SelectMatcher(factories []func() ml.Classifier, folds int) ([]ml.CVResult, error) {
+	if s.Labeled == nil {
+		return nil, fmt.Errorf("core: label a sample before selecting a matcher")
+	}
+	ds, err := s.Labeled.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	return ml.SelectMatcher(factories, ds, folds, s.rng)
+}
+
+// TrainAndPredict fits the matcher on the full labeled set and predicts
+// over the candidate set, returning the predicted match pair table.
+func (s *Session) TrainAndPredict(factory func() ml.Classifier) (*table.Table, ml.Classifier, error) {
+	if s.Candidates == nil || s.Labeled == nil {
+		return nil, nil, fmt.Errorf("core: need candidates and labels before predicting")
+	}
+	ds, err := s.Labeled.Dataset()
+	if err != nil {
+		return nil, nil, err
+	}
+	model := factory()
+	if err := model.Fit(ds); err != nil {
+		return nil, nil, err
+	}
+	x := s.candX
+	if x == nil {
+		x, err = feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	meta, _ := s.Catalog.PairMeta(s.Candidates)
+	matches, err := table.NewPairTable("predicted_matches", meta.LTable, meta.RTable, s.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < s.Candidates.Len(); i++ {
+		if ml.Predict(model, x[i]) == 1 {
+			table.AppendPair(matches,
+				s.Candidates.Get(i, meta.LID).AsString(),
+				s.Candidates.Get(i, meta.RID).AsString())
+		}
+	}
+	return matches, model, nil
+}
+
+// Evaluate scores a predicted match table against gold pairs.
+func Evaluate(matches *table.Table, gold *label.Gold) ml.Confusion {
+	var c ml.Confusion
+	for i := 0; i < matches.Len(); i++ {
+		if gold.IsMatch(matches.Get(i, "ltable_id").AsString(), matches.Get(i, "rtable_id").AsString()) {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	c.FN = gold.Len() - c.TP
+	if c.FN < 0 {
+		c.FN = 0
+	}
+	return c
+}
+
+// MatchRules applies a rule layer on top of ML predictions: pairs on which
+// a positive rule fires are added to the matches, and pairs on which a
+// negative (veto) rule fires are removed. This is the "combination of ML
+// and rules" the paper reports the most accurate real-world workflows use.
+type MatchRules struct {
+	// Promote rules force a pair to match.
+	Promote rules.RuleSet
+	// Veto rules force a pair to non-match and win over Promote.
+	Veto rules.RuleSet
+}
+
+// Apply filters/extends the prediction y over feature matrix x.
+func (mr MatchRules) Apply(x [][]float64, y []int, featureNames []string) ([]int, error) {
+	promote, err := rules.CompileSet(mr.Promote, featureNames)
+	if err != nil {
+		return nil, err
+	}
+	veto, err := rules.CompileSet(mr.Veto, featureNames)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(y))
+	copy(out, y)
+	for i := range x {
+		if fired, _ := promote.AnyFires(x[i]); fired {
+			out[i] = 1
+		}
+		if fired, _ := veto.AnyFires(x[i]); fired {
+			out[i] = 0
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/datagen"
+	"repro/internal/label"
+	"repro/internal/ml"
+	"repro/internal/rules"
+	"repro/internal/table"
+)
+
+// developWorkflow runs a short development session and returns the
+// resulting production workflow plus its task.
+func developWorkflow(t *testing.T) (*Workflow, *datagen.Task) {
+	t.Helper()
+	task := personTask(t, 250, 71)
+	s, err := NewSession(task.A, task.B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := label.NewOracle(task.Gold)
+	blk := block.WholeTupleOverlapBlocker{MinOverlap: 2}
+	if _, err := s.Block(blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SampleAndLabel(250, oracle); err != nil {
+		t.Fatal(err)
+	}
+	_, model, err := s.TrainAndPredict(func() ml.Classifier { return &ml.RandomForest{Seed: 1} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promote rules.RuleSet
+	promote.Add(rules.MustParse("p", "exact_zip >= 1 AND monge_elkan_jw_name >= 0.9"))
+	return &Workflow{
+		Blocker:  blk,
+		Features: s.Features,
+		Matcher:  model,
+		Rules:    &MatchRules{Promote: promote},
+	}, task
+}
+
+func TestWorkflowSaveLoadRoundTrip(t *testing.T) {
+	wf, task := developWorkflow(t)
+	cat := table.NewCatalog()
+	before, err := wf.Execute(task.A, task.B, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := SaveWorkflow(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWorkflow(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := loaded.Execute(task.A, task.B, table.NewCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Matches.Len() != after.Matches.Len() {
+		t.Fatalf("round trip changed predictions: %d vs %d matches", before.Matches.Len(), after.Matches.Len())
+	}
+	bs := map[string]bool{}
+	for i := 0; i < before.Matches.Len(); i++ {
+		bs[before.Matches.Get(i, "ltable_id").AsString()+"/"+before.Matches.Get(i, "rtable_id").AsString()] = true
+	}
+	for i := 0; i < after.Matches.Len(); i++ {
+		k := after.Matches.Get(i, "ltable_id").AsString() + "/" + after.Matches.Get(i, "rtable_id").AsString()
+		if !bs[k] {
+			t.Fatalf("round trip changed match set: %s appeared", k)
+		}
+	}
+}
+
+func TestWorkflowFileRoundTrip(t *testing.T) {
+	wf, _ := developWorkflow(t)
+	path := filepath.Join(t.TempDir(), "workflow.json")
+	if err := SaveWorkflowFile(wf, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWorkflowFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Rules == nil || loaded.Rules.Promote.Len() != 1 {
+		t.Error("rules lost in file round trip")
+	}
+}
+
+func TestSaveWorkflowRejectsCustoms(t *testing.T) {
+	wf, _ := developWorkflow(t)
+	wf.Blocker = block.BlackBoxBlocker{Keep: func(l, r table.Row) bool { return true }}
+	if _, err := SaveWorkflow(wf); err == nil {
+		t.Error("black-box blocker must not serialize")
+	}
+	wf, _ = developWorkflow(t)
+	wf.Blocker = block.HashBlocker{Attr: "name", Transform: block.LowerTransform}
+	if _, err := SaveWorkflow(wf); err == nil {
+		t.Error("hash blocker with transform must not serialize")
+	}
+	wf, _ = developWorkflow(t)
+	wf.Matcher = &ml.KNN{}
+	if _, err := SaveWorkflow(wf); err == nil {
+		t.Error("kNN matcher must not serialize")
+	}
+}
+
+func TestLoadWorkflowErrors(t *testing.T) {
+	if _, err := LoadWorkflow([]byte("{nope")); err == nil {
+		t.Error("want JSON error")
+	}
+	if _, err := LoadWorkflow([]byte(`{"blocker":{"type":"ghost"}}`)); err == nil {
+		t.Error("want unknown-blocker error")
+	}
+	if _, err := LoadWorkflowFile("/does/not/exist.json"); err == nil {
+		t.Error("want file error")
+	}
+}
+
+func TestAllBlockerTypesRoundTrip(t *testing.T) {
+	wfBase, _ := developWorkflow(t)
+	blockers := []block.Blocker{
+		block.AttrEquivalenceBlocker{Attr: "name"},
+		block.OverlapBlocker{Attr: "name", MinOverlap: 2},
+		block.JaccardBlocker{Attr: "name", Threshold: 0.4},
+		block.WholeTupleOverlapBlocker{MinOverlap: 3},
+		block.SortedNeighborhoodBlocker{Attr: "name", Window: 7},
+	}
+	for _, blk := range blockers {
+		wf := &Workflow{Blocker: blk, Features: wfBase.Features, Matcher: wfBase.Matcher}
+		data, err := SaveWorkflow(wf)
+		if err != nil {
+			t.Fatalf("%s: %v", blk.Name(), err)
+		}
+		loaded, err := LoadWorkflow(data)
+		if err != nil {
+			t.Fatalf("%s: %v", blk.Name(), err)
+		}
+		if loaded.Blocker.Name() != blk.Name() {
+			t.Errorf("blocker changed: %s -> %s", blk.Name(), loaded.Blocker.Name())
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// pick deterministically selects vocab[h(e, salt)] — the pseudo-random but
+// reproducible choice entity generators are built from.
+func pick(vocab []string, e int, salt uint64) string {
+	return vocab[int(mix(uint64(e), salt)%uint64(len(vocab)))]
+}
+
+// num deterministically derives a number in [lo, hi) from (e, salt).
+func num(e int, salt uint64, lo, hi int) int {
+	return lo + int(mix(uint64(e), salt)%uint64(hi-lo))
+}
+
+// mix is a splitmix64-style hash of (e, salt).
+func mix(e, salt uint64) uint64 {
+	z := e*0x9E3779B97F4A7C15 + salt*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+var (
+	firstNames = []string{"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+		"linda", "william", "elizabeth", "david", "barbara", "richard", "susan", "joseph",
+		"jessica", "thomas", "sarah", "carlos", "ana", "pedro", "lucia", "marcos", "julia"}
+	lastNames = []string{"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+		"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson",
+		"anderson", "thomas", "silva", "santos", "oliveira", "souza", "pereira", "costa"}
+	companyWords = []string{"acme", "globex", "initech", "umbrella", "stark", "wayne", "cyberdyne",
+		"tyrell", "aperture", "hooli", "vandelay", "wonka", "duff", "oscorp", "monarch",
+		"nakatomi", "gringotts", "pied", "piper", "sterling", "cooper", "dunder", "mifflin"}
+	companySuffixes = []string{"inc", "llc", "corp", "co", "ltd", "group", "holdings", "industries"}
+	streets         = []string{"main st", "oak ave", "park blvd", "maple dr", "cedar ln", "washington st",
+		"lake rd", "hill ct", "river way", "sunset blvd", "2nd ave", "3rd st", "market st",
+		"church rd", "mill ln", "forest dr", "spring st", "highland ave"}
+	cities = []string{"madison", "milwaukee", "chicago", "springfield", "austin", "portland",
+		"columbus", "franklin", "clinton", "georgetown", "salem", "fairview", "bristol",
+		"dover", "hudson", "kingston", "riverside", "ashland"}
+	states      = []string{"WI", "IL", "CA", "TX", "NY", "OH", "OR", "MN", "IA", "MI"}
+	productNoun = []string{"laptop", "monitor", "keyboard", "mouse", "headphones", "speaker",
+		"camera", "printer", "router", "tablet", "charger", "cable", "drive", "dock",
+		"microphone", "webcam", "projector", "scanner"}
+	brands = []string{"sonax", "pixelon", "nordtek", "veltron", "quanta", "lumina", "zephyr",
+		"orbitek", "halcyon", "vertex", "polaris", "meridian"}
+	vehicleMakes  = []string{"toyota", "honda", "ford", "chevrolet", "nissan", "bmw", "audi", "subaru", "kia", "hyundai"}
+	vehicleModels = []string{"sedan lx", "coupe sport", "suv xl", "hatch se", "wagon touring",
+		"pickup xlt", "crossover ltd", "minivan ex", "roadster s", "hybrid eco"}
+	bookWords = []string{"shadow", "river", "night", "garden", "stone", "wind", "ember", "echo",
+		"crown", "forest", "winter", "harbor", "letters", "songs", "atlas", "history"}
+	publishers  = []string{"northfield press", "harbor books", "blue door", "lanternhouse", "gilded page", "meridian press"}
+	cuisines    = []string{"italian", "mexican", "thai", "indian", "diner", "bbq", "sushi", "vegan", "pizza", "cafe"}
+	countries   = []string{"usa", "brazil", "mexico", "canada", "germany", "india", "china", "japan"}
+	ranchPrefix = []string{"fazenda", "rancho", "sitio", "estancia", "hacienda"}
+	ranchNames  = []string{"boa vista", "santa maria", "sao jose", "esperanca", "primavera",
+		"bela vista", "santa fe", "dois irmaos", "agua limpa", "nova era", "paraiso", "horizonte"}
+	municipalities = []string{"maraba", "altamira", "santarem", "itaituba", "tucuma", "xinguara",
+		"redencao", "parauapebas", "novo progresso", "sao felix"}
+)
+
+// personName renders a deterministic full name for entity e.
+func personName(e int) string {
+	return pick(firstNames, e, 1) + " " + pick(lastNames, e, 2)
+}
+
+// companyName renders a deterministic company name for entity e. A third
+// word for most entities keeps the name space large enough that exact
+// collisions stay rare even at tens of thousands of entities, while still
+// occurring (real company names do collide).
+func companyName(e int) string {
+	name := pick(companyWords, e, 3) + " " + pick(companyWords, e, 4)
+	if mix(uint64(e), 46)%4 != 0 {
+		name += " " + pick(companyWords, e, 45)
+	}
+	return name + " " + pick(companySuffixes, e, 5)
+}
+
+// streetAddress renders a deterministic street address for entity e.
+func streetAddress(e int) string {
+	return fmt.Sprintf("%d %s", num(e, 6, 1, 9999), pick(streets, e, 7))
+}
+
+// PersonDomain: people with addresses (the Figure 1 scenario and the
+// "Addresses" task).
+func PersonDomain() Domain {
+	return Domain{Name: "person", Fields: []Field{
+		{Name: "name", Class: ClassName, Gen: personName},
+		{Name: "address", Class: ClassAddress, Gen: streetAddress},
+		{Name: "city", Class: ClassText, Gen: func(e int) string { return pick(cities, e, 8) }},
+		{Name: "state", Class: ClassCategory, Gen: func(e int) string { return pick(states, e, 9) }},
+		{Name: "zip", Class: ClassCode, Gen: func(e int) string { return fmt.Sprintf("%05d", num(e, 10, 10000, 99999)) }},
+	}}
+}
+
+// ProductDomain: e-commerce products (the Walmart and Recruit scenarios).
+func ProductDomain() Domain {
+	return Domain{Name: "product", Fields: []Field{
+		{Name: "title", Class: ClassName, Gen: func(e int) string {
+			return fmt.Sprintf("%s %s %s %d", pick(brands, e, 11), pick(productNoun, e, 12),
+				strings.ToUpper(pick([]string{"x", "pro", "air", "max", "lite", "plus"}, e, 13)), num(e, 14, 100, 999))
+		}},
+		{Name: "brand", Class: ClassCategory, Gen: func(e int) string { return pick(brands, e, 11) }},
+		{Name: "category", Class: ClassCategory, Gen: func(e int) string { return pick(productNoun, e, 12) }},
+		{Name: "price", Class: ClassNumeric, Gen: func(e int) string { return fmt.Sprintf("%d", num(e, 15, 10, 2000)) }},
+	}}
+}
+
+// VehicleDomain: insured vehicles (the AmFam "Vehicles" task). The VIN is
+// the only discriminative field and the task spec makes it mostly missing.
+func VehicleDomain() Domain {
+	return Domain{Name: "vehicle", Fields: []Field{
+		{Name: "make", Class: ClassCategory, Gen: func(e int) string { return pick(vehicleMakes, e, 16) }},
+		{Name: "model", Class: ClassText, Gen: func(e int) string { return pick(vehicleModels, e, 17) }},
+		{Name: "year", Class: ClassNumeric, Gen: func(e int) string { return fmt.Sprintf("%d", num(e, 18, 1998, 2019)) }},
+		{Name: "vin", Class: ClassCode, Gen: func(e int) string { return fmt.Sprintf("VIN%014d", mix(uint64(e), 19)%100000000000000) }},
+		{Name: "owner", Class: ClassName, Gen: personName},
+	}}
+}
+
+// VendorDomain: vendor-master records (the AmFam "Vendors" task). The
+// address field is the garbage-segment target.
+func VendorDomain() Domain {
+	return Domain{Name: "vendor", Fields: []Field{
+		{Name: "name", Class: ClassName, Gen: companyName},
+		{Name: "address", Class: ClassAddress, Gen: streetAddress},
+		{Name: "city", Class: ClassText, Gen: func(e int) string { return pick(cities, e, 20) }},
+		{Name: "country", Class: ClassCategory, Gen: func(e int) string { return pick(countries, e, 21) }},
+	}}
+}
+
+// BookDomain: books with ISBNs (the Figure 4 scenario).
+func BookDomain() Domain {
+	return Domain{Name: "book", Fields: []Field{
+		{Name: "title", Class: ClassName, Gen: func(e int) string {
+			return "the " + pick(bookWords, e, 22) + " of " + pick(bookWords, e, 23)
+		}},
+		{Name: "author", Class: ClassName, Gen: personName},
+		{Name: "isbn", Class: ClassCode, Gen: func(e int) string { return fmt.Sprintf("978%010d", mix(uint64(e), 24)%10000000000) }},
+		{Name: "pages", Class: ClassNumeric, Gen: func(e int) string { return fmt.Sprintf("%d", num(e, 25, 80, 900)) }},
+		{Name: "publisher", Class: ClassCategory, Gen: func(e int) string { return pick(publishers, e, 26) }},
+	}}
+}
+
+// RestaurantDomain: the classic EM benchmark shape.
+func RestaurantDomain() Domain {
+	return Domain{Name: "restaurant", Fields: []Field{
+		{Name: "name", Class: ClassName, Gen: func(e int) string {
+			return pick(lastNames, e, 27) + "s " + pick(cuisines, e, 28)
+		}},
+		{Name: "address", Class: ClassAddress, Gen: streetAddress},
+		{Name: "city", Class: ClassText, Gen: func(e int) string { return pick(cities, e, 29) }},
+		{Name: "cuisine", Class: ClassCategory, Gen: func(e int) string { return pick(cuisines, e, 28) }},
+	}}
+}
+
+// RanchDomain: Brazilian cattle ranches (the "Land Use" / saving-the-Amazon
+// application of Appendix B).
+func RanchDomain() Domain {
+	return Domain{Name: "ranch", Fields: []Field{
+		{Name: "name", Class: ClassName, Gen: func(e int) string {
+			return fmt.Sprintf("%s %s lote %d", pick(ranchPrefix, e, 30), pick(ranchNames, e, 31), num(e, 44, 1, 9999))
+		}},
+		{Name: "owner", Class: ClassName, Gen: personName},
+		{Name: "municipality", Class: ClassText, Gen: func(e int) string { return pick(municipalities, e, 32) }},
+		{Name: "state", Class: ClassCategory, Gen: func(e int) string { return pick([]string{"PA", "MT", "RO", "TO"}, e, 33) }},
+		{Name: "area_ha", Class: ClassNumeric, Gen: func(e int) string { return fmt.Sprintf("%d", num(e, 34, 50, 90000)) }},
+	}}
+}
+
+// CitationDomain: bibliographic records (the domain-science scenarios).
+func CitationDomain() Domain {
+	return Domain{Name: "citation", Fields: []Field{
+		{Name: "title", Class: ClassText, Gen: func(e int) string {
+			return "on the " + pick(bookWords, e, 35) + " " + pick(bookWords, e, 48) + " of " + pick(bookWords, e, 36) + " " + pick(bookWords, e, 37)
+		}},
+		{Name: "authors", Class: ClassName, Gen: func(e int) string { return personName(e) + ", " + personName(e+1<<20) }},
+		{Name: "venue", Class: ClassCategory, Gen: func(e int) string { return pick([]string{"sigmod", "vldb", "icde", "kdd", "www", "cidr"}, e, 38) }},
+		{Name: "year", Class: ClassNumeric, Gen: func(e int) string { return fmt.Sprintf("%d", num(e, 39, 1995, 2019)) }},
+	}}
+}
+
+// MovieDomain: streaming-catalog records.
+func MovieDomain() Domain {
+	return Domain{Name: "movie", Fields: []Field{
+		{Name: "title", Class: ClassName, Gen: func(e int) string {
+			return pick(bookWords, e, 40) + " " + pick(bookWords, e, 41)
+		}},
+		{Name: "director", Class: ClassName, Gen: personName},
+		{Name: "year", Class: ClassNumeric, Gen: func(e int) string { return fmt.Sprintf("%d", num(e, 42, 1960, 2019)) }},
+		{Name: "runtime", Class: ClassNumeric, Gen: func(e int) string { return fmt.Sprintf("%d", num(e, 43, 70, 210)) }},
+	}}
+}

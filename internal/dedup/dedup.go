@@ -1,0 +1,112 @@
+// Package dedup adapts the two-table EM machinery to the other common EM
+// scenario the paper names (§2): "matching tuples within a single table".
+// A table is matched against itself through any Blocker, with the
+// redundant pairs removed — self-pairs (a, a) and mirror duplicates
+// ((a, b) after (b, a)) — and predicted matches can be collapsed into
+// entity clusters with package cluster.
+package dedup
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/table"
+)
+
+// Block runs the blocker on the table against itself and canonicalizes
+// the result: self-pairs are dropped, and of each mirror pair only the
+// (lid < rid) orientation is kept. The returned pair table is registered
+// in cat with the input table on both sides.
+func Block(t *table.Table, blk block.Blocker, cat *table.Catalog) (*table.Table, error) {
+	if t.Key() == "" {
+		return nil, fmt.Errorf("dedup: table %q has no key", t.Name())
+	}
+	raw, err := blk.Block(t, t, cat)
+	if err != nil {
+		return nil, err
+	}
+	meta, ok := cat.PairMeta(raw)
+	if !ok {
+		return nil, fmt.Errorf("dedup: blocker %q returned an unregistered pair table", blk.Name())
+	}
+	out, err := table.NewPairTable("dedup("+blk.Name()+")", t, t, cat)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[[2]string]bool, raw.Len())
+	for i := 0; i < raw.Len(); i++ {
+		l := raw.Get(i, meta.LID).AsString()
+		r := raw.Get(i, meta.RID).AsString()
+		if l == r {
+			continue // a record trivially matches itself
+		}
+		if l > r {
+			l, r = r, l
+		}
+		k := [2]string{l, r}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		table.AppendPair(out, l, r)
+	}
+	cat.Drop(raw)
+	return out, nil
+}
+
+// Groups collapses predicted duplicate pairs (a canonicalized pair table
+// over one base table) into duplicate groups via union-find: every group
+// lists the ids of records referring to one real-world entity. Singleton
+// records are not reported. Groups and their members are sorted.
+func Groups(matches *table.Table, cat *table.Catalog) ([][]string, error) {
+	meta, ok := cat.PairMeta(matches)
+	if !ok {
+		return nil, fmt.Errorf("dedup: match table %q not registered", matches.Name())
+	}
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < matches.Len(); i++ {
+		l := find(matches.Get(i, meta.LID).AsString())
+		r := find(matches.Get(i, meta.RID).AsString())
+		if l != r {
+			parent[l] = r
+		}
+	}
+	byRoot := make(map[string][]string)
+	for id := range parent {
+		root := find(id)
+		byRoot[root] = append(byRoot[root], id)
+	}
+	var groups [][]string
+	for _, members := range byRoot {
+		sortStrings(members)
+		groups = append(groups, members)
+	}
+	sortGroups(groups)
+	return groups, nil
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func sortGroups(gs [][]string) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j][0] < gs[j-1][0]; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}

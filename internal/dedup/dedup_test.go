@@ -1,0 +1,131 @@
+package dedup
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/table"
+)
+
+func dirtyTable(t *testing.T) *table.Table {
+	t.Helper()
+	tab := table.New("customers", table.StringSchema("id", "name", "city"))
+	rows := [][]string{
+		{"c1", "dave smith", "madison"},
+		{"c2", "david smith", "madison"}, // dup of c1
+		{"c3", "d. smith", "madison"},    // dup of c1
+		{"c4", "joe wilson", "san jose"},
+		{"c5", "joseph wilson", "san jose"}, // dup of c4
+		{"c6", "ann miller", "chicago"},     // singleton
+	}
+	for _, r := range rows {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.SetKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestBlockCanonicalizes(t *testing.T) {
+	tab := dirtyTable(t)
+	cat := table.NewCatalog()
+	pairs, err := Block(tab, block.OverlapBlocker{Attr: "name", MinOverlap: 1}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < pairs.Len(); i++ {
+		l := pairs.Get(i, "ltable_id").AsString()
+		r := pairs.Get(i, "rtable_id").AsString()
+		if l == r {
+			t.Fatalf("self pair %s survived", l)
+		}
+		if l >= r {
+			t.Fatalf("pair (%s,%s) not canonicalized to lid < rid", l, r)
+		}
+		k := l + "/" + r
+		if seen[k] {
+			t.Fatalf("duplicate pair %s", k)
+		}
+		seen[k] = true
+	}
+	// Smith cluster pairs must be present.
+	if !seen["c1/c2"] {
+		t.Error("c1/c2 missing")
+	}
+	// Wilson pair present.
+	if !seen["c4/c5"] {
+		t.Error("c4/c5 missing")
+	}
+	if err := cat.ValidatePair(pairs); err != nil {
+		t.Fatalf("pair table fails FK validation: %v", err)
+	}
+}
+
+func TestBlockRequiresKey(t *testing.T) {
+	tab := table.New("nk", table.StringSchema("id"))
+	tab.MustAppend(table.String("x"))
+	cat := table.NewCatalog()
+	if _, err := Block(tab, block.CrossBlocker{}, cat); err == nil {
+		t.Fatal("want no-key error")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	tab := dirtyTable(t)
+	cat := table.NewCatalog()
+	matches, err := table.NewPairTable("m", tab, tab, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain: c1-c2, c2-c3 (transitively one group), plus c4-c5.
+	table.AppendPair(matches, "c1", "c2")
+	table.AppendPair(matches, "c2", "c3")
+	table.AppendPair(matches, "c4", "c5")
+	groups, err := Groups(matches, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"c1", "c2", "c3"}, {"c4", "c5"}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestGroupsUnregistered(t *testing.T) {
+	cat := table.NewCatalog()
+	orphan := table.New("x", table.DefaultPairSchema())
+	if _, err := Groups(orphan, cat); err == nil {
+		t.Fatal("want unregistered error")
+	}
+}
+
+func TestEndToEndDedup(t *testing.T) {
+	// Block + trivially "match everything blocked" + group: on this toy
+	// table name-overlap blocking alone nearly identifies the duplicate
+	// groups (smith tokens collide across clusters, so just check the
+	// wilson group survives intact).
+	tab := dirtyTable(t)
+	cat := table.NewCatalog()
+	pairs, err := Block(tab, block.JaccardBlocker{Attr: "city", Threshold: 0.99}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := Groups(pairs, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundWilson := false
+	for _, g := range groups {
+		if reflect.DeepEqual(g, []string{"c4", "c5"}) {
+			foundWilson = true
+		}
+	}
+	if !foundWilson {
+		t.Errorf("wilson duplicate group missing from %v", groups)
+	}
+}

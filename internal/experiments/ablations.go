@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/label"
+	"repro/internal/ml"
+	"repro/internal/rules"
+	"repro/internal/table"
+)
+
+// MLRulesRow compares ML-only, rules-only, and ML+rules workflows on one
+// task — testing Section 6's claim that "the most accurate EM workflows
+// are likely to involve a combination of ML and rules".
+type MLRulesRow struct {
+	Workflow  string
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// RunMLRulesAblation runs the three workflow variants on a dirty person
+// task whose corruption model includes zip typos that ML generalizes over
+// and a small systematic pattern (exact zip + exact name) that a promote
+// rule captures better than the learned threshold.
+func RunMLRulesAblation(seed int64) ([]MLRulesRow, error) {
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "ablation", Domain: datagen.PersonDomain(),
+		SizeA: 800, SizeB: 800, MatchFraction: 0.4, Typo: 0.4, Missing: 0.1, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	oracle := label.NewOracle(task.Gold)
+	s, err := core.NewSession(task.A, task.B, seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Block(block.WholeTupleOverlapBlocker{MinOverlap: 2}); err != nil {
+		return nil, err
+	}
+	if _, err := s.SampleAndLabel(500, oracle); err != nil {
+		return nil, err
+	}
+
+	score := func(matches ml.Confusion) MLRulesRow {
+		return MLRulesRow{Precision: matches.Precision(), Recall: matches.Recall(), F1: matches.F1()}
+	}
+
+	// ML only.
+	mlMatches, model, err := s.TrainAndPredict(func() ml.Classifier { return &ml.RandomForest{Seed: seed} })
+	if err != nil {
+		return nil, err
+	}
+	mlRow := score(core.Evaluate(mlMatches, task.Gold))
+	mlRow.Workflow = "ml_only"
+
+	// Rules only: the conservative incumbent.
+	baseline, err := incumbentMatcher(s)
+	if err != nil {
+		return nil, err
+	}
+	ruleMatches, _, err := s.TrainAndPredict(func() ml.Classifier { return baseline })
+	if err != nil {
+		return nil, err
+	}
+	ruleRow := score(core.Evaluate(ruleMatches, task.Gold))
+	ruleRow.Workflow = "rules_only"
+
+	// ML + rules: the trained model with a promote rule (strong name
+	// agreement plus exact zip => match, recovering under-scored true
+	// matches) and a veto rule (zip, address, AND city all disagree =>
+	// not a match, killing same-name-different-person false positives)
+	// layered on top. The conjunction keeps the veto from firing on true
+	// matches that merely have a missing field.
+	var promote, veto rules.RuleSet
+	promote.Add(rules.MustParse("promote", "monge_elkan_jw_name >= 0.9 AND exact_zip >= 1"))
+	veto.Add(rules.MustParse("veto", "exact_state <= 0.5 AND cosine_ws_name <= 0.6 AND jaro_zip <= 0.6"))
+	wf := &core.Workflow{
+		Blocker:  block.WholeTupleOverlapBlocker{MinOverlap: 2},
+		Features: s.Features,
+		Matcher:  model,
+		Rules:    &core.MatchRules{Promote: promote, Veto: veto},
+	}
+	res, err := wf.Execute(task.A, task.B, s.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	comboRow := score(core.Evaluate(res.Matches, task.Gold))
+	comboRow.Workflow = "ml_plus_rules"
+
+	return []MLRulesRow{mlRow, ruleRow, comboRow}, nil
+}
+
+// FormatMLRules renders the ablation.
+func FormatMLRules(rows []MLRulesRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %9s %9s %9s\n", "Workflow", "P", "R", "F1")
+	b.WriteString(strings.Repeat("-", 46) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %8.1f%% %8.1f%% %8.1f%%\n", r.Workflow, 100*r.Precision, 100*r.Recall, 100*r.F1)
+	}
+	return b.String()
+}
+
+// BlockerRow reports one blocker's candidate-set size / recall trade-off.
+type BlockerRow struct {
+	Blocker    string
+	Candidates int
+	Recall     float64
+	Reduction  float64
+}
+
+// RunBlockerAblation runs the blocker inventory on one task and measures
+// each blocker's recall and reduction ratio against gold — the trade-off
+// the guide's "experiment with blockers" step navigates.
+func RunBlockerAblation(seed int64) ([]BlockerRow, error) {
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "blockers", Domain: datagen.PersonDomain(),
+		SizeA: 1000, SizeB: 1000, MatchFraction: 0.4, Typo: 0.25, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	blockers := []block.Blocker{
+		block.AttrEquivalenceBlocker{Attr: "state"},
+		block.AttrEquivalenceBlocker{Attr: "city"},
+		block.HashBlocker{Attr: "name", Transform: block.PrefixTransform(3)},
+		block.OverlapBlocker{Attr: "name", MinOverlap: 1},
+		block.OverlapBlocker{Attr: "name", MinOverlap: 2},
+		block.JaccardBlocker{Attr: "name", Threshold: 0.4},
+		block.SortedNeighborhoodBlocker{Attr: "name", Window: 10},
+		block.WholeTupleOverlapBlocker{MinOverlap: 2},
+	}
+	gold := task.Gold.Pairs()
+	var rows []BlockerRow
+	for _, blk := range blockers {
+		cat := table.NewCatalog()
+		cand, err := blk.Block(task.A, task.B, cat)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", blk.Name(), err)
+		}
+		st, err := block.EvalAgainstGold(cand, cat, gold)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BlockerRow{
+			Blocker: blk.Name(), Candidates: st.Candidates,
+			Recall: st.Recall, Reduction: st.ReductionRatio,
+		})
+	}
+	return rows, nil
+}
+
+// FormatBlockers renders the blocker ablation.
+func FormatBlockers(rows []BlockerRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %12s %9s %11s\n", "Blocker", "Candidates", "Recall", "Reduction")
+	b.WriteString(strings.Repeat("-", 70) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %12d %8.1f%% %10.2f%%\n", r.Blocker, r.Candidates, 100*r.Recall, 100*r.Reduction)
+	}
+	return b.String()
+}

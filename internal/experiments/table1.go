@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/label"
+	"repro/internal/ml"
+	"repro/internal/rules"
+)
+
+// Table1Row compares the PyMatcher guide workflow against the incumbent
+// rule-only solution on one deployment, reproducing Table 1's "found EM
+// workflows significantly better than the EM workflows in production"
+// finding.
+type Table1Row struct {
+	Org, Purpose  string
+	InProduction  bool
+	MLPrecision   float64
+	MLRecall      float64
+	MLF1          float64
+	BasePrecision float64
+	BaseRecall    float64
+	BaseF1        float64
+}
+
+// RunTable1Deployment runs one deployment: the PyMatcher guide (block →
+// sample → label → train random forest → predict) and the incumbent
+// baseline (exact-match rules) over the same candidate set.
+func RunTable1Deployment(d datagen.Deployment, seed int64) (Table1Row, error) {
+	task, err := datagen.Generate(d.Spec)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	oracle := label.NewOracle(task.Gold)
+	s, err := core.NewSession(task.A, task.B, seed)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	if _, err := s.Block(block.WholeTupleOverlapBlocker{MinOverlap: 2}); err != nil {
+		return Table1Row{}, err
+	}
+	if _, err := s.SampleAndLabel(500, oracle); err != nil {
+		return Table1Row{}, err
+	}
+	mlMatches, _, err := s.TrainAndPredict(func() ml.Classifier { return &ml.RandomForest{Seed: seed} })
+	if err != nil {
+		return Table1Row{}, err
+	}
+	mlConf := core.Evaluate(mlMatches, task.Gold)
+
+	baseline, err := incumbentMatcher(s)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	baseMatches, _, err := s.TrainAndPredict(func() ml.Classifier { return baseline })
+	if err != nil {
+		return Table1Row{}, err
+	}
+	baseConf := core.Evaluate(baseMatches, task.Gold)
+
+	return Table1Row{
+		Org: d.Org, Purpose: d.Purpose, InProduction: d.InProduction,
+		MLPrecision: mlConf.Precision(), MLRecall: mlConf.Recall(), MLF1: mlConf.F1(),
+		BasePrecision: baseConf.Precision(), BaseRecall: baseConf.Recall(), BaseF1: baseConf.F1(),
+	}, nil
+}
+
+// incumbentMatcher builds the conservative rule-only "company solution":
+// a pair matches when every exact-match feature fires. Such systems have
+// near-perfect precision and poor recall on dirty data — the behaviour
+// the paper's partners reported for their production pipelines.
+func incumbentMatcher(s *core.Session) (*core.RuleMatcher, error) {
+	var preds []string
+	for _, name := range s.Features.Names() {
+		if strings.HasPrefix(name, "exact_") {
+			preds = append(preds, name+" >= 1")
+		}
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("experiments: no exact features to build the incumbent from")
+	}
+	r, err := rules.Parse("incumbent", strings.Join(preds, " AND "))
+	if err != nil {
+		return nil, err
+	}
+	var rs rules.RuleSet
+	rs.Add(r)
+	return core.NewRuleMatcher(rs, s.Features.Names())
+}
+
+// RunTable1 executes every deployment.
+func RunTable1(seed int64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, d := range datagen.Table1Deployments(seed) {
+		row, err := RunTable1Deployment(d, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-36s %-6s | %-24s | %-24s\n",
+		"Org", "Purpose", "Prod", "PyMatcher P/R/F1", "Incumbent P/R/F1")
+	b.WriteString(strings.Repeat("-", 122) + "\n")
+	for _, r := range rows {
+		prod := "no"
+		if r.InProduction {
+			prod = "yes"
+		}
+		fmt.Fprintf(&b, "%-20s %-36s %-6s | %5.1f%% %5.1f%% %5.1f%%    | %5.1f%% %5.1f%% %5.1f%%\n",
+			r.Org, r.Purpose, prod,
+			100*r.MLPrecision, 100*r.MLRecall, 100*r.MLF1,
+			100*r.BasePrecision, 100*r.BaseRecall, 100*r.BaseF1)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+// Package falcon implements the Falcon self-service EM workflow of the
+// paper (Das et al., SIGMOD 2017; Figures 3 and 4 of the Magellan progress
+// report). A lay user only labels tuple pairs as match/no-match; Falcon
+//
+//  1. takes a sample S of tuple pairs,
+//  2. active-learns a random forest F on S,
+//  3. extracts every root→"No"-leaf branch of every tree of F as a
+//     candidate blocking rule,
+//  4. keeps only the rules the labeler confirms precise,
+//  5. executes the precise rules to block A × B into a candidate set C,
+//  6. active-learns a second forest G on C and applies it to C to predict
+//     matches.
+//
+// This package is the core of the CloudMatcher reproduction: package cloud
+// exposes each of these steps as a service.
+package falcon
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ml"
+	"repro/internal/rules"
+)
+
+// ExtractBlockingRules walks every tree of the forest and returns one rule
+// per root→leaf branch ending in a "No" (non-match-majority) leaf, as in
+// Figure 4 of the paper: the tree "name_match <= 0.5? → No" yields the
+// blocking rule "name_match <= 0.5". Identical rules from different trees
+// are deduplicated; rules are named falcon_rule_<i>.
+func ExtractBlockingRules(f *ml.RandomForest, featureNames []string) (rules.RuleSet, error) {
+	if len(f.Trees()) == 0 {
+		return rules.RuleSet{}, fmt.Errorf("falcon: forest has no trees (not fitted?)")
+	}
+	var rs rules.RuleSet
+	seen := make(map[string]bool)
+	for _, t := range f.Trees() {
+		for _, branch := range noBranches(t.Root(), nil) {
+			r := rules.Rule{Predicates: branch}
+			key := r.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			r.Name = fmt.Sprintf("falcon_rule_%d", rs.Len())
+			rs.Add(r)
+		}
+	}
+	// Resolve feature indices to names and validate them.
+	for i := range rs.Rules {
+		for j := range rs.Rules[i].Predicates {
+			p := &rs.Rules[i].Predicates[j]
+			idx, err := parseFeatureIndex(p.Feature)
+			if err != nil {
+				return rules.RuleSet{}, err
+			}
+			if idx < 0 || idx >= len(featureNames) {
+				return rules.RuleSet{}, fmt.Errorf("falcon: tree references feature %d, have %d features", idx, len(featureNames))
+			}
+			p.Feature = featureNames[idx]
+		}
+	}
+	return rs, nil
+}
+
+// noBranches enumerates the predicate paths from n to every "No" leaf.
+// Internal nodes encode features positionally as "#<index>"; the caller
+// rewrites them to names.
+func noBranches(n *ml.TreeNode, path []rules.Predicate) [][]rules.Predicate {
+	if n == nil {
+		return nil
+	}
+	if n.Leaf {
+		if n.Proba < 0.5 && len(path) > 0 {
+			return [][]rules.Predicate{append([]rules.Predicate(nil), path...)}
+		}
+		return nil
+	}
+	feat := fmt.Sprintf("#%d", n.Feature)
+	var out [][]rules.Predicate
+	out = append(out, noBranches(n.Left, append(path, rules.Predicate{Feature: feat, Op: rules.LE, Value: n.Threshold}))...)
+	out = append(out, noBranches(n.Right, append(path, rules.Predicate{Feature: feat, Op: rules.GT, Value: n.Threshold}))...)
+	return out
+}
+
+func parseFeatureIndex(s string) (int, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("falcon: internal: feature %q is not positional", s)
+	}
+	var idx int
+	if _, err := fmt.Sscanf(s[1:], "%d", &idx); err != nil {
+		return 0, fmt.Errorf("falcon: internal: bad feature index %q: %w", s, err)
+	}
+	return idx, nil
+}

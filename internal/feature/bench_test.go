@@ -1,0 +1,81 @@
+package feature
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func benchSetup(b *testing.B, pairs int) (*Set, *table.Table, *table.Catalog) {
+	b.Helper()
+	sch := table.StringSchema("id", "name", "city", "zip")
+	a := table.New("A", sch)
+	bt := table.New("B", sch)
+	n := pairs
+	for i := 0; i < n; i++ {
+		a.MustAppend(table.String(fmt.Sprintf("a%d", i)),
+			table.String(fmt.Sprintf("acme widgets store %d", i)),
+			table.String("madison"), table.String(fmt.Sprintf("%05d", i)))
+		bt.MustAppend(table.String(fmt.Sprintf("b%d", i)),
+			table.String(fmt.Sprintf("acme widget store %d", i)),
+			table.String("madison"), table.String(fmt.Sprintf("%05d", i)))
+	}
+	if err := a.SetKey("id"); err != nil {
+		b.Fatal(err)
+	}
+	if err := bt.SetKey("id"); err != nil {
+		b.Fatal(err)
+	}
+	cat := table.NewCatalog()
+	p, err := table.NewPairTable("C", a, bt, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		table.AppendPair(p, fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))
+	}
+	fs, err := AutoGenerate(a, bt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fs, p, cat
+}
+
+func BenchmarkVectors1K(b *testing.B) {
+	fs, p, cat := benchSetup(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Vectors(fs, p, cat, ExtractOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectors1KSerial(b *testing.B) {
+	fs, p, cat := benchSetup(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Vectors(fs, p, cat, ExtractOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAutoGenerate(b *testing.B) {
+	fs, _, _ := benchSetup(b, 100)
+	_ = fs
+	sch := table.StringSchema("id", "name", "city", "zip")
+	a := table.New("A", sch)
+	a.MustAppend(table.String("a1"), table.String("x"), table.String("y"), table.String("z"))
+	bt := a.Clone()
+	bt.SetName("B")
+	a.SetKey("id")
+	bt.SetKey("id")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AutoGenerate(a, bt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

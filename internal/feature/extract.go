@@ -1,0 +1,89 @@
+package feature
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/table"
+)
+
+// ExtractOptions tunes feature-vector extraction.
+type ExtractOptions struct {
+	// Workers parallelizes extraction across pairs; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Vectors computes the feature matrix for every pair of a candidate-set
+// table. The pair table must be registered in cat (so its base tables and
+// id columns are known); per the paper's self-containment principle the FK
+// metadata is re-validated before use.
+func Vectors(s *Set, pairs *table.Table, cat *table.Catalog, opts ExtractOptions) ([][]float64, error) {
+	meta, ok := cat.PairMeta(pairs)
+	if !ok {
+		return nil, fmt.Errorf("feature: pair table %q not registered in catalog", pairs.Name())
+	}
+	if err := cat.ValidatePair(pairs); err != nil {
+		return nil, fmt.Errorf("feature: %w", err)
+	}
+	lidx, err := meta.LTable.KeyIndex()
+	if err != nil {
+		return nil, err
+	}
+	ridx, err := meta.RTable.KeyIndex()
+	if err != nil {
+		return nil, err
+	}
+
+	n := pairs.Len()
+	out := make([][]float64, n)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				lid := pairs.Get(i, meta.LID).AsString()
+				rid := pairs.Get(i, meta.RID).AsString()
+				lrow := meta.LTable.Row(lidx[lid])
+				rrow := meta.RTable.Row(ridx[rid])
+				out[i] = s.Vector(meta.LTable, meta.RTable, lrow, rrow)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// VectorForIDs computes the feature vector for a single (lid, rid) pair
+// given the base tables. It is the convenience path interactive debuggers
+// use.
+func VectorForIDs(s *Set, lt, rt *table.Table, lid, rid string) ([]float64, error) {
+	lidx, err := lt.KeyIndex()
+	if err != nil {
+		return nil, err
+	}
+	ridx, err := rt.KeyIndex()
+	if err != nil {
+		return nil, err
+	}
+	li, ok := lidx[lid]
+	if !ok {
+		return nil, fmt.Errorf("feature: id %q not in table %q", lid, lt.Name())
+	}
+	ri, ok := ridx[rid]
+	if !ok {
+		return nil, fmt.Errorf("feature: id %q not in table %q", rid, rt.Name())
+	}
+	return s.Vector(lt, rt, lt.Row(li), rt.Row(ri)), nil
+}

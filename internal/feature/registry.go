@@ -1,0 +1,102 @@
+package feature
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// builders maps a builder kind — the prefix of generated feature names,
+// e.g. "jaccard_3gram" in "jaccard_3gram_name" — to its PairFunc. The
+// registry is what lets a feature set round-trip through the workflow
+// persistence layer: a serialized feature is just (kind, attribute).
+var builders = map[string]PairFunc{
+	"exact":            sim.ExactMatch,
+	"lev":              sim.Levenshtein,
+	"jaro":             sim.Jaro,
+	"jaro_winkler":     sim.JaroWinkler,
+	"soundex":          sim.SoundexSim,
+	"rel_diff":         RelDiff,
+	"monge_elkan_jw":   mongeElkanJW,
+	"needleman_wunsch": sim.NeedlemanWunsch,
+	"smith_waterman":   sim.SmithWaterman,
+	"affine_gap":       sim.AffineGap,
+	"hamming":          sim.Hamming,
+	"jaccard_ws":       tokenized(tokenize.Whitespace{ReturnSet: true}, sim.Jaccard),
+	"jaccard_3gram":    tokenized(tokenize.QGram{Q: 3, ReturnSet: true}, sim.Jaccard),
+	"jaccard_2gram":    tokenized(tokenize.QGram{Q: 2, ReturnSet: true}, sim.Jaccard),
+	"cosine_ws":        tokenized(tokenize.Whitespace{ReturnSet: true}, sim.CosineSet),
+	"dice_ws":          tokenized(tokenize.Whitespace{ReturnSet: true}, sim.Dice),
+	"overlap_coeff_ws": tokenized(tokenize.Whitespace{ReturnSet: true}, sim.OverlapCoefficient),
+}
+
+// BuilderKinds returns the registered builder kinds, sorted.
+func BuilderKinds() []string {
+	out := make([]string, 0, len(builders))
+	for k := range builders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewFeature constructs the feature "<kind>_<attr>" comparing the same
+// attribute of both tables with the registered builder.
+func NewFeature(kind, attr string) (Feature, error) {
+	fn, ok := builders[kind]
+	if !ok {
+		return Feature{}, fmt.Errorf("feature: unknown builder kind %q (have %v)", kind, BuilderKinds())
+	}
+	return Feature{Name: kind + "_" + attr, LAttr: attr, RAttr: attr, Fn: fn}, nil
+}
+
+// Spec is the serializable form of one feature. Only same-attribute,
+// registry-built features round-trip; custom Fn features must be re-added
+// in code after loading.
+type Spec struct {
+	Kind string `json:"kind"`
+	Attr string `json:"attr"`
+}
+
+// Specs returns the serializable form of the set. It fails when the set
+// contains a feature whose name does not decompose into a registered
+// builder kind plus attribute (i.e. a custom feature).
+func (s *Set) Specs() ([]Spec, error) {
+	out := make([]Spec, 0, len(s.Features))
+	for _, f := range s.Features {
+		kind, ok := kindOf(f.Name, f.LAttr)
+		if !ok {
+			return nil, fmt.Errorf("feature: %q is not registry-built and cannot be serialized", f.Name)
+		}
+		out = append(out, Spec{Kind: kind, Attr: f.LAttr})
+	}
+	return out, nil
+}
+
+// kindOf recovers the builder kind from a generated feature name.
+func kindOf(name, attr string) (string, bool) {
+	suffix := "_" + attr
+	if len(name) <= len(suffix) || name[len(name)-len(suffix):] != suffix {
+		return "", false
+	}
+	kind := name[:len(name)-len(suffix)]
+	_, ok := builders[kind]
+	return kind, ok
+}
+
+// FromSpecs rebuilds a feature set from its serializable form.
+func FromSpecs(specs []Spec, missing MissingPolicy) (*Set, error) {
+	s := &Set{Missing: missing}
+	for _, sp := range specs {
+		f, err := NewFeature(sp.Kind, sp.Attr)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Add(f); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,74 @@
+package feature
+
+import (
+	"testing"
+)
+
+func TestNewFeature(t *testing.T) {
+	f, err := NewFeature("jaccard_3gram", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "jaccard_3gram_name" || f.LAttr != "name" || f.RAttr != "name" {
+		t.Errorf("feature = %+v", f)
+	}
+	if got := f.Fn("acme corp", "acme corp"); got != 1 {
+		t.Errorf("identical strings = %v", got)
+	}
+	if _, err := NewFeature("ghost", "name"); err == nil {
+		t.Error("want unknown-kind error")
+	}
+}
+
+func TestBuilderKinds(t *testing.T) {
+	kinds := BuilderKinds()
+	if len(kinds) < 15 {
+		t.Errorf("only %d builder kinds registered", len(kinds))
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i] <= kinds[i-1] {
+			t.Fatal("kinds not sorted")
+		}
+	}
+}
+
+func TestSpecsRoundTrip(t *testing.T) {
+	a, b := twoTables(t)
+	s, err := AutoGenerate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := s.Specs()
+	if err != nil {
+		t.Fatalf("auto-generated sets must serialize: %v", err)
+	}
+	if len(specs) != s.Len() {
+		t.Fatalf("specs = %d, features = %d", len(specs), s.Len())
+	}
+	back, err := FromSpecs(specs, s.Missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("round trip lost features: %d vs %d", back.Len(), s.Len())
+	}
+	// Scores agree on a sample pair.
+	v1 := s.Vector(a, b, a.Row(0), b.Row(0))
+	v2 := back.Vector(a, b, a.Row(0), b.Row(0))
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("feature %s scored differently after round trip: %v vs %v",
+				s.Names()[i], v1[i], v2[i])
+		}
+	}
+}
+
+func TestSpecsRejectsCustomFeatures(t *testing.T) {
+	s := &Set{}
+	if err := s.Add(Feature{Name: "my_custom_thing", LAttr: "a", RAttr: "b", Fn: func(l, r string) float64 { return 0 }}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Specs(); err == nil {
+		t.Fatal("custom features must not serialize silently")
+	}
+}

@@ -1,0 +1,67 @@
+package label
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned through Budgeted.Exhausted after the
+// question budget runs out; further Label calls answer false without
+// consulting the wrapped labeler.
+var ErrBudgetExhausted = errors.New("label: question budget exhausted")
+
+// Budgeted caps the number of questions a labeler may be asked.
+// CloudMatcher's deployments in Table 2 cap at 1200 questions; active
+// learning loops wrap their labeler in a Budgeted to enforce that.
+type Budgeted struct {
+	inner Labeler
+	// Max is the question budget.
+	Max int
+
+	mu        sync.Mutex
+	asked     int
+	exhausted bool
+}
+
+// NewBudgeted wraps inner with a budget of max questions.
+func NewBudgeted(inner Labeler, max int) *Budgeted {
+	return &Budgeted{inner: inner, Max: max}
+}
+
+// Label implements Labeler. Once the budget is spent it records exhaustion
+// and answers false.
+func (b *Budgeted) Label(lid, rid string) bool {
+	b.mu.Lock()
+	if b.asked >= b.Max {
+		b.exhausted = true
+		b.mu.Unlock()
+		return false
+	}
+	b.asked++
+	b.mu.Unlock()
+	return b.inner.Label(lid, rid)
+}
+
+// Stats implements Labeler, delegating to the wrapped labeler.
+func (b *Budgeted) Stats() Stats { return b.inner.Stats() }
+
+// Remaining returns the unspent budget.
+func (b *Budgeted) Remaining() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.Max - b.asked
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Exhausted reports whether a Label call was refused for lack of budget.
+func (b *Budgeted) Exhausted() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.exhausted {
+		return ErrBudgetExhausted
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CVResult holds the cross-validation scores of one classifier.
+type CVResult struct {
+	Name      string
+	Folds     int
+	Precision float64 // mean across folds
+	Recall    float64
+	F1        float64
+}
+
+// CrossValidate runs stratified k-fold cross-validation of the classifier
+// factory on the dataset and returns mean precision/recall/F1. A factory is
+// required (not an instance) because each fold needs a fresh model.
+func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
+	if k < 2 {
+		return CVResult{}, fmt.Errorf("ml: cross-validation needs k >= 2, got %d", k)
+	}
+	if d.Len() < k {
+		return CVResult{}, fmt.Errorf("ml: %d examples cannot fill %d folds", d.Len(), k)
+	}
+	folds := stratifiedFolds(d, k, rng)
+	name := factory().Name()
+	res := CVResult{Name: name, Folds: k}
+	for fi := 0; fi < k; fi++ {
+		var trainIdx, testIdx []int
+		for fj, fold := range folds {
+			if fj == fi {
+				testIdx = append(testIdx, fold...)
+			} else {
+				trainIdx = append(trainIdx, fold...)
+			}
+		}
+		if len(trainIdx) == 0 || len(testIdx) == 0 {
+			continue
+		}
+		model := factory()
+		if err := model.Fit(d.Subset(trainIdx)); err != nil {
+			return CVResult{}, fmt.Errorf("ml: cv fold %d: %w", fi, err)
+		}
+		conf, err := Evaluate(model, d.Subset(testIdx))
+		if err != nil {
+			return CVResult{}, err
+		}
+		res.Precision += conf.Precision()
+		res.Recall += conf.Recall()
+		res.F1 += conf.F1()
+	}
+	res.Precision /= float64(k)
+	res.Recall /= float64(k)
+	res.F1 /= float64(k)
+	return res, nil
+}
+
+// stratifiedFolds partitions example indices into k folds preserving the
+// class ratio in each fold.
+func stratifiedFolds(d *Dataset, k int, rng *rand.Rand) [][]int {
+	var pos, neg []int
+	for i, y := range d.Y {
+		if y == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(a, b int) { pos[a], pos[b] = pos[b], pos[a] })
+	rng.Shuffle(len(neg), func(a, b int) { neg[a], neg[b] = neg[b], neg[a] })
+	folds := make([][]int, k)
+	for i, idx := range pos {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for i, idx := range neg {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+// SelectMatcher cross-validates every factory and returns all results
+// sorted by descending F1, with the winner first. This is the "select the
+// best matcher" step of the PyMatcher guide (Figure 2).
+func SelectMatcher(factories []func() Classifier, d *Dataset, k int, rng *rand.Rand) ([]CVResult, error) {
+	if len(factories) == 0 {
+		return nil, fmt.Errorf("ml: no matchers to select among")
+	}
+	results := make([]CVResult, 0, len(factories))
+	for _, f := range factories {
+		r, err := CrossValidate(f, d, k, rng)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(a, b int) bool { return results[a].F1 > results[b].F1 })
+	return results, nil
+}
+
+// DefaultMatcherFactories returns the standard PyMatcher matcher lineup:
+// decision tree, random forest, logistic regression, naive Bayes, linear
+// SVM, and kNN, all seeded deterministically.
+func DefaultMatcherFactories(seed int64) []func() Classifier {
+	return []func() Classifier{
+		func() Classifier { return &DecisionTree{Seed: seed} },
+		func() Classifier { return &RandomForest{Seed: seed} },
+		func() Classifier { return &LogisticRegression{Seed: seed} },
+		func() Classifier { return &GaussianNB{} },
+		func() Classifier { return &LinearSVM{Seed: seed} },
+		func() Classifier { return &KNN{} },
+	}
+}

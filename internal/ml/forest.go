@@ -1,0 +1,114 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling. It is the workhorse classifier of Falcon/CloudMatcher: its
+// trees are mined for candidate blocking rules, and its vote fraction is
+// both the match probability and the active-learning uncertainty signal.
+type RandomForest struct {
+	// NumTrees is the ensemble size; 0 means 10 (Falcon's default).
+	NumTrees int
+	// MaxDepth bounds each tree; 0 means 10.
+	MaxDepth int
+	// MinSamplesLeaf is forwarded to each tree; 0 means 1.
+	MinSamplesLeaf int
+	// Alpha is the vote fraction required to declare a match (the
+	// paper's αn rule); 0 means 0.5.
+	Alpha float64
+	// Seed makes training deterministic.
+	Seed int64
+
+	trees []*DecisionTree
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "random_forest" }
+
+// Trees returns the fitted ensemble (nil before Fit). Falcon walks these to
+// extract blocking rules.
+func (f *RandomForest) Trees() []*DecisionTree { return f.trees }
+
+func (f *RandomForest) numTrees() int {
+	if f.NumTrees <= 0 {
+		return 10
+	}
+	return f.NumTrees
+}
+
+func (f *RandomForest) alpha() float64 {
+	if f.Alpha <= 0 {
+		return 0.5
+	}
+	return f.Alpha
+}
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(d *Dataset) error {
+	if d.Len() == 0 {
+		return errEmpty(f.Name())
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	maxFeat := int(math.Sqrt(float64(d.NumFeatures())))
+	if maxFeat < 1 {
+		maxFeat = 1
+	}
+	f.trees = make([]*DecisionTree, f.numTrees())
+	for i := range f.trees {
+		t := &DecisionTree{
+			MaxDepth:       f.MaxDepth,
+			MinSamplesLeaf: f.MinSamplesLeaf,
+			MaxFeatures:    maxFeat,
+			Seed:           rng.Int63(),
+		}
+		boot := d.Bootstrap(d.Len(), rng)
+		if err := t.Fit(boot); err != nil {
+			return err
+		}
+		f.trees[i] = t
+	}
+	return nil
+}
+
+// VoteFraction returns the fraction of trees predicting match for x.
+func (f *RandomForest) VoteFraction(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	votes := 0
+	for _, t := range f.trees {
+		if t.PredictProba(x) >= 0.5 {
+			votes++
+		}
+	}
+	return float64(votes) / float64(len(f.trees))
+}
+
+// PredictProba implements Classifier. The probability is the vote fraction
+// shifted so that the αn voting rule of the paper coincides with the usual
+// 0.5 threshold: a pair is a match iff at least α·n trees say so.
+func (f *RandomForest) PredictProba(x []float64) float64 {
+	v := f.VoteFraction(x)
+	a := f.alpha()
+	// Piecewise-linear map sending [0,a] -> [0,0.5] and [a,1] -> [0.5,1].
+	if v <= a {
+		if a == 0 {
+			return 1
+		}
+		return 0.5 * v / a
+	}
+	return 0.5 + 0.5*(v-a)/(1-a)
+}
+
+// Entropy returns the binary entropy of the vote fraction — the
+// uncertainty score active learning uses to pick the next pairs to label.
+func (f *RandomForest) Entropy(x []float64) float64 {
+	p := f.VoteFraction(x)
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

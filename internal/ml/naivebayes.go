@@ -1,0 +1,88 @@
+package ml
+
+import "math"
+
+// GaussianNB is a Gaussian naive Bayes classifier: each feature is modeled
+// as an independent normal per class.
+type GaussianNB struct {
+	prior [2]float64   // log class priors
+	mean  [2][]float64 // per-class feature means
+	vari  [2][]float64 // per-class feature variances (floored)
+	fit   bool
+}
+
+// Name implements Classifier.
+func (g *GaussianNB) Name() string { return "naive_bayes" }
+
+// Fit implements Classifier.
+func (g *GaussianNB) Fit(d *Dataset) error {
+	if d.Len() == 0 {
+		return errEmpty(g.Name())
+	}
+	nf := d.NumFeatures()
+	var count [2]int
+	for c := 0; c < 2; c++ {
+		g.mean[c] = make([]float64, nf)
+		g.vari[c] = make([]float64, nf)
+	}
+	for i := range d.X {
+		c := d.Y[i]
+		count[c]++
+		for j := 0; j < nf; j++ {
+			g.mean[c][j] += d.X[i][j]
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if count[c] == 0 {
+			continue
+		}
+		for j := 0; j < nf; j++ {
+			g.mean[c][j] /= float64(count[c])
+		}
+	}
+	for i := range d.X {
+		c := d.Y[i]
+		for j := 0; j < nf; j++ {
+			dx := d.X[i][j] - g.mean[c][j]
+			g.vari[c][j] += dx * dx
+		}
+	}
+	const varFloor = 1e-9
+	for c := 0; c < 2; c++ {
+		for j := 0; j < nf; j++ {
+			if count[c] > 0 {
+				g.vari[c][j] /= float64(count[c])
+			}
+			if g.vari[c][j] < varFloor {
+				g.vari[c][j] = varFloor
+			}
+		}
+		// Laplace-smoothed prior keeps a class absent from training data
+		// from collapsing to -inf.
+		g.prior[c] = math.Log(float64(count[c]+1) / float64(d.Len()+2))
+	}
+	g.fit = true
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (g *GaussianNB) PredictProba(x []float64) float64 {
+	if !g.fit {
+		return 0
+	}
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		lp := g.prior[c]
+		for j := range x {
+			v := g.vari[c][j]
+			dx := x[j] - g.mean[c][j]
+			lp += -0.5*math.Log(2*math.Pi*v) - dx*dx/(2*v)
+		}
+		logp[c] = lp
+	}
+	// Softmax over the two log joint probabilities.
+	m := math.Max(logp[0], logp[1])
+	e0 := math.Exp(logp[0] - m)
+	e1 := math.Exp(logp[1] - m)
+	return e1 / (e0 + e1)
+}

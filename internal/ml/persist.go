@@ -1,0 +1,164 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Export serializes a trained classifier to JSON. Decision trees, random
+// forests, logistic regressions, naive Bayes, and linear SVMs round-trip;
+// kNN is intentionally excluded (it memorizes its training set, which is
+// the session's data, not the model's).
+func Export(c Classifier) ([]byte, error) {
+	var payload any
+	switch m := c.(type) {
+	case *DecisionTree:
+		payload = exportTree(m)
+	case *RandomForest:
+		trees := make([]*treeDTO, len(m.trees))
+		for i, t := range m.trees {
+			trees[i] = exportTree(t)
+		}
+		payload = &forestDTO{Alpha: m.Alpha, Trees: trees}
+	case *LogisticRegression:
+		payload = &linearDTO{W: m.w, B: m.b, Mean: m.mean, Std: m.std}
+	case *LinearSVM:
+		payload = &linearDTO{W: m.w, B: m.b, Mean: m.mean, Std: m.std}
+	case *GaussianNB:
+		payload = &nbDTO{
+			Prior: m.prior, Mean0: m.mean[0], Mean1: m.mean[1],
+			Var0: m.vari[0], Var1: m.vari[1], Fit: m.fit,
+		}
+	default:
+		return nil, fmt.Errorf("ml: cannot export a %T", c)
+	}
+	return json.Marshal(&envelope{Model: c.Name(), Payload: mustRaw(payload)})
+}
+
+// Import deserializes a classifier produced by Export.
+func Import(data []byte) (Classifier, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ml: import: %w", err)
+	}
+	switch env.Model {
+	case "decision_tree":
+		var dto treeDTO
+		if err := json.Unmarshal(env.Payload, &dto); err != nil {
+			return nil, err
+		}
+		return importTree(&dto), nil
+	case "random_forest":
+		var dto forestDTO
+		if err := json.Unmarshal(env.Payload, &dto); err != nil {
+			return nil, err
+		}
+		f := &RandomForest{Alpha: dto.Alpha, NumTrees: len(dto.Trees)}
+		f.trees = make([]*DecisionTree, len(dto.Trees))
+		for i, t := range dto.Trees {
+			f.trees[i] = importTree(t)
+		}
+		return f, nil
+	case "logistic_regression":
+		var dto linearDTO
+		if err := json.Unmarshal(env.Payload, &dto); err != nil {
+			return nil, err
+		}
+		return &LogisticRegression{w: dto.W, b: dto.B, mean: dto.Mean, std: dto.Std}, nil
+	case "linear_svm":
+		var dto linearDTO
+		if err := json.Unmarshal(env.Payload, &dto); err != nil {
+			return nil, err
+		}
+		return &LinearSVM{w: dto.W, b: dto.B, mean: dto.Mean, std: dto.Std}, nil
+	case "naive_bayes":
+		var dto nbDTO
+		if err := json.Unmarshal(env.Payload, &dto); err != nil {
+			return nil, err
+		}
+		nb := &GaussianNB{prior: dto.Prior, fit: dto.Fit}
+		nb.mean[0], nb.mean[1] = dto.Mean0, dto.Mean1
+		nb.vari[0], nb.vari[1] = dto.Var0, dto.Var1
+		return nb, nil
+	default:
+		return nil, fmt.Errorf("ml: import: unknown model %q", env.Model)
+	}
+}
+
+type envelope struct {
+	Model   string          `json:"model"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+type nodeDTO struct {
+	Leaf      bool     `json:"leaf"`
+	Proba     float64  `json:"proba,omitempty"`
+	N         int      `json:"n,omitempty"`
+	Feature   int      `json:"feature,omitempty"`
+	Threshold float64  `json:"threshold,omitempty"`
+	Left      *nodeDTO `json:"left,omitempty"`
+	Right     *nodeDTO `json:"right,omitempty"`
+}
+
+type treeDTO struct {
+	Root *nodeDTO `json:"root"`
+}
+
+type forestDTO struct {
+	Alpha float64    `json:"alpha,omitempty"`
+	Trees []*treeDTO `json:"trees"`
+}
+
+type linearDTO struct {
+	W    []float64 `json:"w"`
+	B    float64   `json:"b"`
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+type nbDTO struct {
+	Prior [2]float64 `json:"prior"`
+	Mean0 []float64  `json:"mean0"`
+	Mean1 []float64  `json:"mean1"`
+	Var0  []float64  `json:"var0"`
+	Var1  []float64  `json:"var1"`
+	Fit   bool       `json:"fit"`
+}
+
+func exportTree(t *DecisionTree) *treeDTO {
+	return &treeDTO{Root: exportNode(t.root)}
+}
+
+func exportNode(n *TreeNode) *nodeDTO {
+	if n == nil {
+		return nil
+	}
+	return &nodeDTO{
+		Leaf: n.Leaf, Proba: n.Proba, N: n.N,
+		Feature: n.Feature, Threshold: n.Threshold,
+		Left: exportNode(n.Left), Right: exportNode(n.Right),
+	}
+}
+
+func importTree(dto *treeDTO) *DecisionTree {
+	return &DecisionTree{root: importNode(dto.Root)}
+}
+
+func importNode(d *nodeDTO) *TreeNode {
+	if d == nil {
+		return nil
+	}
+	return &TreeNode{
+		Leaf: d.Leaf, Proba: d.Proba, N: d.N,
+		Feature: d.Feature, Threshold: d.Threshold,
+		Left: importNode(d.Left), Right: importNode(d.Right),
+	}
+}
+
+func mustRaw(v any) json.RawMessage {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // DTOs are plain data; marshaling cannot fail
+	}
+	return raw
+}

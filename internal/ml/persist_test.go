@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"testing"
+)
+
+func roundTrip(t *testing.T, c Classifier, ds *Dataset) Classifier {
+	t.Helper()
+	data, err := Export(c)
+	if err != nil {
+		t.Fatalf("export %s: %v", c.Name(), err)
+	}
+	back, err := Import(data)
+	if err != nil {
+		t.Fatalf("import %s: %v", c.Name(), err)
+	}
+	if back.Name() != c.Name() {
+		t.Fatalf("round trip changed model: %s -> %s", c.Name(), back.Name())
+	}
+	for i := range ds.X {
+		if got, want := back.PredictProba(ds.X[i]), c.PredictProba(ds.X[i]); got != want {
+			t.Fatalf("%s: prediction changed after round trip: %v vs %v", c.Name(), got, want)
+		}
+	}
+	return back
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	ds := synthDataset(300, 1, 61)
+	models := []Classifier{
+		&DecisionTree{Seed: 1},
+		&RandomForest{NumTrees: 7, Alpha: 0.7, Seed: 1},
+		&LogisticRegression{Seed: 1, Epochs: 50},
+		&LinearSVM{Seed: 1, Epochs: 50},
+		&GaussianNB{},
+	}
+	for _, m := range models {
+		if err := m.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, m, ds)
+	}
+}
+
+func TestForestRoundTripPreservesAlpha(t *testing.T) {
+	ds := synthDataset(200, 0, 62)
+	f := &RandomForest{NumTrees: 5, Alpha: 0.9, Seed: 1}
+	if err := f.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, f, ds).(*RandomForest)
+	if back.Alpha != 0.9 {
+		t.Errorf("alpha lost: %v", back.Alpha)
+	}
+	if len(back.Trees()) != 5 {
+		t.Errorf("trees = %d", len(back.Trees()))
+	}
+}
+
+func TestExportUnsupported(t *testing.T) {
+	if _, err := Export(&KNN{}); err == nil {
+		t.Fatal("kNN export should be refused")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	if _, err := Import([]byte("{nope")); err == nil {
+		t.Error("want JSON error")
+	}
+	if _, err := Import([]byte(`{"model":"ghost","payload":{}}`)); err == nil {
+		t.Error("want unknown-model error")
+	}
+}

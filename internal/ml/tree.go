@@ -1,0 +1,242 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// TreeNode is one node of a CART decision tree. Internal nodes route
+// x[Feature] <= Threshold to Left and the rest to Right; leaves carry the
+// positive-class probability. The structure is exported because Falcon
+// extracts blocking rules from tree branches (Figure 4 of the paper).
+type TreeNode struct {
+	Leaf      bool
+	Proba     float64 // leaf: P(match)
+	N         int     // training examples that reached this node
+	Feature   int     // internal: feature index
+	Threshold float64 // internal: split threshold
+	Left      *TreeNode
+	Right     *TreeNode
+}
+
+// DecisionTree is a CART classifier using Gini impurity.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth; 0 means 10.
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size eligible for splitting;
+	// 0 means 2.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum examples each child must receive;
+	// 0 means 1.
+	MinSamplesLeaf int
+	// MaxFeatures bounds the number of features considered per split;
+	// 0 means all. The random forest sets this to sqrt(d).
+	MaxFeatures int
+	// Seed drives feature subsampling when MaxFeatures > 0.
+	Seed int64
+
+	root *TreeNode
+	d    int // feature dimensionality seen at fit time
+	rng  *rand.Rand
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "decision_tree" }
+
+// Root returns the fitted tree's root node (nil before Fit).
+func (t *DecisionTree) Root() *TreeNode { return t.root }
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(d *Dataset) error {
+	if d.Len() == 0 {
+		return errEmpty(t.Name())
+	}
+	t.d = d.NumFeatures()
+	t.rng = rand.New(rand.NewSource(t.Seed))
+	idxs := make([]int, d.Len())
+	for i := range idxs {
+		idxs[i] = i
+	}
+	t.root = t.build(d, idxs, 0)
+	return nil
+}
+
+func (t *DecisionTree) maxDepth() int {
+	if t.MaxDepth <= 0 {
+		return 10
+	}
+	return t.MaxDepth
+}
+
+func (t *DecisionTree) minSplit() int {
+	if t.MinSamplesSplit < 2 {
+		return 2
+	}
+	return t.MinSamplesSplit
+}
+
+func (t *DecisionTree) minLeaf() int {
+	if t.MinSamplesLeaf < 1 {
+		return 1
+	}
+	return t.MinSamplesLeaf
+}
+
+// build grows the subtree over the rows idxs of d.
+func (t *DecisionTree) build(d *Dataset, idxs []int, depth int) *TreeNode {
+	pos := 0
+	for _, i := range idxs {
+		pos += d.Y[i]
+	}
+	node := &TreeNode{N: len(idxs), Proba: float64(pos) / float64(len(idxs))}
+	if depth >= t.maxDepth() || len(idxs) < t.minSplit() || pos == 0 || pos == len(idxs) {
+		node.Leaf = true
+		return node
+	}
+	feat, thresh, ok := t.bestSplit(d, idxs)
+	if !ok {
+		node.Leaf = true
+		return node
+	}
+	var left, right []int
+	for _, i := range idxs {
+		if d.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.minLeaf() || len(right) < t.minLeaf() {
+		node.Leaf = true
+		return node
+	}
+	node.Feature = feat
+	node.Threshold = thresh
+	node.Left = t.build(d, left, depth+1)
+	node.Right = t.build(d, right, depth+1)
+	return node
+}
+
+// bestSplit finds the (feature, threshold) pair minimizing weighted Gini
+// impurity over a (possibly subsampled) feature set.
+func (t *DecisionTree) bestSplit(d *Dataset, idxs []int) (feat int, thresh float64, ok bool) {
+	features := make([]int, t.d)
+	for j := range features {
+		features[j] = j
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < t.d {
+		t.rng.Shuffle(len(features), func(a, b int) { features[a], features[b] = features[b], features[a] })
+		features = features[:t.MaxFeatures]
+	}
+
+	bestGini := 2.0
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, 0, len(idxs))
+	for _, j := range features {
+		vals = vals[:0]
+		for _, i := range idxs {
+			vals = append(vals, fv{d.X[i][j], d.Y[i]})
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		totalPos := 0
+		for _, e := range vals {
+			totalPos += e.y
+		}
+		n := len(vals)
+		leftPos, leftN := 0, 0
+		for k := 0; k < n-1; k++ {
+			leftPos += vals[k].y
+			leftN++
+			if vals[k].v == vals[k+1].v {
+				continue // cannot split between equal values
+			}
+			rightPos := totalPos - leftPos
+			rightN := n - leftN
+			g := weightedGini(leftPos, leftN, rightPos, rightN)
+			if g < bestGini {
+				bestGini = g
+				feat = j
+				thresh = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+// weightedGini returns the size-weighted Gini impurity of a binary split.
+func weightedGini(leftPos, leftN, rightPos, rightN int) float64 {
+	gini := func(pos, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		p := float64(pos) / float64(n)
+		return 2 * p * (1 - p)
+	}
+	total := float64(leftN + rightN)
+	return float64(leftN)/total*gini(leftPos, leftN) + float64(rightN)/total*gini(rightPos, rightN)
+}
+
+// PredictProba implements Classifier.
+func (t *DecisionTree) PredictProba(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.Leaf {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Proba
+}
+
+// Depth returns the depth of the fitted tree (a single leaf has depth 0).
+func (t *DecisionTree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *TreeNode) int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	l, r := nodeDepth(n.Left), nodeDepth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// String renders the fitted tree as an indented text diagram using the
+// given feature names (nil falls back to f<i>).
+func (t *DecisionTree) String(names []string) string {
+	var b strings.Builder
+	var walk func(n *TreeNode, indent string)
+	walk = func(n *TreeNode, indent string) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			label := "No"
+			if n.Proba >= 0.5 {
+				label = "Yes"
+			}
+			fmt.Fprintf(&b, "%sleaf %s (p=%.2f, n=%d)\n", indent, label, n.Proba, n.N)
+			return
+		}
+		name := fmt.Sprintf("f%d", n.Feature)
+		if names != nil && n.Feature < len(names) {
+			name = names[n.Feature]
+		}
+		fmt.Fprintf(&b, "%s%s <= %.4g?\n", indent, name, n.Threshold)
+		walk(n.Left, indent+"  ")
+		walk(n.Right, indent+"  ")
+	}
+	walk(t.root, "")
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse turns the textual form of a rule — predicates joined by AND — into
+// a Rule. The grammar is
+//
+//	rule      := predicate { "AND" predicate }
+//	predicate := feature op number
+//	op        := "<=" | "<" | ">=" | ">" | "==" | "!="
+//	feature   := identifier (letters, digits, '_', '.', '(', ')')
+//
+// matching how PyMatcher users declaratively specify rules over generated
+// feature names such as jaccard_3gram_name.
+func Parse(name, src string) (Rule, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Rule{}, fmt.Errorf("rules: parse %q: %w", name, err)
+	}
+	p := parser{toks: toks}
+	r := Rule{Name: name}
+	for {
+		pred, err := p.predicate()
+		if err != nil {
+			return Rule{}, fmt.Errorf("rules: parse %q: %w", name, err)
+		}
+		r.Predicates = append(r.Predicates, pred)
+		if p.done() {
+			break
+		}
+		if err := p.expectAnd(); err != nil {
+			return Rule{}, fmt.Errorf("rules: parse %q: %w", name, err)
+		}
+	}
+	return r, nil
+}
+
+// MustParse is Parse that panics; for statically known rules in tests.
+func MustParse(name, src string) Rule {
+	r, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseSet parses one rule per non-empty line into a RuleSet, naming the
+// rules name#0, name#1, ...
+func ParseSet(name, src string) (RuleSet, error) {
+	var rs RuleSet
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := Parse(fmt.Sprintf("%s#%d", name, i), line)
+		if err != nil {
+			return RuleSet{}, err
+		}
+		rs.Add(r)
+	}
+	return rs, nil
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokOp
+	tokNumber
+	tokAnd
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			i++
+			if op == "=" {
+				return nil, fmt.Errorf("single '=' at byte %d; use '=='", i-1)
+			}
+			toks = append(toks, token{tokOp, op})
+		case c >= '0' && c <= '9' || c == '-' || c == '.':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' || src[j] == '-' || src[j] == '+') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j]})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if strings.EqualFold(word, "and") {
+				toks = append(toks, token{tokAnd, word})
+			} else {
+				toks = append(toks, token{tokIdent, word})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q at byte %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '(' || r == ')'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) next() (token, error) {
+	if p.done() {
+		return token{}, fmt.Errorf("unexpected end of rule")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	ident, err := p.next()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if ident.kind != tokIdent {
+		return Predicate{}, fmt.Errorf("expected feature name, got %q", ident.text)
+	}
+	opTok, err := p.next()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if opTok.kind != tokOp {
+		return Predicate{}, fmt.Errorf("expected operator after %q, got %q", ident.text, opTok.text)
+	}
+	var op Op
+	switch opTok.text {
+	case "<=":
+		op = LE
+	case "<":
+		op = LT
+	case ">=":
+		op = GE
+	case ">":
+		op = GT
+	case "==":
+		op = EQ
+	case "!=":
+		op = NE
+	default:
+		return Predicate{}, fmt.Errorf("unknown operator %q", opTok.text)
+	}
+	numTok, err := p.next()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if numTok.kind != tokNumber {
+		return Predicate{}, fmt.Errorf("expected number after operator, got %q", numTok.text)
+	}
+	v, err := strconv.ParseFloat(numTok.text, 64)
+	if err != nil {
+		return Predicate{}, fmt.Errorf("bad number %q: %w", numTok.text, err)
+	}
+	return Predicate{Feature: ident.text, Op: op, Value: v}, nil
+}
+
+func (p *parser) expectAnd() error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokAnd {
+		return fmt.Errorf("expected AND, got %q", t.text)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchA = "mississippi department of revenue"
+var benchB = "missisippi dept of revenue"
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein(benchA, benchB)
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		JaroWinkler(benchA, benchB)
+	}
+}
+
+func BenchmarkJaccardTokens(b *testing.B) {
+	ta := strings.Fields(benchA)
+	tb := strings.Fields(benchB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Jaccard(ta, tb)
+	}
+}
+
+func BenchmarkMongeElkan(b *testing.B) {
+	ta := strings.Fields(benchA)
+	tb := strings.Fields(benchB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MongeElkan(ta, tb, JaroWinkler)
+	}
+}
+
+func BenchmarkSoftTFIDF(b *testing.B) {
+	ta := strings.Fields(benchA)
+	tb := strings.Fields(benchB)
+	c := NewCorpus([][]string{ta, tb})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SoftTFIDF(ta, tb, JaroWinkler, 0.9)
+	}
+}
+
+func BenchmarkSoundex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Soundex("Ashcraft")
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+// MongeElkan returns the Monge-Elkan hybrid similarity: for each token of a
+// it finds the best-matching token of b under the inner measure and averages
+// those maxima. It is asymmetric; callers wanting symmetry can average both
+// directions with MongeElkanSym.
+func MongeElkan(a, b []string, inner func(x, y string) float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if s := inner(ta, tb); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(a))
+}
+
+// MongeElkanSym is the symmetric mean of MongeElkan in both directions.
+func MongeElkanSym(a, b []string, inner func(x, y string) float64) float64 {
+	return (MongeElkan(a, b, inner) + MongeElkan(b, a, inner)) / 2
+}
+
+// GeneralizedJaccard computes Jaccard where tokens "match" when the inner
+// similarity is at least threshold; matched pairs contribute their
+// similarity instead of 1. Pairs are chosen greedily best-first, which is
+// the standard approximation of the optimal bipartite matching.
+func GeneralizedJaccard(a, b []string, inner func(x, y string) float64, threshold float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	type pair struct {
+		i, j int
+		s    float64
+	}
+	var pairs []pair
+	for i, ta := range a {
+		for j, tb := range b {
+			if s := inner(ta, tb); s >= threshold {
+				pairs = append(pairs, pair{i, j, s})
+			}
+		}
+	}
+	// Greedy best-first matching.
+	usedA := make([]bool, len(a))
+	usedB := make([]bool, len(b))
+	var total float64
+	matched := 0
+	for matched < min2(len(a), len(b)) {
+		best := -1
+		for k, p := range pairs {
+			if usedA[p.i] || usedB[p.j] {
+				continue
+			}
+			if best < 0 || p.s > pairs[best].s {
+				best = k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		usedA[pairs[best].i] = true
+		usedB[pairs[best].j] = true
+		total += pairs[best].s
+		matched++
+	}
+	den := float64(len(a) + len(b) - matched)
+	if den == 0 {
+		return 1
+	}
+	return total / den
+}

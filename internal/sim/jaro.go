@@ -1,0 +1,72 @@
+package sim
+
+// Jaro returns the Jaro similarity of two strings in [0, 1]. Characters
+// match when equal and within half the longer length of each other;
+// transpositions are matched characters in different relative order.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max2(0, i-window)
+		hi := min2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !bMatched[j] && ra[i] == rb[j] {
+				aMatched[i] = true
+				bMatched[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale 0.1 and a maximum considered prefix of 4 runes.
+func JaroWinkler(a, b string) float64 {
+	return JaroWinklerPrefix(a, b, 0.1, 4)
+}
+
+// JaroWinklerPrefix is JaroWinkler with explicit prefix scale p and maximum
+// prefix length maxPrefix.
+func JaroWinklerPrefix(a, b string, p float64, maxPrefix int) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	l := 0
+	for l < len(ra) && l < len(rb) && l < maxPrefix && ra[l] == rb[l] {
+		l++
+	}
+	return j + float64(l)*p*(1-j)
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "strings"
+
+// soundexCode maps a letter to its Soundex digit, or 0 for vowels and the
+// ignored letters h/w/y.
+func soundexCode(r byte) byte {
+	switch r {
+	case 'b', 'f', 'p', 'v':
+		return '1'
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return '2'
+	case 'd', 't':
+		return '3'
+	case 'l':
+		return '4'
+	case 'm', 'n':
+		return '5'
+	case 'r':
+		return '6'
+	default:
+		return 0
+	}
+}
+
+// Soundex returns the four-character American Soundex encoding of s, or ""
+// when s contains no ASCII letter. Adjacent letters with the same code
+// collapse, and letters separated only by h or w also collapse, per the
+// standard algorithm.
+func Soundex(s string) string {
+	s = strings.ToLower(s)
+	// Find the first letter.
+	i := 0
+	for i < len(s) && (s[i] < 'a' || s[i] > 'z') {
+		i++
+	}
+	if i == len(s) {
+		return ""
+	}
+	out := []byte{s[i] - 'a' + 'A'}
+	prev := soundexCode(s[i])
+	for i++; i < len(s) && len(out) < 4; i++ {
+		c := s[i]
+		if c < 'a' || c > 'z' {
+			prev = 0
+			continue
+		}
+		code := soundexCode(c)
+		switch {
+		case code == 0:
+			// h and w are transparent: keep prev so identical codes on
+			// either side still collapse; vowels reset it.
+			if c != 'h' && c != 'w' {
+				prev = 0
+			}
+		case code != prev:
+			out = append(out, code)
+			prev = code
+		}
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+// SoundexSim returns 1 when the Soundex encodings of a and b are equal and
+// non-empty, else 0.
+func SoundexSim(a, b string) float64 {
+	sa, sb := Soundex(a), Soundex(b)
+	if sa == "" || sb == "" {
+		return 0
+	}
+	if sa == sb {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package sim
+
+import "math"
+
+// toSet converts a token list to a set.
+func toSet(toks []string) map[string]bool {
+	s := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		s[t] = true
+	}
+	return s
+}
+
+// intersectionSize returns |set(a) ∩ set(b)|.
+func intersectionSize(a, b []string) (inter, sizeA, sizeB int) {
+	sa, sb := toSet(a), toSet(b)
+	if len(sa) > len(sb) {
+		sa, sb = sb, sa
+	}
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return inter, len(toSet(a)), len(toSet(b))
+}
+
+// Jaccard returns |A∩B| / |A∪B| of the token sets. Two empty sets score 1.
+func Jaccard(a, b []string) float64 {
+	inter, sa, sb := intersectionSize(a, b)
+	union := sa + sb - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|A∩B| / (|A|+|B|).
+func Dice(a, b []string) float64 {
+	inter, sa, sb := intersectionSize(a, b)
+	if sa+sb == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(sa+sb)
+}
+
+// OverlapCoefficient returns |A∩B| / min(|A|,|B|).
+func OverlapCoefficient(a, b []string) float64 {
+	inter, sa, sb := intersectionSize(a, b)
+	m := sa
+	if sb < m {
+		m = sb
+	}
+	if m == 0 {
+		if sa == 0 && sb == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(inter) / float64(m)
+}
+
+// OverlapSize returns the raw overlap |A∩B|; the overlap blocker thresholds
+// on this count rather than a normalized score.
+func OverlapSize(a, b []string) int {
+	inter, _, _ := intersectionSize(a, b)
+	return inter
+}
+
+// CosineSet returns |A∩B| / sqrt(|A|·|B|) over token sets (the set
+// semantics py_stringsimjoin uses for its cosine join).
+func CosineSet(a, b []string) float64 {
+	inter, sa, sb := intersectionSize(a, b)
+	if sa == 0 && sb == 0 {
+		return 1
+	}
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return float64(inter) / math.Sqrt(float64(sa)*float64(sb))
+}
+
+// Tversky returns the Tversky index with parameters alpha and beta
+// (alpha=beta=0.5 reduces to Dice; alpha=beta=1 to Jaccard).
+func Tversky(a, b []string, alpha, beta float64) float64 {
+	inter, sa, sb := intersectionSize(a, b)
+	onlyA := float64(sa - inter)
+	onlyB := float64(sb - inter)
+	den := float64(inter) + alpha*onlyA + beta*onlyB
+	if den == 0 {
+		return 1
+	}
+	return float64(inter) / den
+}

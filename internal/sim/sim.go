@@ -1,0 +1,65 @@
+// Package sim implements the string similarity measures of the Magellan
+// ecosystem's py_stringmatching package: sequence-based measures
+// (Levenshtein, Jaro, Jaro-Winkler, Needleman-Wunsch, Smith-Waterman,
+// affine gap, Hamming), set-based measures (Jaccard, Dice, cosine, overlap
+// coefficient, Tversky), hybrid measures (Monge-Elkan, generalized Jaccard,
+// soft TF-IDF), corpus-weighted TF-IDF, and the Soundex phonetic encoding.
+//
+// All similarity functions return values in [0, 1] where 1 means identical,
+// so they can be used interchangeably as EM features.
+package sim
+
+// StringSim scores the similarity of two raw strings in [0, 1].
+type StringSim interface {
+	Sim(a, b string) float64
+	Name() string
+}
+
+// TokenSim scores the similarity of two token lists in [0, 1].
+type TokenSim interface {
+	SimTokens(a, b []string) float64
+	Name() string
+}
+
+// Func adapts an ordinary function to StringSim.
+type Func struct {
+	F func(a, b string) float64
+	N string
+}
+
+// Sim implements StringSim.
+func (f Func) Sim(a, b string) float64 { return f.F(a, b) }
+
+// Name implements StringSim.
+func (f Func) Name() string { return f.N }
+
+// ExactMatch returns 1 if the strings are byte-identical, else 0.
+func ExactMatch(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

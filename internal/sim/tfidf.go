@@ -1,0 +1,125 @@
+package sim
+
+import "math"
+
+// Corpus holds document frequencies for TF-IDF weighting. Build one with
+// NewCorpus over the token lists of the column(s) being matched, then score
+// pairs with TFIDF or SoftTFIDF.
+type Corpus struct {
+	df   map[string]int
+	docs int
+}
+
+// NewCorpus counts document frequencies over the given documents (each a
+// token list; duplicate tokens within one document count once).
+func NewCorpus(docs [][]string) *Corpus {
+	c := &Corpus{df: make(map[string]int), docs: len(docs)}
+	for _, d := range docs {
+		for t := range toSet(d) {
+			c.df[t]++
+		}
+	}
+	return c
+}
+
+// AddDoc adds one more document to the corpus statistics.
+func (c *Corpus) AddDoc(d []string) {
+	for t := range toSet(d) {
+		c.df[t]++
+	}
+	c.docs++
+}
+
+// Docs returns the number of documents seen.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of token t:
+// ln(1 + N/df). Unknown tokens get the maximum weight ln(1 + N).
+func (c *Corpus) IDF(t string) float64 {
+	df := c.df[t]
+	if df == 0 {
+		df = 1
+	}
+	if c.docs == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(c.docs)/float64(df))
+}
+
+// tfVector returns token -> tf weight (raw counts) of the document.
+func tfVector(d []string) map[string]float64 {
+	v := make(map[string]float64, len(d))
+	for _, t := range d {
+		v[t]++
+	}
+	return v
+}
+
+// TFIDF returns the cosine similarity of the TF-IDF vectors of documents a
+// and b under the corpus weights.
+func (c *Corpus) TFIDF(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	va, vb := tfVector(a), tfVector(b)
+	var dot, na, nb float64
+	for t, tf := range va {
+		w := tf * c.IDF(t)
+		na += w * w
+		if tfb, ok := vb[t]; ok {
+			dot += w * tfb * c.IDF(t)
+		}
+	}
+	for t, tf := range vb {
+		w := tf * c.IDF(t)
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// SoftTFIDF generalizes TFIDF by letting distinct tokens contribute when
+// their inner similarity is at least threshold (typically Jaro-Winkler with
+// threshold 0.9), following Cohen et al.
+func (c *Corpus) SoftTFIDF(a, b []string, inner func(x, y string) float64, threshold float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	va, vb := tfVector(a), tfVector(b)
+	var na, nb float64
+	for t, tf := range va {
+		w := tf * c.IDF(t)
+		na += w * w
+	}
+	for t, tf := range vb {
+		w := tf * c.IDF(t)
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	var dot float64
+	for ta, tfa := range va {
+		bestSim, bestTok := 0.0, ""
+		for tb := range vb {
+			if s := inner(ta, tb); s >= threshold && s > bestSim {
+				bestSim, bestTok = s, tb
+			}
+		}
+		if bestTok != "" {
+			wa := tfa * c.IDF(ta)
+			wb := vb[bestTok] * c.IDF(bestTok)
+			dot += wa * wb * bestSim
+		}
+	}
+	s := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if s > 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package simjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchRecords builds n records of k tokens from a vocab-sized vocabulary.
+func benchRecords(n, k, vocab int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Record, n)
+	for i := range out {
+		toks := make([]string, k)
+		for j := range toks {
+			toks[j] = fmt.Sprintf("t%d", rng.Intn(vocab))
+		}
+		out[i] = Record{ID: fmt.Sprintf("r%d", i), Tokens: toks}
+	}
+	return out
+}
+
+func BenchmarkJaccardJoin1K(b *testing.B) {
+	l := benchRecords(1000, 5, 2000, 1)
+	r := benchRecords(1000, 5, 2000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := JaccardJoin(l, r, 0.5, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJaccardNaive1K is the quadratic baseline the prefix filter is
+// compared against.
+func BenchmarkJaccardNaive1K(b *testing.B) {
+	l := benchRecords(1000, 5, 2000, 1)
+	r := benchRecords(1000, 5, 2000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveSetJoin(l, r, 0.5, jaccardForBench)
+	}
+}
+
+func jaccardForBench(a, b []string) float64 {
+	seen := make(map[string]bool, len(a))
+	for _, t := range a {
+		seen[t] = true
+	}
+	inter := 0
+	seenB := make(map[string]bool, len(b))
+	for _, t := range b {
+		if !seenB[t] {
+			seenB[t] = true
+			if seen[t] {
+				inter++
+			}
+		}
+	}
+	union := len(seen) + len(seenB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func BenchmarkOverlapJoin1K(b *testing.B) {
+	l := benchRecords(1000, 5, 2000, 3)
+	r := benchRecords(1000, 5, 2000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OverlapJoin(l, r, 2, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEditDistanceJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(n int) []StringRecord {
+		out := make([]StringRecord, n)
+		for i := range out {
+			out[i] = StringRecord{ID: fmt.Sprintf("s%d", i), Str: fmt.Sprintf("entity-%06d", rng.Intn(5000))}
+		}
+		return out
+	}
+	l, r := mk(500), mk(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EditDistanceJoin(l, r, 1, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

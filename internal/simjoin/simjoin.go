@@ -1,0 +1,331 @@
+// Package simjoin implements filter-based set-similarity joins — the Go
+// counterpart of the Magellan ecosystem's py_stringsimjoin package. Given
+// two collections of tokenized records it finds all cross pairs whose
+// Jaccard, cosine, Dice, or overlap similarity clears a threshold, or whose
+// edit distance is within a bound, without comparing all |L|×|R| pairs.
+//
+// The joins use the standard prefix-filter framework: tokens are globally
+// ordered by ascending document frequency (rarest first); a record only
+// needs its first few tokens ("the prefix") indexed, because two records
+// whose prefixes are disjoint provably cannot reach the threshold. A size
+// filter prunes candidates whose set sizes alone rule the threshold out,
+// and every surviving candidate is verified with the exact similarity.
+package simjoin
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Record is one tokenized input row of a join.
+type Record struct {
+	// ID identifies the row in its source table (usually the key value).
+	ID string
+	// Tokens is the token set of the join attribute. Duplicates are
+	// collapsed internally.
+	Tokens []string
+}
+
+// Pair is one output row of a join.
+type Pair struct {
+	LID, RID string
+	// Sim is the verified similarity (for edit-distance joins, the
+	// negated distance is not used; see EditDistanceJoin).
+	Sim float64
+}
+
+// Options tunes join execution.
+type Options struct {
+	// Workers is the number of goroutines probing the index; 0 means
+	// GOMAXPROCS. The paper scales PyMatcher commands with Dask on
+	// multicore machines; this is the equivalent knob.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// measure enumerates the supported set-similarity measures.
+type measure int
+
+const (
+	measureJaccard measure = iota
+	measureCosine
+	measureDice
+)
+
+// JaccardJoin returns all pairs with Jaccard similarity >= threshold.
+func JaccardJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
+	return setJoin(l, r, threshold, measureJaccard, opts)
+}
+
+// CosineJoin returns all pairs with set-cosine similarity >= threshold.
+func CosineJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
+	return setJoin(l, r, threshold, measureCosine, opts)
+}
+
+// DiceJoin returns all pairs with Dice similarity >= threshold.
+func DiceJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
+	return setJoin(l, r, threshold, measureDice, opts)
+}
+
+// prepared is a record with canonicalized (deduped, globally ordered)
+// tokens.
+type prepared struct {
+	id   string
+	toks []string // ordered by ascending global frequency
+}
+
+// prepare dedups all records' tokens and orders them rarest-first by the
+// combined document frequency of both collections.
+func prepare(l, r []Record) (pl, pr []prepared) {
+	freq := make(map[string]int)
+	dedup := func(rs []Record) [][]string {
+		out := make([][]string, len(rs))
+		for i, rec := range rs {
+			seen := make(map[string]bool, len(rec.Tokens))
+			var toks []string
+			for _, t := range rec.Tokens {
+				if !seen[t] {
+					seen[t] = true
+					toks = append(toks, t)
+				}
+			}
+			out[i] = toks
+			for _, t := range toks {
+				freq[t]++
+			}
+		}
+		return out
+	}
+	lt := dedup(l)
+	rt := dedup(r)
+	order := func(toks []string) {
+		sort.Slice(toks, func(a, b int) bool {
+			fa, fb := freq[toks[a]], freq[toks[b]]
+			if fa != fb {
+				return fa < fb
+			}
+			return toks[a] < toks[b]
+		})
+	}
+	pl = make([]prepared, len(l))
+	for i := range l {
+		order(lt[i])
+		pl[i] = prepared{id: l[i].ID, toks: lt[i]}
+	}
+	pr = make([]prepared, len(r))
+	for i := range r {
+		order(rt[i])
+		pr[i] = prepared{id: r[i].ID, toks: rt[i]}
+	}
+	return pl, pr
+}
+
+// minOverlap returns the minimum token overlap a record of size n must
+// share with any qualifying partner under the measure and threshold.
+func minOverlap(m measure, t float64, n int) int {
+	var o float64
+	switch m {
+	case measureJaccard:
+		o = t * float64(n)
+	case measureCosine:
+		o = t * t * float64(n)
+	case measureDice:
+		o = t / (2 - t) * float64(n)
+	}
+	v := int(math.Ceil(o - 1e-9))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// sizeBounds returns the inclusive [lo, hi] partner-size window for a
+// record of size n under the measure and threshold.
+func sizeBounds(m measure, t float64, n int) (lo, hi int) {
+	switch m {
+	case measureJaccard:
+		lo = int(math.Ceil(t*float64(n) - 1e-9))
+		hi = int(math.Floor(float64(n)/t + 1e-9))
+	case measureCosine:
+		lo = int(math.Ceil(t*t*float64(n) - 1e-9))
+		hi = int(math.Floor(float64(n)/(t*t) + 1e-9))
+	case measureDice:
+		lo = int(math.Ceil(t/(2-t)*float64(n) - 1e-9))
+		hi = int(math.Floor((2-t)/t*float64(n) + 1e-9))
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	return lo, hi
+}
+
+func verify(m measure, a, b []string) float64 {
+	switch m {
+	case measureJaccard:
+		return sim.Jaccard(a, b)
+	case measureCosine:
+		return sim.CosineSet(a, b)
+	default:
+		return sim.Dice(a, b)
+	}
+}
+
+// setJoin is the shared prefix-filter join driver.
+func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("simjoin: threshold %v out of (0, 1]", threshold)
+	}
+	pl, pr := prepare(l, r)
+
+	// Index the right side: token -> postings of right-record indices that
+	// contain the token within their prefix.
+	type posting struct{ rec, pos int }
+	index := make(map[string][]posting)
+	for j, rec := range pr {
+		n := len(rec.toks)
+		if n == 0 {
+			continue
+		}
+		prefix := n - minOverlap(m, threshold, n) + 1
+		if prefix > n {
+			prefix = n
+		}
+		for p := 0; p < prefix; p++ {
+			index[rec.toks[p]] = append(index[rec.toks[p]], posting{j, p})
+		}
+	}
+
+	workers := opts.workers()
+	results := make([][]Pair, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []Pair
+			seen := make(map[int]bool)
+			for i := w; i < len(pl); i += workers {
+				rec := pl[i]
+				n := len(rec.toks)
+				if n == 0 {
+					continue
+				}
+				lo, hi := sizeBounds(m, threshold, n)
+				prefix := n - minOverlap(m, threshold, n) + 1
+				if prefix > n {
+					prefix = n
+				}
+				for k := range seen {
+					delete(seen, k)
+				}
+				for p := 0; p < prefix; p++ {
+					for _, post := range index[rec.toks[p]] {
+						if seen[post.rec] {
+							continue
+						}
+						seen[post.rec] = true
+						cand := pr[post.rec]
+						if len(cand.toks) < lo || len(cand.toks) > hi {
+							continue
+						}
+						if s := verify(m, rec.toks, cand.toks); s >= threshold-1e-12 {
+							out = append(out, Pair{LID: rec.id, RID: cand.id, Sim: s})
+						}
+					}
+				}
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	var all []Pair
+	for _, out := range results {
+		all = append(all, out...)
+	}
+	sortPairs(all)
+	return all, nil
+}
+
+// OverlapJoin returns all pairs sharing at least k tokens. Sim in the
+// output is the raw overlap count.
+func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("simjoin: overlap threshold %d must be >= 1", k)
+	}
+	pl, pr := prepare(l, r)
+	index := make(map[string][]int)
+	for j, rec := range pr {
+		n := len(rec.toks)
+		if n == 0 {
+			continue
+		}
+		prefix := n - k + 1
+		if prefix < 1 {
+			continue // record too small to ever reach k overlaps
+		}
+		for p := 0; p < prefix; p++ {
+			index[rec.toks[p]] = append(index[rec.toks[p]], j)
+		}
+	}
+	workers := opts.workers()
+	results := make([][]Pair, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []Pair
+			seen := make(map[int]bool)
+			for i := w; i < len(pl); i += workers {
+				rec := pl[i]
+				n := len(rec.toks)
+				if n < k {
+					continue
+				}
+				prefix := n - k + 1
+				for key := range seen {
+					delete(seen, key)
+				}
+				for p := 0; p < prefix; p++ {
+					for _, j := range index[rec.toks[p]] {
+						if seen[j] {
+							continue
+						}
+						seen[j] = true
+						if ov := sim.OverlapSize(rec.toks, pr[j].toks); ov >= k {
+							out = append(out, Pair{LID: rec.id, RID: pr[j].id, Sim: float64(ov)})
+						}
+					}
+				}
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	var all []Pair
+	for _, out := range results {
+		all = append(all, out...)
+	}
+	sortPairs(all)
+	return all, nil
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].LID != ps[b].LID {
+			return ps[a].LID < ps[b].LID
+		}
+		return ps[a].RID < ps[b].RID
+	})
+}

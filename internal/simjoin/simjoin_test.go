@@ -1,0 +1,316 @@
+package simjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+func recs(ss ...string) []Record {
+	out := make([]Record, len(ss))
+	for i, s := range ss {
+		out[i] = Record{ID: fmt.Sprintf("r%d", i), Tokens: strings.Fields(s)}
+	}
+	return out
+}
+
+// naiveSetJoin is the brute-force oracle the filtered joins are checked
+// against.
+func naiveSetJoin(l, r []Record, threshold float64, f func(a, b []string) float64) []Pair {
+	var out []Pair
+	for _, a := range l {
+		for _, b := range r {
+			if len(a.Tokens) == 0 || len(b.Tokens) == 0 {
+				continue
+			}
+			if s := f(a.Tokens, b.Tokens); s >= threshold-1e-12 {
+				out = append(out, Pair{LID: a.ID, RID: b.ID, Sim: s})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].LID != b[i].LID || a[i].RID != b[i].RID {
+			return false
+		}
+	}
+	return true
+}
+
+// randomRecords builds records with tokens drawn from a zipf-ish vocabulary
+// so the prefix filter sees realistic skew.
+func randomRecords(n int, rng *rand.Rand) []Record {
+	vocab := []string{"acme", "corp", "inc", "llc", "st", "main", "madison", "wi", "the", "of",
+		"x1", "x2", "x3", "x4", "x5", "q7", "q8", "q9", "zz1", "zz2"}
+	out := make([]Record, n)
+	for i := range out {
+		k := 1 + rng.Intn(6)
+		toks := make([]string, k)
+		for j := range toks {
+			// Skew toward the front of the vocabulary.
+			idx := rng.Intn(len(vocab))
+			if rng.Intn(2) == 0 {
+				idx = rng.Intn(len(vocab)/2 + 1)
+			}
+			toks[j] = vocab[idx%len(vocab)]
+		}
+		out[i] = Record{ID: fmt.Sprintf("r%d", i), Tokens: toks}
+	}
+	return out
+}
+
+func TestJaccardJoinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		l := randomRecords(60, rng)
+		r := randomRecords(60, rng)
+		for _, th := range []float64{0.3, 0.5, 0.8, 1.0} {
+			got, err := JaccardJoin(l, r, th, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveSetJoin(l, r, th, sim.Jaccard)
+			if !pairsEqual(got, want) {
+				t.Fatalf("trial %d threshold %v: filtered %d pairs, naive %d", trial, th, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestCosineJoinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		l := randomRecords(50, rng)
+		r := randomRecords(50, rng)
+		for _, th := range []float64{0.4, 0.7, 0.95} {
+			got, err := CosineJoin(l, r, th, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveSetJoin(l, r, th, sim.CosineSet)
+			if !pairsEqual(got, want) {
+				t.Fatalf("trial %d threshold %v: filtered %d, naive %d", trial, th, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestDiceJoinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		l := randomRecords(50, rng)
+		r := randomRecords(50, rng)
+		for _, th := range []float64{0.4, 0.6, 0.9} {
+			got, err := DiceJoin(l, r, th, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveSetJoin(l, r, th, sim.Dice)
+			if !pairsEqual(got, want) {
+				t.Fatalf("trial %d threshold %v: filtered %d, naive %d", trial, th, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestOverlapJoinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		l := randomRecords(50, rng)
+		r := randomRecords(50, rng)
+		for _, k := range []int{1, 2, 3} {
+			got, err := OverlapJoin(l, r, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []Pair
+			for _, a := range l {
+				for _, b := range r {
+					if ov := sim.OverlapSize(a.Tokens, b.Tokens); ov >= k {
+						want = append(want, Pair{LID: a.ID, RID: b.ID, Sim: float64(ov)})
+					}
+				}
+			}
+			sortPairs(want)
+			if !pairsEqual(got, want) {
+				t.Fatalf("trial %d k=%d: filtered %d, naive %d", trial, k, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestJoinThresholdValidation(t *testing.T) {
+	l := recs("a b")
+	if _, err := JaccardJoin(l, l, 0, Options{}); err == nil {
+		t.Error("want threshold error for 0")
+	}
+	if _, err := JaccardJoin(l, l, 1.5, Options{}); err == nil {
+		t.Error("want threshold error for > 1")
+	}
+	if _, err := OverlapJoin(l, l, 0, Options{}); err == nil {
+		t.Error("want overlap threshold error")
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	got, err := JaccardJoin(nil, recs("a"), 0.5, Options{})
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty left: %v %v", got, err)
+	}
+	// Records with empty token sets never match.
+	got, err = JaccardJoin([]Record{{ID: "x"}}, recs("a"), 0.5, Options{})
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty-token record: %v %v", got, err)
+	}
+}
+
+func TestJoinDuplicateTokensCollapse(t *testing.T) {
+	l := []Record{{ID: "l", Tokens: []string{"a", "a", "b"}}}
+	r := []Record{{ID: "r", Tokens: []string{"a", "b", "b"}}}
+	got, err := JaccardJoin(l, r, 0.99, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Sim != 1 {
+		t.Errorf("duplicate collapse: %v", got)
+	}
+}
+
+func TestJoinExactThreshold(t *testing.T) {
+	// Jaccard exactly at the threshold must be kept.
+	l := recs("a b c d")       // {a b c d}
+	r := recs("a b c d e f g") // overlap 4, union 7 -> 4/7
+	got, err := JaccardJoin(l, r, 4.0/7.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("boundary pair dropped: %v", got)
+	}
+}
+
+func TestJoinWorkersConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := randomRecords(80, rng)
+	r := randomRecords(80, rng)
+	a, err := JaccardJoin(l, r, 0.5, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JaccardJoin(l, r, 0.5, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(a, b) {
+		t.Fatal("worker count changed the result set")
+	}
+}
+
+func TestEditDistanceJoin(t *testing.T) {
+	l := []StringRecord{
+		{"l1", "madison"}, {"l2", "middleton"}, {"l3", "chicago"}, {"l4", "x"},
+	}
+	r := []StringRecord{
+		{"r1", "madisson"}, {"r2", "midleton"}, {"r3", "boston"}, {"r4", "xy"},
+	}
+	got, err := EditDistanceJoin(l, r, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"l1/r1": 1, "l2/r2": 1, "l4/r4": 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for _, p := range got {
+		key := p.LID + "/" + p.RID
+		if want[key] != p.Dist {
+			t.Errorf("unexpected pair %v", p)
+		}
+	}
+}
+
+func TestEditDistanceJoinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	words := []string{"acme", "acne", "apex", "apx", "zebra", "zebr", "zzebra", "corp", "corps", "a", "ab", ""}
+	mk := func(n int) []StringRecord {
+		out := make([]StringRecord, n)
+		for i := range out {
+			out[i] = StringRecord{ID: fmt.Sprintf("s%d", i), Str: words[rng.Intn(len(words))]}
+		}
+		return out
+	}
+	for trial := 0; trial < 5; trial++ {
+		l, r := mk(40), mk(40)
+		for _, k := range []int{0, 1, 2} {
+			got, err := EditDistanceJoin(l, r, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			for _, a := range l {
+				for _, b := range r {
+					if sim.LevenshteinDistance(a.Str, b.Str) <= k {
+						count++
+					}
+				}
+			}
+			if len(got) != count {
+				t.Fatalf("trial %d k=%d: filtered %d, naive %d", trial, k, len(got), count)
+			}
+		}
+	}
+}
+
+func TestEditDistanceJoinValidation(t *testing.T) {
+	if _, err := EditDistanceJoin(nil, nil, -1, Options{}); err == nil {
+		t.Error("want negative-bound error")
+	}
+}
+
+// Property: the filtered join never loses a qualifying pair (no false
+// negatives) on random inputs.
+func TestJaccardJoinCompletenessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		lr := rand.New(rand.NewSource(seed))
+		l := randomRecords(20, lr)
+		r := randomRecords(20, lr)
+		_ = rng
+		got, err := JaccardJoin(l, r, 0.6, Options{Workers: 2})
+		if err != nil {
+			return false
+		}
+		want := naiveSetJoin(l, r, 0.6, sim.Jaccard)
+		return pairsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeIntegration(t *testing.T) {
+	// End-to-end: q-gram tokenized strings through a Jaccard join, the way
+	// blockers call it.
+	tok := tokenize.QGram{Q: 3, ReturnSet: true}
+	l := []Record{{ID: "a", Tokens: tok.Tokenize("saving the amazon")}}
+	r := []Record{{ID: "b", Tokens: tok.Tokenize("saving the amazonn")}}
+	got, err := JaccardJoin(l, r, 0.7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("near-duplicate strings should join: %v", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package smurf implements Smurf (Suganthan G.C. et al., PVLDB 2019), the
+// self-service string-matching system §5.3 of the progress report folds
+// into CloudMatcher. Falcon spends user labels three times: learning a
+// blocking forest, validating the extracted blocking rules, and learning a
+// separate matcher forest. Smurf observes that for string matching the
+// learned random forest can be executed directly as the blocker — its tree
+// predicates are similarity-join-able — so the rule-validation and
+// second-matcher labeling rounds disappear. The paper reports this cuts
+// labeling effort by 43–76% at the same accuracy; the
+// BenchmarkSmurfLabelingReduction harness regenerates that comparison.
+package smurf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/active"
+	"repro/internal/label"
+	"repro/internal/ml"
+	"repro/internal/sim"
+	"repro/internal/simjoin"
+	"repro/internal/tokenize"
+)
+
+// Item is one string to match, with a stable id.
+type Item struct {
+	ID  string
+	Str string
+}
+
+// Config tunes a Smurf run.
+type Config struct {
+	// SampleSize is the learning-sample size; 0 means 1000.
+	SampleSize int
+	// Learning configures the single active-learning session.
+	Learning active.Config
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) sampleSize() int {
+	if c.SampleSize <= 0 {
+		return 1000
+	}
+	return c.SampleSize
+}
+
+// Result is the outcome of a Smurf run.
+type Result struct {
+	// Matches holds the predicted matching (left id, right id) pairs.
+	Matches [][2]string
+	// Questions is the total labels spent — Smurf's entire budget goes to
+	// one active-learning session.
+	Questions int
+	// Forest is the learned forest, used as both blocker and matcher.
+	Forest *ml.RandomForest
+	// Candidates is the number of pairs the forest was executed on.
+	Candidates int
+}
+
+// FeatureNames lists the string-pair features Smurf scores, in vector
+// order.
+func FeatureNames() []string {
+	return []string{"lev", "jaro", "jaro_winkler", "jaccard_ws", "jaccard_3gram", "cosine_ws", "monge_elkan_jw"}
+}
+
+// featureVector scores one string pair on the Smurf battery.
+func featureVector(l, r string) []float64 {
+	l, r = strings.ToLower(l), strings.ToLower(r)
+	ws := tokenize.Whitespace{ReturnSet: true}
+	g3 := tokenize.QGram{Q: 3, ReturnSet: true}
+	lw, rw := ws.Tokenize(l), ws.Tokenize(r)
+	return []float64{
+		sim.Levenshtein(l, r),
+		sim.Jaro(l, r),
+		sim.JaroWinkler(l, r),
+		sim.Jaccard(lw, rw),
+		sim.Jaccard(g3.Tokenize(l), g3.Tokenize(r)),
+		sim.CosineSet(lw, rw),
+		sim.MongeElkanSym(lw, rw, sim.JaroWinkler),
+	}
+}
+
+// MatchStrings runs Smurf end to end: sample pairs, active-learn one
+// forest, execute it over all token-overlapping cross pairs.
+func MatchStrings(l, r []Item, lab label.Labeler, cfg Config) (*Result, error) {
+	if len(l) == 0 || len(r) == 0 {
+		return nil, fmt.Errorf("smurf: empty input (%d, %d items)", len(l), len(r))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Candidate universe: pairs sharing at least one token. As in Falcon,
+	// zero-overlap pairs score ~0 on every feature and cannot be matches
+	// the forest would accept.
+	tok := tokenize.Alphanumeric{ReturnSet: true}
+	lrecs := make([]simjoin.Record, len(l))
+	for i, it := range l {
+		lrecs[i] = simjoin.Record{ID: it.ID, Tokens: tok.Tokenize(it.Str)}
+	}
+	rrecs := make([]simjoin.Record, len(r))
+	for i, it := range r {
+		rrecs[i] = simjoin.Record{ID: it.ID, Tokens: tok.Tokenize(it.Str)}
+	}
+	cands, err := simjoin.OverlapJoin(lrecs, rrecs, 1, simjoin.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	lstr := make(map[string]string, len(l))
+	for _, it := range l {
+		lstr[it.ID] = it.Str
+	}
+	rstr := make(map[string]string, len(r))
+	for _, it := range r {
+		rstr[it.ID] = it.Str
+	}
+
+	// Learning sample: top-overlap quarter (likely matches), random
+	// overlap quarter, random cross pairs for the rest.
+	pool := buildPool(l, r, cands, lstr, rstr, cfg.sampleSize(), rng)
+
+	lcfg := cfg.Learning
+	if lcfg.Seed == 0 {
+		lcfg.Seed = cfg.Seed + 1
+	}
+	res, err := active.Learn(pool, lab, lcfg)
+	if err != nil {
+		return nil, fmt.Errorf("smurf: %w", err)
+	}
+
+	// Execute the forest directly as blocker+matcher over the candidates.
+	out := &Result{Forest: res.Forest, Questions: lab.Stats().Questions, Candidates: len(cands)}
+	for _, c := range cands {
+		x := featureVector(lstr[c.LID], rstr[c.RID])
+		if ml.Predict(res.Forest, x) == 1 {
+			out.Matches = append(out.Matches, [2]string{c.LID, c.RID})
+		}
+	}
+	return out, nil
+}
+
+// buildPool assembles the active-learning pool.
+func buildPool(l, r []Item, cands []simjoin.Pair, lstr, rstr map[string]string, n int, rng *rand.Rand) *active.Pool {
+	pool := &active.Pool{Names: FeatureNames()}
+	seen := make(map[[2]string]bool)
+	add := func(lid, rid string) {
+		k := [2]string{lid, rid}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		pool.X = append(pool.X, featureVector(lstr[lid], rstr[rid]))
+		pool.LIDs = append(pool.LIDs, lid)
+		pool.RIDs = append(pool.RIDs, rid)
+	}
+
+	byOverlap := append([]simjoin.Pair(nil), cands...)
+	sort.Slice(byOverlap, func(x, y int) bool {
+		if byOverlap[x].Sim != byOverlap[y].Sim {
+			return byOverlap[x].Sim > byOverlap[y].Sim
+		}
+		if byOverlap[x].LID != byOverlap[y].LID {
+			return byOverlap[x].LID < byOverlap[y].LID
+		}
+		return byOverlap[x].RID < byOverlap[y].RID
+	})
+	top := n / 4
+	if top > len(byOverlap) {
+		top = len(byOverlap)
+	}
+	for _, p := range byOverlap[:top] {
+		add(p.LID, p.RID)
+	}
+	rest := byOverlap[top:]
+	rng.Shuffle(len(rest), func(x, y int) { rest[x], rest[y] = rest[y], rest[x] })
+	want := n / 4
+	if want > len(rest) {
+		want = len(rest)
+	}
+	for _, p := range rest[:want] {
+		add(p.LID, p.RID)
+	}
+	for attempt := 0; pool.Len() < n && attempt < 20*n; attempt++ {
+		add(l[rng.Intn(len(l))].ID, r[rng.Intn(len(r))].ID)
+	}
+	return pool
+}

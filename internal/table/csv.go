@@ -1,0 +1,141 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV reads a table from CSV with a header row, inferring column kinds
+// from the data (int, then float, then bool, falling back to string). The
+// table name is set to name.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("read csv %q: empty input (no header)", name)
+	}
+	header := records[0]
+	body := records[1:]
+	for i, rec := range body {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("read csv %q: row %d has %d fields, header has %d", name, i+1, len(rec), len(header))
+		}
+	}
+	kinds := make([]Kind, len(header))
+	for j := range header {
+		kinds[j] = inferKind(body, j)
+	}
+	cols := make([]Column, len(header))
+	for j, h := range header {
+		cols[j] = Column{Name: strings.TrimSpace(h), Kind: kinds[j]}
+	}
+	sch, err := NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("read csv %q: %w", name, err)
+	}
+	t := New(name, sch)
+	for i, rec := range body {
+		if err := t.AppendStrings(rec...); err != nil {
+			return nil, fmt.Errorf("read csv %q row %d: %w", name, i+1, err)
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile reads a table from the named CSV file; the table name is the
+// file path.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, path)
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.schema.Len())
+	for _, r := range t.rows {
+		for j, v := range r {
+			rec[j] = v.AsString()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the named file, creating or truncating it.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// inferKind scans column j of the records and picks the narrowest kind that
+// parses every non-empty cell.
+func inferKind(records [][]string, j int) Kind {
+	sawAny := false
+	isInt, isFloat, isBool := true, true, true
+	for _, rec := range records {
+		s := strings.TrimSpace(rec[j])
+		if s == "" {
+			continue
+		}
+		sawAny = true
+		if isInt {
+			if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+				isInt = false
+			}
+		}
+		if isFloat {
+			if _, err := strconv.ParseFloat(s, 64); err != nil {
+				isFloat = false
+			}
+		}
+		if isBool {
+			switch strings.ToLower(s) {
+			case "true", "false", "0", "1":
+			default:
+				isBool = false
+			}
+		}
+		if !isInt && !isFloat && !isBool {
+			return KindString
+		}
+	}
+	if !sawAny {
+		return KindString
+	}
+	switch {
+	case isInt:
+		return KindInt
+	case isFloat:
+		return KindFloat
+	case isBool:
+		return KindBool
+	default:
+		return KindString
+	}
+}

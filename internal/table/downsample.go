@@ -1,0 +1,143 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"unicode"
+)
+
+// DownSample implements the "intelligent down sampler" of the PyMatcher
+// guide (Figure 2 and Table 3, column D). Naively sampling both tables
+// independently tends to destroy nearly all matching pairs, leaving nothing
+// to learn from. Instead we:
+//
+//  1. sample sizeB tuples from B,
+//  2. build an inverted index from word tokens of every tuple of A
+//     (concatenating all string attributes),
+//  3. for each sampled B-tuple, probe the index and keep the A-tuples that
+//     share the most tokens,
+//  4. top up with random A-tuples until sizeA is reached.
+//
+// The result is a pair of small tables A', B' that still contain plausible
+// matches, on which blockers and matchers can be tuned quickly.
+func DownSample(a, b *Table, sizeA, sizeB int, rng *rand.Rand) (*Table, *Table, error) {
+	if a.Len() == 0 || b.Len() == 0 {
+		return nil, nil, fmt.Errorf("downsample: empty input table")
+	}
+	if sizeB >= b.Len() && sizeA >= a.Len() {
+		return a.Clone(), b.Clone(), nil
+	}
+	if sizeA <= 0 || sizeB <= 0 {
+		return nil, nil, fmt.Errorf("downsample: sizes must be positive (got %d, %d)", sizeA, sizeB)
+	}
+
+	bSample := b.Sample(sizeB, rng)
+
+	// Inverted index: token -> list of A row indices.
+	inv := make(map[string][]int)
+	for i := 0; i < a.Len(); i++ {
+		for tok := range rowTokens(a, i) {
+			inv[tok] = append(inv[tok], i)
+		}
+	}
+
+	// Probe with each sampled B tuple; count token overlaps per A row and
+	// rank candidates per tuple.
+	const probesPerTuple = 5
+	ranked := make([][]int, bSample.Len())
+	for i := 0; i < bSample.Len(); i++ {
+		scores := make(map[int]int)
+		for tok := range rowTokens(bSample, i) {
+			post := inv[tok]
+			// Very frequent tokens are stop-word-like; skip huge postings
+			// to keep probing cheap and discriminative.
+			if len(post) > a.Len()/10+50 {
+				continue
+			}
+			for _, ai := range post {
+				scores[ai]++
+			}
+		}
+		for k := 0; k < probesPerTuple; k++ {
+			best, bestScore := -1, 0
+			for ai, s := range scores {
+				if s > bestScore || (s == bestScore && best >= 0 && ai < best) {
+					best, bestScore = ai, s
+				}
+			}
+			if best < 0 {
+				break
+			}
+			ranked[i] = append(ranked[i], best)
+			delete(scores, best)
+		}
+	}
+
+	// Take candidates round-robin so every B tuple contributes its best
+	// candidate (almost surely the true match) before any tuple gets a
+	// second one.
+	chosen := make(map[int]bool)
+	for k := 0; k < probesPerTuple && len(chosen) < sizeA; k++ {
+		for i := range ranked {
+			if k < len(ranked[i]) && !chosen[ranked[i][k]] {
+				chosen[ranked[i][k]] = true
+				if len(chosen) >= sizeA {
+					break
+				}
+			}
+		}
+	}
+
+	// Top up with random rows of A.
+	if len(chosen) < sizeA {
+		for _, i := range rng.Perm(a.Len()) {
+			if !chosen[i] {
+				chosen[i] = true
+				if len(chosen) >= sizeA {
+					break
+				}
+			}
+		}
+	}
+	idxs := make([]int, 0, len(chosen))
+	for i := range chosen {
+		idxs = append(idxs, i)
+	}
+	aSample := a.Select(idxs)
+	aSample.SetName(a.Name() + "_sample")
+	bSample.SetName(b.Name() + "_sample")
+	return aSample, bSample, nil
+}
+
+// rowTokens returns the set of lower-cased word tokens across all string
+// cells of row i, excluding the key column (ids should not drive overlap).
+func rowTokens(t *Table, i int) map[string]bool {
+	toks := make(map[string]bool)
+	r := t.Row(i)
+	for j := 0; j < t.Schema().Len(); j++ {
+		col := t.Schema().Col(j)
+		if col.Name == t.Key() {
+			continue
+		}
+		if r[j].IsNull() {
+			continue
+		}
+		s := strings.ToLower(r[j].AsString())
+		start := -1
+		for k, c := range s {
+			if unicode.IsLetter(c) || unicode.IsDigit(c) {
+				if start < 0 {
+					start = k
+				}
+			} else if start >= 0 {
+				toks[s[start:k]] = true
+				start = -1
+			}
+		}
+		if start >= 0 {
+			toks[s[start:]] = true
+		}
+	}
+	return toks
+}

@@ -1,0 +1,148 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColumnProfile summarizes one column of a table: the output of the
+// "data exploration / profiling" step of the how-to guide (the paper points
+// users at pandas-profiling; this is our equivalent).
+type ColumnProfile struct {
+	Name       string
+	Kind       Kind
+	Count      int     // total rows
+	Nulls      int     // null cells
+	Empty      int     // non-null but empty-string cells
+	Distinct   int     // distinct non-null values
+	MinLen     int     // min string length of non-null values
+	MaxLen     int     // max string length
+	AvgLen     float64 // mean string length
+	Min        Value   // minimum value (by Value.Less)
+	Max        Value   // maximum value
+	TopValues  []ValueCount
+	IsUnique   bool // distinct == non-null count (key candidate)
+	NullRatio  float64
+	EmptyRatio float64
+}
+
+// ValueCount is one entry of a frequency histogram.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// TableProfile summarizes a whole table.
+type TableProfile struct {
+	Name    string
+	Rows    int
+	Columns []ColumnProfile
+}
+
+// Profile computes per-column statistics for the table. topK bounds the
+// size of each column's value histogram (topK <= 0 means 5).
+func (t *Table) Profile(topK int) TableProfile {
+	if topK <= 0 {
+		topK = 5
+	}
+	prof := TableProfile{Name: t.name, Rows: t.Len()}
+	for j := 0; j < t.schema.Len(); j++ {
+		col := t.schema.Col(j)
+		cp := ColumnProfile{Name: col.Name, Kind: col.Kind, Count: t.Len(), MinLen: -1}
+		counts := make(map[string]int)
+		var totalLen int
+		first := true
+		for _, r := range t.rows {
+			v := r[j]
+			if v.IsNull() {
+				cp.Nulls++
+				continue
+			}
+			s := v.AsString()
+			if s == "" {
+				cp.Empty++
+			}
+			counts[s]++
+			totalLen += len(s)
+			if cp.MinLen < 0 || len(s) < cp.MinLen {
+				cp.MinLen = len(s)
+			}
+			if len(s) > cp.MaxLen {
+				cp.MaxLen = len(s)
+			}
+			if first {
+				cp.Min, cp.Max = v, v
+				first = false
+			} else {
+				if v.Less(cp.Min) {
+					cp.Min = v
+				}
+				if cp.Max.Less(v) {
+					cp.Max = v
+				}
+			}
+		}
+		nonNull := cp.Count - cp.Nulls
+		cp.Distinct = len(counts)
+		cp.IsUnique = nonNull > 0 && cp.Distinct == nonNull && cp.Nulls == 0
+		if nonNull > 0 {
+			cp.AvgLen = float64(totalLen) / float64(nonNull)
+		}
+		if cp.MinLen < 0 {
+			cp.MinLen = 0
+		}
+		if cp.Count > 0 {
+			cp.NullRatio = float64(cp.Nulls) / float64(cp.Count)
+			cp.EmptyRatio = float64(cp.Empty) / float64(cp.Count)
+		}
+		cp.TopValues = topValues(counts, topK)
+		prof.Columns = append(prof.Columns, cp)
+	}
+	return prof
+}
+
+func topValues(counts map[string]int, k int) []ValueCount {
+	vcs := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		vcs = append(vcs, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(vcs, func(a, b int) bool {
+		if vcs[a].Count != vcs[b].Count {
+			return vcs[a].Count > vcs[b].Count
+		}
+		return vcs[a].Value < vcs[b].Value
+	})
+	if len(vcs) > k {
+		vcs = vcs[:k]
+	}
+	return vcs
+}
+
+// KeyCandidates returns the names of columns whose values are unique and
+// non-null — the columns a user could declare as the table key.
+func (t *Table) KeyCandidates() []string {
+	var out []string
+	prof := t.Profile(1)
+	for _, cp := range prof.Columns {
+		if cp.IsUnique {
+			out = append(out, cp.Name)
+		}
+	}
+	return out
+}
+
+// String renders the profile as a fixed-width text report.
+func (p TableProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table %q: %d rows, %d columns\n", p.Name, p.Rows, len(p.Columns))
+	for _, c := range p.Columns {
+		fmt.Fprintf(&b, "  %-20s %-7s nulls=%d (%.1f%%) distinct=%d avglen=%.1f",
+			c.Name, c.Kind, c.Nulls, 100*c.NullRatio, c.Distinct, c.AvgLen)
+		if c.IsUnique {
+			b.WriteString(" [unique]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package table
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestCSVRoundTripProperty: any table of printable string cells survives a
+// CSV write/read round trip, including cells containing commas, quotes,
+// and newlines (the CSV writer must escape them).
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(cells [][3]string) bool {
+		tab := New("P", StringSchema("c0", "c1", "c2"))
+		for _, row := range cells {
+			r := make(Row, 3)
+			for j, s := range row {
+				// encoding/csv normalizes \r\n to \n on read; avoid
+				// feeding sequences the format cannot represent
+				// losslessly.
+				s = strings.ReplaceAll(s, "\r", "")
+				r[j] = String(s)
+			}
+			if err := tab.Append(r); err != nil {
+				return false
+			}
+		}
+		var buf strings.Builder
+		if err := tab.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(strings.NewReader(buf.String()), "P")
+		if err != nil {
+			return false
+		}
+		if got.Len() != tab.Len() {
+			return false
+		}
+		for i := 0; i < tab.Len(); i++ {
+			for _, c := range []string{"c0", "c1", "c2"} {
+				want := tab.Get(i, c).AsString()
+				have := got.Get(i, c).AsString()
+				if want != have {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := rng.Intn(6)
+			cells := make([][3]string, n)
+			alphabet := []rune("ab,\"\n xyéz")
+			for i := range cells {
+				for j := 0; j < 3; j++ {
+					k := rng.Intn(8)
+					var sb strings.Builder
+					for c := 0; c < k; c++ {
+						sb.WriteRune(alphabet[rng.Intn(len(alphabet))])
+					}
+					cells[i][j] = sb.String()
+				}
+			}
+			args[0] = reflect.ValueOf(cells)
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSampleIsSubsetProperty: samples only contain rows of the original,
+// with no index out of range, for any sizes.
+func TestSampleIsSubsetProperty(t *testing.T) {
+	f := func(n uint8, k uint8, seed int64) bool {
+		rows := int(n%50) + 1
+		tab := New("S", StringSchema("id"))
+		for i := 0; i < rows; i++ {
+			tab.MustAppend(String(itoa(i)))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s := tab.Sample(int(k), rng)
+		if s.Len() > rows {
+			return false
+		}
+		valid := map[string]bool{}
+		for i := 0; i < rows; i++ {
+			valid[itoa(i)] = true
+		}
+		seen := map[string]bool{}
+		for i := 0; i < s.Len(); i++ {
+			id := s.Get(i, "id").AsString()
+			if !valid[id] || seen[id] {
+				return false // out-of-universe or duplicate (without replacement)
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProfileCountsProperty: nulls + distinct observations are consistent
+// with the row count for arbitrary null patterns.
+func TestProfileCountsProperty(t *testing.T) {
+	f := func(pattern []bool) bool {
+		tab := New("N", StringSchema("v"))
+		for i, isNull := range pattern {
+			if isNull {
+				tab.MustAppend(Null(KindString))
+			} else {
+				tab.MustAppend(String(itoa(i % 3)))
+			}
+		}
+		p := tab.Profile(10)
+		col := p.Columns[0]
+		if col.Count != len(pattern) {
+			return false
+		}
+		nonNull := 0
+		for _, isNull := range pattern {
+			if !isNull {
+				nonNull++
+			}
+		}
+		if col.Nulls != len(pattern)-nonNull {
+			return false
+		}
+		return col.Distinct <= nonNull && (nonNull == 0 || col.Distinct >= 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,523 @@
+package table
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func personTable(t *testing.T) *Table {
+	t.Helper()
+	tab := New("A", StringSchema("id", "name", "city", "state"))
+	rows := [][]string{
+		{"a1", "Dave Smith", "Madison", "WI"},
+		{"a2", "Joe Wilson", "San Jose", "CA"},
+		{"a3", "Dan Smith", "Middleton", "WI"},
+	}
+	for _, r := range rows {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := tab.SetKey("id"); err != nil {
+		t.Fatalf("set key: %v", err)
+	}
+	return tab
+}
+
+func TestAppendAndGet(t *testing.T) {
+	tab := personTable(t)
+	if tab.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tab.Len())
+	}
+	if got := tab.Get(0, "name").AsString(); got != "Dave Smith" {
+		t.Errorf("Get(0,name) = %q", got)
+	}
+	if got := tab.Get(2, "state").AsString(); got != "WI" {
+		t.Errorf("Get(2,state) = %q", got)
+	}
+}
+
+func TestAppendArityMismatch(t *testing.T) {
+	tab := New("A", StringSchema("id", "name"))
+	if err := tab.Append(Row{String("x")}); err == nil {
+		t.Fatal("want error for short row")
+	}
+	if err := tab.AppendStrings("a", "b", "c"); err == nil {
+		t.Fatal("want error for long string row")
+	}
+}
+
+func TestSetKeyRejectsDuplicates(t *testing.T) {
+	tab := New("A", StringSchema("id", "name"))
+	tab.MustAppend(String("x"), String("n1"))
+	tab.MustAppend(String("x"), String("n2"))
+	if err := tab.SetKey("id"); err == nil {
+		t.Fatal("want duplicate-key error")
+	}
+}
+
+func TestSetKeyRejectsNulls(t *testing.T) {
+	tab := New("A", StringSchema("id", "name"))
+	tab.MustAppend(Null(KindString), String("n1"))
+	if err := tab.SetKey("id"); err == nil {
+		t.Fatal("want null-key error")
+	}
+}
+
+func TestSetKeyMissingColumn(t *testing.T) {
+	tab := New("A", StringSchema("id"))
+	if err := tab.SetKey("nope"); err == nil {
+		t.Fatal("want missing-column error")
+	}
+}
+
+func TestProjectPreservesKey(t *testing.T) {
+	tab := personTable(t)
+	p, err := tab.Project("id", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key() != "id" {
+		t.Errorf("projected key = %q, want id", p.Key())
+	}
+	if p.Schema().Len() != 2 || p.Len() != 3 {
+		t.Errorf("projection shape = %dx%d", p.Len(), p.Schema().Len())
+	}
+	p2, err := tab.Project("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Key() != "" {
+		t.Errorf("key should drop when projected out, got %q", p2.Key())
+	}
+}
+
+func TestProjectMissingColumn(t *testing.T) {
+	tab := personTable(t)
+	if _, err := tab.Project("bogus"); err == nil {
+		t.Fatal("want error for missing column")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tab := personTable(t)
+	wi := tab.Filter(func(r Row) bool { return r[3].AsString() == "WI" })
+	if wi.Len() != 2 {
+		t.Fatalf("filter WI = %d rows, want 2", wi.Len())
+	}
+	if wi.Key() != "id" {
+		t.Error("filter should preserve key metadata")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	tab := personTable(t)
+	if err := tab.SortBy("name"); err != nil {
+		t.Fatal(err)
+	}
+	got := []string{}
+	for i := 0; i < tab.Len(); i++ {
+		got = append(got, tab.Get(i, "name").AsString())
+	}
+	want := []string{"Dan Smith", "Dave Smith", "Joe Wilson"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tab := personTable(t)
+	c := tab.Clone()
+	c.Set(0, "name", String("changed"))
+	if tab.Get(0, "name").AsString() == "changed" {
+		t.Fatal("clone shares row storage with original")
+	}
+}
+
+func TestAddColumn(t *testing.T) {
+	tab := personTable(t)
+	vals := []Value{Int(1), Int(2), Int(3)}
+	out, err := tab.AddColumn(Column{Name: "score", Kind: KindInt}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := out.Get(1, "score").AsInt(); got != 2 {
+		t.Errorf("score[1] = %d, want 2", got)
+	}
+	if _, err := tab.AddColumn(Column{Name: "name", Kind: KindInt}, vals); err == nil {
+		t.Error("want error adding duplicate column")
+	}
+	if _, err := tab.AddColumn(Column{Name: "x", Kind: KindInt}, vals[:1]); err == nil {
+		t.Error("want error for wrong value count")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := personTable(t)
+	b := New("B", StringSchema("id", "name", "city", "state"))
+	b.MustAppend(String("b1"), String("X"), String("Y"), String("Z"))
+	out, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Errorf("concat len = %d, want 4", out.Len())
+	}
+	c := New("C", StringSchema("other"))
+	if _, err := a.Concat(c); err == nil {
+		t.Error("want schema-mismatch error")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if f, ok := Int(7).AsFloat(); !ok || f != 7 {
+		t.Errorf("Int.AsFloat = %v,%v", f, ok)
+	}
+	if i, ok := Float(3.0).AsInt(); !ok || i != 3 {
+		t.Errorf("Float(3).AsInt = %v,%v", i, ok)
+	}
+	if _, ok := Float(3.5).AsInt(); ok {
+		t.Error("Float(3.5).AsInt should fail")
+	}
+	if s := Null(KindInt).AsString(); s != "" {
+		t.Errorf("null AsString = %q", s)
+	}
+	if f, ok := String(" 2.5 ").AsFloat(); !ok || f != 2.5 {
+		t.Errorf("string AsFloat = %v,%v", f, ok)
+	}
+	if !Int(2).Equal(Float(2)) {
+		t.Error("cross-kind numeric equality failed")
+	}
+	if !Null(KindInt).Equal(Null(KindString)) {
+		t.Error("nulls of different kinds should be equal")
+	}
+	if Null(KindInt).Equal(Int(0)) {
+		t.Error("null should not equal zero")
+	}
+}
+
+func TestValueLess(t *testing.T) {
+	if !Null(KindString).Less(String("a")) {
+		t.Error("null should sort before values")
+	}
+	if !String("a").Less(String("b")) || String("b").Less(String("a")) {
+		t.Error("string ordering broken")
+	}
+	if !Int(1).Less(Int(2)) {
+		t.Error("int ordering broken")
+	}
+	if !Bool(false).Less(Bool(true)) {
+		t.Error("bool ordering broken")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue("42", KindInt)
+	if err != nil || v.Int != 42 {
+		t.Errorf("parse int: %v %v", v, err)
+	}
+	if v, _ := ParseValue("", KindFloat); !v.IsNull() {
+		t.Error("empty float should parse to null")
+	}
+	if v, _ := ParseValue("", KindString); v.IsNull() || v.Str != "" {
+		t.Error("empty string should stay a present empty string")
+	}
+	if _, err := ParseValue("abc", KindInt); err == nil {
+		t.Error("want int parse error")
+	}
+	if v, err := ParseValue("TRUE", KindBool); err != nil || !v.Bool {
+		t.Errorf("bool parse: %v %v", v, err)
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := StringSchema("a", "b", "c")
+	if s.Lookup("b") != 1 || s.Lookup("nope") != -1 {
+		t.Error("lookup broken")
+	}
+	if _, err := NewSchema(Column{Name: "x"}, Column{Name: "x"}); err == nil {
+		t.Error("want duplicate-column error")
+	}
+	if _, err := NewSchema(Column{Name: ""}); err == nil {
+		t.Error("want empty-name error")
+	}
+	if _, err := s.KindOf("nope"); err == nil {
+		t.Error("want KindOf error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := personTable(t)
+	var buf strings.Builder
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(buf.String()), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tab.Len() {
+		t.Fatalf("round trip rows = %d, want %d", got.Len(), tab.Len())
+	}
+	for i := 0; i < tab.Len(); i++ {
+		for _, c := range tab.Schema().Names() {
+			if got.Get(i, c).AsString() != tab.Get(i, c).AsString() {
+				t.Fatalf("cell (%d,%s) mismatch", i, c)
+			}
+		}
+	}
+}
+
+func TestCSVTypeInference(t *testing.T) {
+	in := "id,age,score,flag,name\n1,30,1.5,true,bob\n2,,2.5,false,alice\n"
+	tab, err := ReadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := map[string]Kind{"id": KindInt, "age": KindInt, "score": KindFloat, "flag": KindBool, "name": KindString}
+	for name, k := range wantKinds {
+		got, err := tab.Schema().KindOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Errorf("kind(%s) = %v, want %v", name, got, k)
+		}
+	}
+	if !tab.Get(1, "age").IsNull() {
+		t.Error("missing int cell should be null")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "t"); err == nil {
+		t.Error("want empty-input error")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	tab := New("A", MustSchema(
+		Column{Name: "id", Kind: KindString},
+		Column{Name: "n", Kind: KindInt},
+	))
+	tab.MustAppend(String("a"), Int(1))
+	tab.MustAppend(String("b"), Int(1))
+	tab.MustAppend(String("c"), Null(KindInt))
+	p := tab.Profile(3)
+	if p.Rows != 3 {
+		t.Fatalf("rows = %d", p.Rows)
+	}
+	idCol := p.Columns[0]
+	if !idCol.IsUnique {
+		t.Error("id should be unique")
+	}
+	nCol := p.Columns[1]
+	if nCol.Nulls != 1 || nCol.Distinct != 1 {
+		t.Errorf("n profile: nulls=%d distinct=%d", nCol.Nulls, nCol.Distinct)
+	}
+	if len(nCol.TopValues) == 0 || nCol.TopValues[0].Value != "1" || nCol.TopValues[0].Count != 2 {
+		t.Errorf("top values = %v", nCol.TopValues)
+	}
+	if got := tab.KeyCandidates(); len(got) != 1 || got[0] != "id" {
+		t.Errorf("key candidates = %v", got)
+	}
+	if !strings.Contains(p.String(), "unique") {
+		t.Error("profile report should flag unique columns")
+	}
+}
+
+func TestSampleAndSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := New("A", StringSchema("id"))
+	for i := 0; i < 100; i++ {
+		tab.MustAppend(String(string(rune('a' + i%26))))
+	}
+	s := tab.Sample(10, rng)
+	if s.Len() != 10 {
+		t.Fatalf("sample len = %d", s.Len())
+	}
+	all := tab.Sample(1000, rng)
+	if all.Len() != 100 {
+		t.Fatalf("oversample len = %d", all.Len())
+	}
+	tr, te, err := tab.Split(0.7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 70 || te.Len() != 30 {
+		t.Fatalf("split = %d/%d", tr.Len(), te.Len())
+	}
+	if _, _, err := tab.Split(1.5, rng); err == nil {
+		t.Error("want out-of-range error")
+	}
+	wr := tab.SampleWithReplacement(200, rng)
+	if wr.Len() != 200 {
+		t.Fatalf("with-replacement len = %d", wr.Len())
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tab := New("L", MustSchema(Column{Name: "label", Kind: KindBool}))
+	for i := 0; i < 90; i++ {
+		tab.MustAppend(Bool(false))
+	}
+	for i := 0; i < 10; i++ {
+		tab.MustAppend(Bool(true))
+	}
+	a, b, err := tab.StratifiedSplit("label", 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(tb *Table) (pos int) {
+		for i := 0; i < tb.Len(); i++ {
+			if tb.Get(i, "label").Bool {
+				pos++
+			}
+		}
+		return
+	}
+	if count(a) != 5 || count(b) != 5 {
+		t.Errorf("stratified positives = %d/%d, want 5/5", count(a), count(b))
+	}
+	if _, _, err := tab.StratifiedSplit("nope", 0.5, rng); err == nil {
+		t.Error("want missing-column error")
+	}
+}
+
+func TestKeyIndex(t *testing.T) {
+	tab := personTable(t)
+	idx, err := tab.KeyIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx["a2"] != 1 {
+		t.Errorf("idx[a2] = %d", idx["a2"])
+	}
+	noKey := New("N", StringSchema("x"))
+	if _, err := noKey.KeyIndex(); err == nil {
+		t.Error("want no-key error")
+	}
+}
+
+func TestCatalogPairLifecycle(t *testing.T) {
+	a := personTable(t)
+	b := personTable(t)
+	b.SetName("B")
+	cat := NewCatalog()
+	pair, err := NewPairTable("C", a, b, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AppendPair(pair, "a1", "a2")
+	AppendPair(pair, "a3", "a1")
+	if err := cat.ValidatePair(pair); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	meta, ok := cat.PairMeta(pair)
+	if !ok || meta.LTable != a {
+		t.Fatal("pair meta missing")
+	}
+	// Simulate an outside tool deleting a base row: validation must fail.
+	AppendPair(pair, "missing", "a1")
+	if err := cat.ValidatePair(pair); err == nil {
+		t.Fatal("want FK violation after dangling id")
+	}
+	cat.Drop(pair)
+	if err := cat.ValidatePair(pair); err == nil {
+		t.Fatal("want not-registered error after drop")
+	}
+}
+
+func TestCatalogRegisterErrors(t *testing.T) {
+	a := personTable(t)
+	cat := NewCatalog()
+	noKey := New("NK", StringSchema("id"))
+	p := New("P", DefaultPairSchema())
+	if err := cat.RegisterPair(p, PairMeta{LTable: a, RTable: noKey, LID: "ltable_id", RID: "rtable_id"}); err == nil {
+		t.Error("want error for keyless base table")
+	}
+	if err := cat.RegisterPair(p, PairMeta{LTable: a, RTable: a, LID: "bogus", RID: "rtable_id"}); err == nil {
+		t.Error("want error for missing id column")
+	}
+}
+
+func TestDownSampleKeepsMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New("A", StringSchema("id", "name"))
+	b := New("B", StringSchema("id", "name"))
+	// 500 A rows; B rows 0..99 are near-copies of A rows 0..99.
+	names := []string{"acme corp", "globex inc", "initech llc", "umbrella co", "stark industries"}
+	for i := 0; i < 500; i++ {
+		a.MustAppend(String("a"+itoa(i)), String(names[i%len(names)]+" branch "+itoa(i)))
+	}
+	for i := 0; i < 100; i++ {
+		b.MustAppend(String("b"+itoa(i)), String(names[i%len(names)]+" branch "+itoa(i)))
+	}
+	a.SetKey("id")
+	b.SetKey("id")
+	as, bs, err := DownSample(a, b, 100, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Len() != 100 || bs.Len() != 50 {
+		t.Fatalf("downsample sizes = %d/%d", as.Len(), bs.Len())
+	}
+	// Every sampled B tuple's exact counterpart should appear in A'.
+	aNames := map[string]bool{}
+	for i := 0; i < as.Len(); i++ {
+		aNames[as.Get(i, "name").AsString()] = true
+	}
+	hits := 0
+	for i := 0; i < bs.Len(); i++ {
+		if aNames[bs.Get(i, "name").AsString()] {
+			hits++
+		}
+	}
+	if hits < bs.Len()*8/10 {
+		t.Errorf("only %d/%d sampled B tuples have their match in A'", hits, bs.Len())
+	}
+}
+
+func TestDownSampleErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	empty := New("E", StringSchema("id"))
+	full := New("F", StringSchema("id"))
+	full.MustAppend(String("x"))
+	if _, _, err := DownSample(empty, full, 1, 1, rng); err == nil {
+		t.Error("want empty-table error")
+	}
+	if _, _, err := DownSample(full, full, 0, 1, rng); err == nil {
+		t.Error("want size error")
+	}
+	// Oversized request returns clones.
+	as, bs, err := DownSample(full, full, 10, 10, rng)
+	if err != nil || as.Len() != 1 || bs.Len() != 1 {
+		t.Errorf("oversized downsample: %v %d %d", err, as.Len(), bs.Len())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

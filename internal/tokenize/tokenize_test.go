@@ -1,0 +1,164 @@
+package tokenize
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestWhitespace(t *testing.T) {
+	got := Whitespace{}.Tokenize("  foo bar\tbaz  foo ")
+	want := []string{"foo", "bar", "baz", "foo"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	got = Whitespace{ReturnSet: true}.Tokenize("foo bar foo")
+	want = []string{"foo", "bar"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("set variant: got %v want %v", got, want)
+	}
+	if got := (Whitespace{}).Tokenize(""); len(got) != 0 {
+		t.Errorf("empty input: got %v", got)
+	}
+}
+
+func TestDelimiter(t *testing.T) {
+	got := Delimiter{Delims: ",;"}.Tokenize("a, b;c,,d")
+	want := []string{"a", "b", "c", "d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	// Default delimiter is comma.
+	got = Delimiter{}.Tokenize("x,y")
+	if !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("default delim: got %v", got)
+	}
+	got = Delimiter{ReturnSet: true}.Tokenize("a,a,b")
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("set variant: got %v", got)
+	}
+}
+
+func TestAlphanumeric(t *testing.T) {
+	got := Alphanumeric{}.Tokenize("Dave's Auto-Shop #42")
+	want := []string{"dave", "s", "auto", "shop", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	got = Alphanumeric{ReturnSet: true}.Tokenize("a b a")
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("set variant: got %v", got)
+	}
+}
+
+func TestQGram(t *testing.T) {
+	got := QGram{Q: 2}.Tokenize("abcd")
+	want := []string{"ab", "bc", "cd"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	// Padding adds boundary grams.
+	got = QGram{Q: 2, Pad: true}.Tokenize("ab")
+	want = []string{"#a", "ab", "b$"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("padded: got %v want %v", got, want)
+	}
+	// Short strings yield a single token.
+	got = QGram{Q: 3}.Tokenize("ab")
+	if !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Errorf("short: got %v", got)
+	}
+	if got := (QGram{Q: 3}).Tokenize(""); got != nil {
+		t.Errorf("empty: got %v", got)
+	}
+	// Q defaults to 3.
+	if (QGram{}).Name() != "3gram" {
+		t.Errorf("name = %q", QGram{}.Name())
+	}
+	got = QGram{}.Tokenize("abcd")
+	if !reflect.DeepEqual(got, []string{"abc", "bcd"}) {
+		t.Errorf("default q: got %v", got)
+	}
+	// Unicode safety: q-grams operate on runes.
+	got = QGram{Q: 2}.Tokenize("héllo")
+	if len(got) != 4 || got[0] != "hé" {
+		t.Errorf("unicode grams: %v", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[Tokenizer]string{
+		Whitespace{}:   "ws",
+		Delimiter{}:    "delim",
+		Alphanumeric{}: "alnum",
+		QGram{Q: 4}:    "4gram",
+	}
+	for tok, want := range cases {
+		if tok.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", tok, tok.Name(), want)
+		}
+	}
+}
+
+func TestSortedSet(t *testing.T) {
+	got := SortedSet(Whitespace{}, "b a b c")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+// Property: q-gram count equals max(1, runeLen - q + 1) for non-empty
+// unpadded strings.
+func TestQGramCountProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := QGram{Q: 3}.Tokenize(s)
+		n := len([]rune(s))
+		if n == 0 {
+			return len(toks) == 0
+		}
+		want := n - 3 + 1
+		if want < 1 {
+			want = 1
+		}
+		return len(toks) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: set-variant tokenizers return no duplicates.
+func TestSetVariantNoDuplicatesProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range []Tokenizer{
+			Whitespace{ReturnSet: true},
+			Alphanumeric{ReturnSet: true},
+			QGram{Q: 2, ReturnSet: true},
+		} {
+			seen := map[string]bool{}
+			for _, w := range tok.Tokenize(s) {
+				if seen[w] {
+					return false
+				}
+				seen[w] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenizing is deterministic.
+func TestTokenizeDeterministicProperty(t *testing.T) {
+	f := func(s string) bool {
+		a := Alphanumeric{}.Tokenize(s)
+		b := Alphanumeric{}.Tokenize(s)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
