@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Determinism-under-concurrency suite: the parallel execution layer and
+# every package driving it, under the race detector.
+race:
+	$(GO) test -race ./internal/parallel ./internal/ml ./internal/block
+
+vet:
+	$(GO) vet ./...
+
+# Regenerates BENCH_parallel.json (Workers=1 vs GOMAXPROCS on the
+# parallelized hot paths).
+bench:
+	$(GO) run ./cmd/benchem -exp parallel

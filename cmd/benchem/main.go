@@ -10,6 +10,7 @@
 //	benchem -exp smurf         Falcon vs Smurf labeling effort (§5.3)
 //	benchem -exp mlrules       ML/rules/ML+rules ablation (§6)
 //	benchem -exp blockers      blocker recall/reduction ablation
+//	benchem -exp parallel      Workers=1 vs multicore regression bench (BENCH_parallel.json)
 //	benchem -exp all           everything above
 package main
 
@@ -22,8 +23,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|parallel|all)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker goroutines for parallelized stages; 0 means GOMAXPROCS")
+	benchout := flag.String("benchout", "BENCH_parallel.json", "output path for the parallel bench JSON")
 	flag.Parse()
 
 	run := func(name string) error {
@@ -50,7 +53,7 @@ func main() {
 			fmt.Print(experiments.FormatTable4())
 		case "guide":
 			fmt.Println("== Figure 2: the PyMatcher how-to guide, end to end ==")
-			res, err := experiments.RunGuide(2000, 2000, 600, 600, *seed)
+			res, err := experiments.RunGuideWorkers(2000, 2000, 600, 600, *seed, *workers)
 			if err != nil {
 				return err
 			}
@@ -87,6 +90,21 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.FormatBlockers(rows))
+		case "parallel":
+			fmt.Println("== parallel execution layer: Workers=1 vs multicore ==")
+			res, err := experiments.RunParallelBench(*seed, *workers)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatParallelBench(res))
+			data, err := res.MarshalBenchJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchout, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchout)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -96,7 +114,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "concurrency", "table2"}
+		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "parallel", "concurrency", "table2"}
 	} else {
 		names = []string{*exp}
 	}

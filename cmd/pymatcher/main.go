@@ -28,15 +28,16 @@ func main() {
 	outPath := flag.String("out", "matches.csv", "output CSV of predicted matches")
 	sample := flag.Int("sample", 400, "labeled sample size")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker goroutines for blocking, feature extraction, and CV; 0 means GOMAXPROCS")
 	flag.Parse()
 
-	if err := run(*aPath, *bPath, *key, *goldPath, *outPath, *sample, *seed); err != nil {
+	if err := run(*aPath, *bPath, *key, *goldPath, *outPath, *sample, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pymatcher:", err)
 		os.Exit(1)
 	}
 }
 
-func run(aPath, bPath, key, goldPath, outPath string, sample int, seed int64) error {
+func run(aPath, bPath, key, goldPath, outPath string, sample int, seed int64, workers int) error {
 	if aPath == "" || bPath == "" || goldPath == "" {
 		return fmt.Errorf("-a, -b, and -gold are required")
 	}
@@ -68,11 +69,12 @@ func run(aPath, bPath, key, goldPath, outPath string, sample int, seed int64) er
 	if err != nil {
 		return err
 	}
+	s.Workers = workers
 	fmt.Printf("features: %d auto-generated\n", s.Features.Len())
 
 	blockers := []block.Blocker{
-		block.WholeTupleOverlapBlocker{MinOverlap: 2},
-		block.WholeTupleOverlapBlocker{MinOverlap: 1},
+		block.WholeTupleOverlapBlocker{MinOverlap: 2, Workers: workers},
+		block.WholeTupleOverlapBlocker{MinOverlap: 1, Workers: workers},
 	}
 	best, reports, err := s.TryBlockers(blockers, oracle, 10)
 	if err != nil {

@@ -37,7 +37,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := run(aPath, bPath, "id", goldPath, outPath, 300, 1); err != nil {
+	if err := run(aPath, bPath, "id", goldPath, outPath, 300, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -60,12 +60,12 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "id", "", "out.csv", 10, 1); err == nil {
+	if err := run("", "", "id", "", "out.csv", 10, 1, 0); err == nil {
 		t.Fatal("want missing-flags error")
 	}
 	dir := t.TempDir()
 	bogus := filepath.Join(dir, "missing.csv")
-	if err := run(bogus, bogus, "id", bogus, filepath.Join(dir, "o.csv"), 10, 1); err == nil {
+	if err := run(bogus, bogus, "id", bogus, filepath.Join(dir, "o.csv"), 10, 1, 0); err == nil {
 		t.Fatal("want file-not-found error")
 	}
 	// Bad key column.
@@ -73,7 +73,7 @@ func TestRunValidation(t *testing.T) {
 	if err := os.WriteFile(aPath, []byte("id,name\n1,x\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(aPath, aPath, "nokey", aPath, filepath.Join(dir, "o.csv"), 10, 1); err == nil ||
+	if err := run(aPath, aPath, "nokey", aPath, filepath.Join(dir, "o.csv"), 10, 1, 0); err == nil ||
 		!strings.Contains(err.Error(), "key") {
 		t.Fatalf("want key error, got %v", err)
 	}

@@ -1,6 +1,7 @@
 package block
 
 import (
+	"repro/internal/parallel"
 	"repro/internal/table"
 )
 
@@ -12,8 +13,11 @@ import (
 type BlackBoxBlocker struct {
 	// Label names the blocker in candidate-set provenance.
 	Label string
-	// Keep decides whether the pair survives blocking.
+	// Keep decides whether the pair survives blocking. It must be safe
+	// for concurrent calls (predicates reading only their arguments are).
 	Keep func(lrow, rrow table.Row) bool
+	// Workers shards the left table across goroutines; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Name implements Blocker.
@@ -35,12 +39,22 @@ func (b BlackBoxBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.
 	}
 	lkey := lt.Schema().Lookup(lt.Key())
 	rkey := rt.Schema().Lookup(rt.Key())
-	for i := 0; i < lt.Len(); i++ {
-		for j := 0; j < rt.Len(); j++ {
-			if b.Keep(lt.Row(i), rt.Row(j)) {
-				table.AppendPair(pairs, lt.Row(i)[lkey].AsString(), rt.Row(j)[rkey].AsString())
+	shards, err := parallel.MapChunks(b.Workers, lt.Len(), func(lo, hi int) ([]table.PairID, error) {
+		var out []table.PairID
+		for i := lo; i < hi; i++ {
+			for j := 0; j < rt.Len(); j++ {
+				if b.Keep(lt.Row(i), rt.Row(j)) {
+					out = append(out, table.PairID{L: lt.Row(i)[lkey].AsString(), R: rt.Row(j)[rkey].AsString()})
+				}
 			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, shard := range shards {
+		table.AppendPairs(pairs, shard)
 	}
 	return pairs, nil
 }

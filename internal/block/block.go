@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/table"
 )
 
@@ -42,13 +43,16 @@ func requireKeys(lt, rt *table.Table) error {
 // CrossBlocker emits the full cross product. It exists as the "no blocking"
 // baseline for debugging and for tiny tables; the candidate set has
 // |L|×|R| rows.
-type CrossBlocker struct{}
+type CrossBlocker struct {
+	// Workers shards the left table across goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
 
 // Name implements Blocker.
 func (CrossBlocker) Name() string { return "cross" }
 
 // Block implements Blocker.
-func (CrossBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
+func (b CrossBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
 	if err := requireKeys(lt, rt); err != nil {
 		return nil, err
 	}
@@ -58,11 +62,25 @@ func (CrossBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table
 	}
 	lkey := lt.Schema().Lookup(lt.Key())
 	rkey := rt.Schema().Lookup(rt.Key())
-	for i := 0; i < lt.Len(); i++ {
-		lid := lt.Row(i)[lkey].AsString()
-		for j := 0; j < rt.Len(); j++ {
-			table.AppendPair(pairs, lid, rt.Row(j)[rkey].AsString())
+	rids := make([]string, rt.Len())
+	for j := range rids {
+		rids[j] = rt.Row(j)[rkey].AsString()
+	}
+	shards, err := parallel.MapChunks(b.Workers, lt.Len(), func(lo, hi int) ([]table.PairID, error) {
+		out := make([]table.PairID, 0, (hi-lo)*len(rids))
+		for i := lo; i < hi; i++ {
+			lid := lt.Row(i)[lkey].AsString()
+			for _, rid := range rids {
+				out = append(out, table.PairID{L: lid, R: rid})
+			}
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, shard := range shards {
+		table.AppendPairs(pairs, shard)
 	}
 	return pairs, nil
 }
@@ -73,6 +91,8 @@ func (CrossBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table
 type AttrEquivalenceBlocker struct {
 	// Attr is the attribute name, which must exist in both tables.
 	Attr string
+	// Workers shards the probe side across goroutines; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Name implements Blocker.
@@ -80,7 +100,7 @@ func (b AttrEquivalenceBlocker) Name() string { return "attr_equiv(" + b.Attr + 
 
 // Block implements Blocker.
 func (b AttrEquivalenceBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
-	return HashBlocker{Attr: b.Attr}.block(lt, rt, cat, b.Name())
+	return HashBlocker{Attr: b.Attr, Workers: b.Workers}.block(lt, rt, cat, b.Name())
 }
 
 // HashBlocker buckets tuples by a transform of an attribute value and
@@ -91,8 +111,12 @@ type HashBlocker struct {
 	Attr string
 	// Transform maps the attribute value to its bucket key; nil means
 	// identity. Returning "" sends the tuple to no bucket (it pairs with
-	// nothing), which is how nulls are handled.
+	// nothing), which is how nulls are handled. The transform must be
+	// safe for concurrent calls (pure functions are).
 	Transform func(string) string
+	// Workers shards the probe (left) side across goroutines; 0 means
+	// GOMAXPROCS. The candidate set is identical for every setting.
+	Workers int
 }
 
 // Name implements Blocker.
@@ -136,16 +160,29 @@ func (b HashBlocker) block(lt, rt *table.Table, cat *table.Catalog, name string)
 	if err != nil {
 		return nil, err
 	}
+	// Probe the left table in contiguous shards, each worker batching
+	// into a local buffer; concatenating the buffers in shard order
+	// reproduces the serial probe order exactly.
 	lkey := lt.Schema().Lookup(lt.Key())
-	for i := 0; i < lt.Len(); i++ {
-		k := key(lt.Row(i)[lj])
-		if k == "" {
-			continue
+	shards, err := parallel.MapChunks(b.Workers, lt.Len(), func(lo, hi int) ([]table.PairID, error) {
+		var out []table.PairID
+		for i := lo; i < hi; i++ {
+			k := key(lt.Row(i)[lj])
+			if k == "" {
+				continue
+			}
+			lid := lt.Row(i)[lkey].AsString()
+			for _, rid := range buckets[k] {
+				out = append(out, table.PairID{L: lid, R: rid})
+			}
 		}
-		lid := lt.Row(i)[lkey].AsString()
-		for _, rid := range buckets[k] {
-			table.AppendPair(pairs, lid, rid)
-		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, shard := range shards {
+		table.AppendPairs(pairs, shard)
 	}
 	return pairs, nil
 }

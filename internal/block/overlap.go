@@ -62,9 +62,7 @@ func (b OverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range joined {
-		table.AppendPair(pairs, p.LID, p.RID)
-	}
+	table.AppendPairs(pairs, joinedPairIDs(joined))
 	return pairs, nil
 }
 
@@ -108,10 +106,17 @@ func (b JaccardBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range joined {
-		table.AppendPair(pairs, p.LID, p.RID)
-	}
+	table.AppendPairs(pairs, joinedPairIDs(joined))
 	return pairs, nil
+}
+
+// joinedPairIDs converts simjoin output to a batch-append buffer.
+func joinedPairIDs(joined []simjoin.Pair) []table.PairID {
+	out := make([]table.PairID, len(joined))
+	for i, p := range joined {
+		out[i] = table.PairID{L: p.LID, R: p.RID}
+	}
+	return out
 }
 
 // tokenRecords tokenizes one attribute of every row into simjoin records

@@ -1,0 +1,155 @@
+package block
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/feature"
+	"repro/internal/rules"
+	"repro/internal/table"
+)
+
+// parallelTables generates a person matching task large enough that every
+// worker shard is non-trivial.
+func parallelTables(t *testing.T) (*table.Table, *table.Table) {
+	t.Helper()
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "partest", Domain: datagen.PersonDomain(),
+		SizeA: 240, SizeB: 240, MatchFraction: 0.4, Typo: 0.2, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task.A, task.B
+}
+
+// requireSameTable fails unless the two pair tables are identical row for
+// row — including the _id column, so parallel emit order must exactly
+// reproduce the serial order, not just the same set.
+func requireSameTable(t *testing.T, serial, par *table.Table, label string) {
+	t.Helper()
+	if serial.Len() != par.Len() {
+		t.Fatalf("%s: %d pairs parallel vs %d serial", label, par.Len(), serial.Len())
+	}
+	for i := 0; i < serial.Len(); i++ {
+		rs, rp := serial.Row(i), par.Row(i)
+		for j := range rs {
+			if rs[j].AsString() != rp[j].AsString() {
+				t.Fatalf("%s: row %d col %d = %q parallel vs %q serial",
+					label, i, j, rp[j].AsString(), rs[j].AsString())
+			}
+		}
+	}
+}
+
+// TestBlockersParallelDeterminism runs every sharded blocker at Workers=1
+// and at several parallel settings and requires bit-identical candidate
+// tables. Run under `go test -race` this also exercises the worker-local
+// buffer discipline.
+func TestBlockersParallelDeterminism(t *testing.T) {
+	a, b := parallelTables(t)
+	state := a.Schema().Lookup("state")
+	blockers := []Blocker{
+		CrossBlocker{},
+		AttrEquivalenceBlocker{Attr: "state"},
+		HashBlocker{Attr: "city", Transform: LowerTransform},
+		HashBlocker{Attr: "zip", Transform: func(s string) string {
+			if len(s) < 3 {
+				return ""
+			}
+			return strings.ToLower(s[:3])
+		}},
+		SortedNeighborhoodBlocker{Attr: "name", Window: 7},
+		BlackBoxBlocker{Label: "same_state", Keep: func(lrow, rrow table.Row) bool {
+			return lrow[state].AsString() == rrow[state].AsString()
+		}},
+		OverlapBlocker{Attr: "name"},
+		JaccardBlocker{Attr: "name", Threshold: 0.3},
+		WholeTupleOverlapBlocker{MinOverlap: 2},
+	}
+	for _, blk := range blockers {
+		serial, err := withWorkers(blk, 1).Block(a, b, table.NewCatalog())
+		if err != nil {
+			t.Fatalf("%s: %v", blk.Name(), err)
+		}
+		if serial.Len() == 0 {
+			t.Fatalf("%s: empty candidate set, test exercises nothing", blk.Name())
+		}
+		for _, workers := range []int{0, 3, 16} {
+			par, err := withWorkers(blk, workers).Block(a, b, table.NewCatalog())
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", blk.Name(), workers, err)
+			}
+			requireSameTable(t, serial, par, blk.Name())
+		}
+	}
+}
+
+// withWorkers returns a copy of the blocker with its Workers knob set.
+func withWorkers(blk Blocker, workers int) Blocker {
+	switch b := blk.(type) {
+	case CrossBlocker:
+		b.Workers = workers
+		return b
+	case AttrEquivalenceBlocker:
+		b.Workers = workers
+		return b
+	case HashBlocker:
+		b.Workers = workers
+		return b
+	case SortedNeighborhoodBlocker:
+		b.Workers = workers
+		return b
+	case BlackBoxBlocker:
+		b.Workers = workers
+		return b
+	case OverlapBlocker:
+		b.Workers = workers
+		return b
+	case JaccardBlocker:
+		b.Workers = workers
+		return b
+	case WholeTupleOverlapBlocker:
+		b.Workers = workers
+		return b
+	}
+	return blk
+}
+
+// TestRuleFilterParallelDeterminism checks the rule-based candidate filter:
+// kept pairs and per-rule drop counts must not depend on Workers.
+func TestRuleFilterParallelDeterminism(t *testing.T) {
+	a, b := parallelTables(t)
+	fs, err := feature.AutoGenerate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs rules.RuleSet
+	rs.Add(rules.MustParse("drop_dissimilar_names", "jaccard_3gram_name <= 0.2"))
+	// The filter resolves the candidate table's pair metadata through the
+	// catalog, so each pass blocks and filters in its own catalog.
+	runFilter := func(workers int) (*table.Table, []int) {
+		cat := table.NewCatalog()
+		cand, err := OverlapBlocker{Attr: "name"}.Block(a, b, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, dropped, err := RuleFilter{Rules: rs, Features: fs, Workers: workers}.Filter(cand, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, dropped
+	}
+	serial, droppedSerial := runFilter(1)
+	if serial.Len() == 0 || droppedSerial[0] == 0 {
+		t.Fatalf("degenerate filter run: %d kept, dropped %v", serial.Len(), droppedSerial)
+	}
+	for _, workers := range []int{0, 3} {
+		par, dropped := runFilter(workers)
+		requireSameTable(t, serial, par, "rule_filter")
+		if len(dropped) != len(droppedSerial) || dropped[0] != droppedSerial[0] {
+			t.Fatalf("workers=%d: dropped %v vs serial %v", workers, dropped, droppedSerial)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/feature"
+	"repro/internal/parallel"
 	"repro/internal/rules"
 	"repro/internal/table"
 )
@@ -22,7 +23,8 @@ import (
 type RuleFilter struct {
 	Rules    rules.RuleSet
 	Features *feature.Set
-	// Workers parallelizes feature extraction; 0 means GOMAXPROCS.
+	// Workers parallelizes feature extraction and rule evaluation;
+	// 0 means GOMAXPROCS.
 	Workers int
 }
 
@@ -55,16 +57,37 @@ func (rf RuleFilter) Filter(cand *table.Table, cat *table.Catalog) (*table.Table
 	if err != nil {
 		return nil, nil, err
 	}
-	dropped := make([]int, rf.Rules.Len())
-	for i := 0; i < cand.Len(); i++ {
-		fired, idx := compiled.AnyFires(x[i])
-		if fired {
-			dropped[idx]++
-			continue
+	// Evaluate the compiled rules over candidate shards; each worker
+	// keeps local drop counters and a local survivor buffer, merged in
+	// shard order so the output matches the serial scan.
+	type shardResult struct {
+		kept    []table.PairID
+		dropped []int
+	}
+	shards, err := parallel.MapChunks(rf.Workers, cand.Len(), func(lo, hi int) (shardResult, error) {
+		res := shardResult{dropped: make([]int, rf.Rules.Len())}
+		for i := lo; i < hi; i++ {
+			fired, idx := compiled.AnyFires(x[i])
+			if fired {
+				res.dropped[idx]++
+				continue
+			}
+			res.kept = append(res.kept, table.PairID{
+				L: cand.Get(i, meta.LID).AsString(),
+				R: cand.Get(i, meta.RID).AsString(),
+			})
 		}
-		table.AppendPair(out,
-			cand.Get(i, meta.LID).AsString(),
-			cand.Get(i, meta.RID).AsString())
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	dropped := make([]int, rf.Rules.Len())
+	for _, s := range shards {
+		for ri, n := range s.dropped {
+			dropped[ri] += n
+		}
+		table.AppendPairs(out, s.kept)
 	}
 	return out, dropped, nil
 }

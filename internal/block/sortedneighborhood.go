@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/table"
 )
 
@@ -17,8 +18,11 @@ type SortedNeighborhoodBlocker struct {
 	// Window is the sliding-window size; 0 means 5.
 	Window int
 	// KeyFunc derives the sort key from the attribute value; nil means
-	// lower-cased trimmed identity.
+	// lower-cased trimmed identity. It must be safe for concurrent calls.
 	KeyFunc func(string) string
+	// Workers shards the window scan across goroutines; 0 means
+	// GOMAXPROCS. The candidate set is identical for every setting.
+	Workers int
 }
 
 // Name implements Blocker.
@@ -77,26 +81,50 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 		return nil, err
 	}
 	w := b.window()
-	seen := make(map[[2]string]bool)
-	for i := range entries {
-		hi := i + w
-		if hi > len(entries) {
-			hi = len(entries)
+	// Each shard scans its own range of window starts, deduplicating
+	// locally; windows starting near a shard boundary reach into the next
+	// shard's entries, so the same pair can surface in two shards and a
+	// final pass dedups globally. Both dedups keep the first occurrence
+	// in window-start order, so the output matches the serial scan.
+	shards, err := parallel.MapChunks(b.Workers, len(entries), func(lo, hi int) ([]table.PairID, error) {
+		var out []table.PairID
+		local := make(map[[2]string]bool)
+		for i := lo; i < hi; i++ {
+			end := i + w
+			if end > len(entries) {
+				end = len(entries)
+			}
+			for j := i + 1; j < end; j++ {
+				a, c := entries[i], entries[j]
+				if a.left == c.left {
+					continue
+				}
+				if !a.left {
+					a, c = c, a
+				}
+				k := [2]string{a.id, c.id}
+				if !local[k] {
+					local[k] = true
+					out = append(out, table.PairID{L: a.id, R: c.id})
+				}
+			}
 		}
-		for j := i + 1; j < hi; j++ {
-			a, c := entries[i], entries[j]
-			if a.left == c.left {
-				continue
-			}
-			if !a.left {
-				a, c = c, a
-			}
-			k := [2]string{a.id, c.id}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[[2]string]bool)
+	var merged []table.PairID
+	for _, shard := range shards {
+		for _, p := range shard {
+			k := [2]string{p.L, p.R}
 			if !seen[k] {
 				seen[k] = true
-				table.AppendPair(pairs, a.id, c.id)
+				merged = append(merged, p)
 			}
 		}
 	}
+	table.AppendPairs(pairs, merged)
 	return pairs, nil
 }

@@ -50,9 +50,7 @@ func (b WholeTupleOverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog)
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range joined {
-		table.AppendPair(pairs, p.LID, p.RID)
-	}
+	table.AppendPairs(pairs, joinedPairIDs(joined))
 	return pairs, nil
 }
 

@@ -35,6 +35,9 @@ type Session struct {
 	// Features is the working feature set (auto-generated at session
 	// start, user-editable afterwards — the paper's global variable F).
 	Features *feature.Set
+	// Workers parallelizes feature extraction and cross-validation folds;
+	// 0 means GOMAXPROCS (the standard Workers convention, see DESIGN.md).
+	Workers int
 
 	// Candidates is the current candidate set (after Block).
 	Candidates *table.Table
@@ -177,7 +180,7 @@ func (s *Session) SampleAndLabel(n int, lab label.Labeler) (*LabeledSet, error) 
 		return nil, fmt.Errorf("core: block before sampling (guide order)")
 	}
 	meta, _ := s.Catalog.PairMeta(s.Candidates)
-	allX, err := feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{})
+	allX, err := feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{Workers: s.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +252,7 @@ func (s *Session) SelectMatcher(factories []func() ml.Classifier, folds int) ([]
 	if err != nil {
 		return nil, err
 	}
-	return ml.SelectMatcher(factories, ds, folds, s.rng)
+	return ml.SelectMatcherOpt(factories, ds, folds, s.rng, ml.CVOptions{Workers: s.Workers})
 }
 
 // TrainAndPredict fits the matcher on the full labeled set and predicts
@@ -268,7 +271,7 @@ func (s *Session) TrainAndPredict(factory func() ml.Classifier) (*table.Table, m
 	}
 	x := s.candX
 	if x == nil {
-		x, err = feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{})
+		x, err = feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{Workers: s.Workers})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -278,13 +281,16 @@ func (s *Session) TrainAndPredict(factory func() ml.Classifier) (*table.Table, m
 	if err != nil {
 		return nil, nil, err
 	}
+	var kept []table.PairID
 	for i := 0; i < s.Candidates.Len(); i++ {
 		if ml.Predict(model, x[i]) == 1 {
-			table.AppendPair(matches,
-				s.Candidates.Get(i, meta.LID).AsString(),
-				s.Candidates.Get(i, meta.RID).AsString())
+			kept = append(kept, table.PairID{
+				L: s.Candidates.Get(i, meta.LID).AsString(),
+				R: s.Candidates.Get(i, meta.RID).AsString(),
+			})
 		}
 	}
+	table.AppendPairs(matches, kept)
 	return matches, model, nil
 }
 

@@ -87,13 +87,16 @@ func (w *Workflow) Execute(a, b *table.Table, cat *table.Catalog) (*WorkflowResu
 	if err != nil {
 		return nil, err
 	}
+	var kept []table.PairID
 	for i := 0; i < cand.Len(); i++ {
 		if y[i] == 1 {
-			table.AppendPair(matches,
-				cand.Get(i, "ltable_id").AsString(),
-				cand.Get(i, "rtable_id").AsString())
+			kept = append(kept, table.PairID{
+				L: cand.Get(i, "ltable_id").AsString(),
+				R: cand.Get(i, "rtable_id").AsString(),
+			})
 		}
 	}
+	table.AppendPairs(matches, kept)
 	res.PredictTime = time.Since(t0)
 	res.Matches = matches
 	return res, nil

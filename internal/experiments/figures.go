@@ -33,8 +33,16 @@ type GuideResult struct {
 
 // RunGuide executes the full Figure 2 guide on a generated person task:
 // down-sample → try blockers → block → sample+label → CV-select matcher →
-// predict → evaluate.
+// predict → evaluate. It runs with GOMAXPROCS workers; RunGuideWorkers
+// exposes the knob.
 func RunGuide(sizeA, sizeB, downA, downB int, seed int64) (*GuideResult, error) {
+	return RunGuideWorkers(sizeA, sizeB, downA, downB, seed, 0)
+}
+
+// RunGuideWorkers is RunGuide with an explicit worker count for every
+// parallelized stage (blocking, feature extraction, forest training, CV);
+// 0 means GOMAXPROCS. Results are identical for every setting.
+func RunGuideWorkers(sizeA, sizeB, downA, downB int, seed int64, workers int) (*GuideResult, error) {
 	task, err := datagen.Generate(datagen.Spec{
 		Name: "guide", Domain: datagen.PersonDomain(),
 		SizeA: sizeA, SizeB: sizeB, MatchFraction: 0.4, Typo: 0.2, Seed: seed,
@@ -47,15 +55,16 @@ func RunGuide(sizeA, sizeB, downA, downB int, seed int64) (*GuideResult, error) 
 	if err != nil {
 		return nil, err
 	}
+	s.Workers = workers
 	if err := s.DownSample(downA, downB); err != nil {
 		return nil, err
 	}
 	out := &GuideResult{DownsampledA: s.A.Len(), DownsampledB: s.B.Len()}
 
 	blockers := []block.Blocker{
-		block.AttrEquivalenceBlocker{Attr: "state"}, // blocker X
-		block.OverlapBlocker{Attr: "name"},          // blocker Y
-		block.WholeTupleOverlapBlocker{MinOverlap: 2},
+		block.AttrEquivalenceBlocker{Attr: "state", Workers: workers}, // blocker X
+		block.OverlapBlocker{Attr: "name", Workers: workers},          // blocker Y
+		block.WholeTupleOverlapBlocker{MinOverlap: 2, Workers: workers},
 	}
 	best, _, err := s.TryBlockers(blockers, oracle, 10)
 	if err != nil {

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/datagen"
+	"repro/internal/ml"
+	"repro/internal/parallel"
+	"repro/internal/table"
+)
+
+// ParallelBenchRow compares one hot path at Workers=1 against the tuned
+// worker count. Identical reports whether the two runs produced
+// bit-identical output — the determinism contract of internal/parallel.
+type ParallelBenchRow struct {
+	Name       string  `json:"name"`
+	SerialNs   int64   `json:"serial_ns_per_op"`
+	ParallelNs int64   `json:"parallel_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical"`
+}
+
+// ParallelBench is the machine-readable payload of BENCH_parallel.json:
+// the perf trajectory of the parallel execution layer, tracked from the
+// PR that introduced it onward.
+type ParallelBench struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Rows       []ParallelBenchRow `json:"benchmarks"`
+}
+
+// MarshalBenchJSON renders the payload for BENCH_parallel.json.
+func (p *ParallelBench) MarshalBenchJSON() ([]byte, error) {
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// benchIters times fn over iters runs after one warmup and returns the
+// fastest ns/op — the usual minimum-of-k estimator, robust to scheduler
+// noise at these run lengths.
+func benchIters(iters int, fn func() error) (int64, error) {
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	best := int64(-1)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// benchDataset builds the deterministic dense dataset the ML benches use.
+func benchDataset(n, d int, seed int64) (*ml.Dataset, error) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[0]+row[1] > 1 {
+			y[i] = 1
+		}
+	}
+	return ml.NewDataset(x, y, nil)
+}
+
+// samePairs reports whether two pair tables hold identical rows in
+// identical order.
+func samePairs(a, b *table.Table) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j].AsString() != rb[j].AsString() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunParallelBench measures the parallelized hot paths — random-forest
+// training, cross-validation, hash blocking, and the end-to-end Figure 2
+// workflow — at Workers=1 vs the requested worker count (0 means
+// GOMAXPROCS), verifying on every comparison that the parallel output is
+// bit-identical to the serial one.
+func RunParallelBench(seed int64, workers int) (*ParallelBench, error) {
+	w := parallel.Resolve(workers)
+	out := &ParallelBench{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: w}
+	const iters = 3
+
+	// Random-forest training: NumTrees >= 32 per the acceptance bar.
+	ds, err := benchDataset(800, 16, seed)
+	if err != nil {
+		return nil, err
+	}
+	fitForest := func(workers int) (*ml.RandomForest, error) {
+		f := &ml.RandomForest{NumTrees: 48, Seed: seed, Workers: workers}
+		if err := f.Fit(ds); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	serialNs, err := benchIters(iters, func() error { _, err := fitForest(1); return err })
+	if err != nil {
+		return nil, err
+	}
+	parallelNs, err := benchIters(iters, func() error { _, err := fitForest(w); return err })
+	if err != nil {
+		return nil, err
+	}
+	fSerial, err := fitForest(1)
+	if err != nil {
+		return nil, err
+	}
+	fParallel, err := fitForest(w)
+	if err != nil {
+		return nil, err
+	}
+	identical := true
+	for i := 0; i < ds.Len(); i += 7 {
+		if fSerial.VoteFraction(ds.X[i]) != fParallel.VoteFraction(ds.X[i]) {
+			identical = false
+			break
+		}
+	}
+	out.Rows = append(out.Rows, benchRow("forest_fit_48trees", serialNs, parallelNs, identical))
+
+	// Cross-validation of the forest lineup member on the same dataset.
+	runCV := func(workers int) (ml.CVResult, error) {
+		rng := rand.New(rand.NewSource(seed))
+		return ml.CrossValidateOpt(func() ml.Classifier {
+			return &ml.RandomForest{NumTrees: 16, Seed: seed, Workers: 1}
+		}, ds, 5, rng, ml.CVOptions{Workers: workers})
+	}
+	serialNs, err = benchIters(iters, func() error { _, err := runCV(1); return err })
+	if err != nil {
+		return nil, err
+	}
+	parallelNs, err = benchIters(iters, func() error { _, err := runCV(w); return err })
+	if err != nil {
+		return nil, err
+	}
+	cvSerial, err := runCV(1)
+	if err != nil {
+		return nil, err
+	}
+	cvParallel, err := runCV(w)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, benchRow("cross_validate_5fold", serialNs, parallelNs, cvSerial == cvParallel))
+
+	// Hash blocking on synthetic datagen person tables.
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "parbench", Domain: datagen.PersonDomain(),
+		SizeA: 2000, SizeB: 2000, MatchFraction: 0.4, Typo: 0.2, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runHash := func(workers int) (*table.Table, error) {
+		cat := table.NewCatalog()
+		return block.HashBlocker{Attr: "city", Transform: block.LowerTransform, Workers: workers}.Block(task.A, task.B, cat)
+	}
+	serialNs, err = benchIters(iters, func() error { _, err := runHash(1); return err })
+	if err != nil {
+		return nil, err
+	}
+	parallelNs, err = benchIters(iters, func() error { _, err := runHash(w); return err })
+	if err != nil {
+		return nil, err
+	}
+	hSerial, err := runHash(1)
+	if err != nil {
+		return nil, err
+	}
+	hParallel, err := runHash(w)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, benchRow("hash_blocking_2k", serialNs, parallelNs, samePairs(hSerial, hParallel)))
+
+	// End-to-end Figure 2 guide workflow.
+	runGuideAt := func(workers int) (*GuideResult, error) {
+		return RunGuideWorkers(800, 800, 400, 400, seed, workers)
+	}
+	serialNs, err = benchIters(1, func() error { _, err := runGuideAt(1); return err })
+	if err != nil {
+		return nil, err
+	}
+	parallelNs, err = benchIters(1, func() error { _, err := runGuideAt(w); return err })
+	if err != nil {
+		return nil, err
+	}
+	gSerial, err := runGuideAt(1)
+	if err != nil {
+		return nil, err
+	}
+	gParallel, err := runGuideAt(w)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, benchRow("figure2_guide_workflow", serialNs, parallelNs, reflect.DeepEqual(gSerial, gParallel)))
+
+	return out, nil
+}
+
+func benchRow(name string, serialNs, parallelNs int64, identical bool) ParallelBenchRow {
+	speedup := 0.0
+	if parallelNs > 0 {
+		speedup = float64(serialNs) / float64(parallelNs)
+	}
+	return ParallelBenchRow{Name: name, SerialNs: serialNs, ParallelNs: parallelNs, Speedup: speedup, Identical: identical}
+}
+
+// FormatParallelBench renders the comparison for terminal output.
+func FormatParallelBench(p *ParallelBench) string {
+	s := fmt.Sprintf("%-24s %14s %14s %8s %10s\n", "benchmark", "serial ns/op", "parallel ns/op", "speedup", "identical")
+	for _, r := range p.Rows {
+		s += fmt.Sprintf("%-24s %14d %14d %7.2fx %10v\n", r.Name, r.SerialNs, r.ParallelNs, r.Speedup, r.Identical)
+	}
+	s += fmt.Sprintf("(GOMAXPROCS=%d, workers=%d)\n", p.GOMAXPROCS, p.Workers)
+	return s
+}

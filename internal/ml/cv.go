@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // CVResult holds the cross-validation scores of one classifier.
@@ -15,20 +17,46 @@ type CVResult struct {
 	F1        float64
 }
 
+// CVOptions tunes cross-validation execution.
+type CVOptions struct {
+	// Workers parallelizes fold evaluation; 0 means GOMAXPROCS. The
+	// result is bit-identical for every setting: fold assignment is drawn
+	// from the caller's RNG before any fold runs, each fold's model draws
+	// only on its own factory-provided seed, and per-fold scores are
+	// accumulated in fold order.
+	Workers int
+}
+
 // CrossValidate runs stratified k-fold cross-validation of the classifier
 // factory on the dataset and returns mean precision/recall/F1. A factory is
-// required (not an instance) because each fold needs a fresh model.
+// required (not an instance) because each fold needs a fresh model. Folds
+// are evaluated with GOMAXPROCS workers; use CrossValidateOpt to tune.
 func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
+	return CrossValidateOpt(factory, d, k, rng, CVOptions{})
+}
+
+// foldScore holds one evaluated fold's metrics.
+type foldScore struct {
+	ok            bool
+	prec, rec, f1 float64
+}
+
+// CrossValidateOpt is CrossValidate with execution options. Degenerate
+// folds (empty train or test split, possible when one class is rarer than
+// k) are skipped, and the means are taken over the folds actually
+// evaluated; it is an error for every fold to be degenerate.
+func CrossValidateOpt(factory func() Classifier, d *Dataset, k int, rng *rand.Rand, opts CVOptions) (CVResult, error) {
 	if k < 2 {
 		return CVResult{}, fmt.Errorf("ml: cross-validation needs k >= 2, got %d", k)
 	}
 	if d.Len() < k {
 		return CVResult{}, fmt.Errorf("ml: %d examples cannot fill %d folds", d.Len(), k)
 	}
+	// All shared randomness is consumed here, before the folds fan out.
 	folds := stratifiedFolds(d, k, rng)
 	name := factory().Name()
-	res := CVResult{Name: name, Folds: k}
-	for fi := 0; fi < k; fi++ {
+	scores := make([]foldScore, k)
+	err := parallel.ForEach(opts.Workers, k, func(fi int) error {
 		var trainIdx, testIdx []int
 		for fj, fold := range folds {
 			if fj == fi {
@@ -38,23 +66,39 @@ func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand)
 			}
 		}
 		if len(trainIdx) == 0 || len(testIdx) == 0 {
-			continue
+			return nil
 		}
 		model := factory()
 		if err := model.Fit(d.Subset(trainIdx)); err != nil {
-			return CVResult{}, fmt.Errorf("ml: cv fold %d: %w", fi, err)
+			return fmt.Errorf("ml: cv fold %d: %w", fi, err)
 		}
 		conf, err := Evaluate(model, d.Subset(testIdx))
 		if err != nil {
-			return CVResult{}, err
+			return err
 		}
-		res.Precision += conf.Precision()
-		res.Recall += conf.Recall()
-		res.F1 += conf.F1()
+		scores[fi] = foldScore{ok: true, prec: conf.Precision(), rec: conf.Recall(), f1: conf.F1()}
+		return nil
+	})
+	if err != nil {
+		return CVResult{}, err
 	}
-	res.Precision /= float64(k)
-	res.Recall /= float64(k)
-	res.F1 /= float64(k)
+	res := CVResult{Name: name, Folds: k}
+	evaluated := 0
+	for _, s := range scores { // fold order, so float accumulation is stable
+		if !s.ok {
+			continue
+		}
+		evaluated++
+		res.Precision += s.prec
+		res.Recall += s.rec
+		res.F1 += s.f1
+	}
+	if evaluated == 0 {
+		return CVResult{}, fmt.Errorf("ml: cross-validation of %s: all %d folds degenerate (empty train or test split)", name, k)
+	}
+	res.Precision /= float64(evaluated)
+	res.Recall /= float64(evaluated)
+	res.F1 /= float64(evaluated)
 	return res, nil
 }
 
@@ -85,12 +129,20 @@ func stratifiedFolds(d *Dataset, k int, rng *rand.Rand) [][]int {
 // sorted by descending F1, with the winner first. This is the "select the
 // best matcher" step of the PyMatcher guide (Figure 2).
 func SelectMatcher(factories []func() Classifier, d *Dataset, k int, rng *rand.Rand) ([]CVResult, error) {
+	return SelectMatcherOpt(factories, d, k, rng, CVOptions{})
+}
+
+// SelectMatcherOpt is SelectMatcher with execution options. The factories
+// run in order (each consumes the shared RNG for its fold assignment, so
+// reordering would change results); the folds inside each cross-validation
+// run concurrently.
+func SelectMatcherOpt(factories []func() Classifier, d *Dataset, k int, rng *rand.Rand, opts CVOptions) ([]CVResult, error) {
 	if len(factories) == 0 {
 		return nil, fmt.Errorf("ml: no matchers to select among")
 	}
 	results := make([]CVResult, 0, len(factories))
 	for _, f := range factories {
-		r, err := CrossValidate(f, d, k, rng)
+		r, err := CrossValidateOpt(f, d, k, rng, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,8 @@ package ml
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // RandomForest is a bagged ensemble of CART trees with per-split feature
@@ -21,6 +23,11 @@ type RandomForest struct {
 	Alpha float64
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers parallelizes tree training; 0 means GOMAXPROCS. Output is
+	// bit-identical for every setting: all per-tree randomness (seed and
+	// bootstrap sample) is pre-drawn from the forest RNG in serial order
+	// before any tree trains.
+	Workers int
 
 	trees []*DecisionTree
 }
@@ -56,19 +63,33 @@ func (f *RandomForest) Fit(d *Dataset) error {
 	if maxFeat < 1 {
 		maxFeat = 1
 	}
-	f.trees = make([]*DecisionTree, f.numTrees())
-	for i := range f.trees {
+	n := f.numTrees()
+	// Pre-draw every tree's randomness from the forest RNG in the same
+	// order the serial loop consumed it, so concurrent training cannot
+	// perturb the stream and Workers=k reproduces Workers=1 bit for bit.
+	seeds := make([]int64, n)
+	boots := make([]*Dataset, n)
+	for i := 0; i < n; i++ {
+		seeds[i] = rng.Int63()
+		boots[i] = d.Bootstrap(d.Len(), rng)
+	}
+	f.trees = make([]*DecisionTree, n)
+	err := parallel.ForEach(f.Workers, n, func(i int) error {
 		t := &DecisionTree{
 			MaxDepth:       f.MaxDepth,
 			MinSamplesLeaf: f.MinSamplesLeaf,
 			MaxFeatures:    maxFeat,
-			Seed:           rng.Int63(),
+			Seed:           seeds[i],
 		}
-		boot := d.Bootstrap(d.Len(), rng)
-		if err := t.Fit(boot); err != nil {
+		if err := t.Fit(boots[i]); err != nil {
 			return err
 		}
 		f.trees[i] = t
+		return nil
+	})
+	if err != nil {
+		f.trees = nil
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,134 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestRandomForestParallelDeterminism: a forest trained with Workers=k
+// must produce VoteFraction outputs bit-identical to Workers=1 for the
+// same seed — the contract that lets every Falcon iteration train
+// concurrently without changing results.
+func TestRandomForestParallelDeterminism(t *testing.T) {
+	ds := benchDataset(400, 12, 11)
+	serial := &RandomForest{NumTrees: 32, Seed: 7, Workers: 1}
+	if err := serial.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par := &RandomForest{NumTrees: 32, Seed: 7, Workers: workers}
+		if err := par.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ds.Len(); i++ {
+			s, p := serial.VoteFraction(ds.X[i]), par.VoteFraction(ds.X[i])
+			if s != p {
+				t.Fatalf("workers=%d: VoteFraction(x[%d]) = %v, serial %v", workers, i, p, s)
+			}
+		}
+	}
+}
+
+// TestCrossValidateParallelDeterminism: parallel fold evaluation returns a
+// CVResult bit-identical to serial evaluation for the same RNG seed.
+func TestCrossValidateParallelDeterminism(t *testing.T) {
+	ds := benchDataset(300, 8, 3)
+	factory := func() Classifier { return &RandomForest{NumTrees: 12, Seed: 5, Workers: 1} }
+	serial, err := CrossValidateOpt(factory, ds, 5, rand.New(rand.NewSource(2)), CVOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 5, 16} {
+		par, err := CrossValidateOpt(factory, ds, 5, rand.New(rand.NewSource(2)), CVOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par != serial {
+			t.Fatalf("workers=%d: CVResult %+v != serial %+v", workers, par, serial)
+		}
+	}
+}
+
+// TestSelectMatcherParallelDeterminism: the full matcher-selection lineup
+// ranks identically under concurrent fold evaluation.
+func TestSelectMatcherParallelDeterminism(t *testing.T) {
+	ds := benchDataset(200, 6, 9)
+	serial, err := SelectMatcherOpt(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(4)), CVOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SelectMatcherOpt(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(4)), CVOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("result lengths differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("rank %d: %+v != %+v", i, par[i], serial[i])
+		}
+	}
+}
+
+// TestCrossValidateSkippedFoldsMean: with more folds than examples of one
+// class, some folds are empty and skipped; the mean must be over the folds
+// actually evaluated, not k (the historical bug silently deflated scores).
+func TestCrossValidateSkippedFoldsMean(t *testing.T) {
+	// 3 positives + 3 negatives into k=5 folds: round-robin fills folds
+	// 0-2 and leaves folds 3-4 empty, so only 3 folds evaluate.
+	x := [][]float64{{1}, {1}, {1}, {0}, {0}, {0}}
+	y := []int{1, 1, 1, 0, 0, 0}
+	ds, err := NewDataset(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfectly separable single feature: every evaluated fold scores
+	// P=R=F1=1, so the mean must be exactly 1. Dividing by k=5 would
+	// report 0.6.
+	res, err := CrossValidate(func() Classifier { return &DecisionTree{Seed: 1} }, ds, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Precision-1) > 1e-12 || math.Abs(res.Recall-1) > 1e-12 || math.Abs(res.F1-1) > 1e-12 {
+		t.Fatalf("means deflated by skipped folds: %+v", res)
+	}
+}
+
+// TestCrossValidateAllFoldsDegenerate: an error (not zeroed scores) when
+// no fold can be evaluated. One positive plus one negative with k=2 puts
+// both examples in fold 0 (each class round-robins from fold 0), so fold 0
+// has an empty train split and fold 1 an empty test split.
+func TestCrossValidateAllFoldsDegenerate(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	y := []int{0, 1}
+	ds, err := NewDataset(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CrossValidate(func() Classifier { return &GaussianNB{} }, ds, 2, rand.New(rand.NewSource(1)))
+	if err == nil || !strings.Contains(err.Error(), "degenerate") {
+		t.Fatalf("err = %v, want all-folds-degenerate error", err)
+	}
+}
+
+// TestCrossValidateFoldErrorPropagates: a fold whose Fit fails surfaces
+// the error with the fold index, under both serial and parallel execution.
+func TestCrossValidateFoldErrorPropagates(t *testing.T) {
+	ds := benchDataset(50, 4, 6)
+	factory := func() Classifier { return &failFitClassifier{} }
+	for _, workers := range []int{1, 4} {
+		_, err := CrossValidateOpt(factory, ds, 5, rand.New(rand.NewSource(1)), CVOptions{Workers: workers})
+		if err == nil || !strings.Contains(err.Error(), "cv fold") {
+			t.Fatalf("workers=%d: err = %v, want cv fold error", workers, err)
+		}
+	}
+}
+
+type failFitClassifier struct{}
+
+func (f *failFitClassifier) Fit(*Dataset) error               { return errEmpty("fail") }
+func (f *failFitClassifier) PredictProba(x []float64) float64 { return 0 }
+func (f *failFitClassifier) Name() string                     { return "fail" }

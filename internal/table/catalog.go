@@ -124,3 +124,35 @@ func NewPairTable(name string, lt, rt *Table, cat *Catalog) (*Table, error) {
 func AppendPair(pair *Table, lid, rid string) {
 	pair.MustAppend(Int(int64(pair.Len())), String(lid), String(rid))
 }
+
+// PairID is one (left id, right id) candidate row for batch appends.
+type PairID struct {
+	L, R string
+}
+
+// AppendPairs appends every id pair to a pair table with the conventional
+// schema in one call, assigning sequential _ids. It grows row storage once
+// and carves all cells from a single backing allocation, so blocker inner
+// loops pay two allocations per batch instead of two per pair. Worker-local
+// buffers concatenated in shard order through this call reproduce the
+// serial AppendPair output exactly.
+func AppendPairs(pair *Table, ids []PairID) {
+	if len(ids) == 0 {
+		return
+	}
+	if pair.schema.Len() != 3 {
+		panic(fmt.Sprintf("table %q: AppendPairs needs the conventional 3-column pair schema, have %d columns", pair.name, pair.schema.Len()))
+	}
+	base := len(pair.rows)
+	if cap(pair.rows)-base < len(ids) {
+		grown := make([]Row, base, base+len(ids))
+		copy(grown, pair.rows)
+		pair.rows = grown
+	}
+	cells := make([]Value, 3*len(ids))
+	for k, id := range ids {
+		r := cells[3*k : 3*k+3 : 3*k+3]
+		r[0], r[1], r[2] = Int(int64(base+k)), String(id.L), String(id.R)
+		pair.rows = append(pair.rows, Row(r))
+	}
+}

@@ -1,0 +1,65 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAppendPairsMatchesAppendPair: the batch API must leave the pair
+// table in exactly the state repeated AppendPair calls would, including
+// the sequential _id column, across multiple batches and empty batches.
+func TestAppendPairsMatchesAppendPair(t *testing.T) {
+	lt := New("L", StringSchema("id"))
+	rt := New("R", StringSchema("id"))
+	one, err := NewPairTable("one", lt, rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := NewPairTable("batch", lt, rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []PairID
+	for i := 0; i < 57; i++ {
+		ids = append(ids, PairID{L: fmt.Sprintf("a%d", i), R: fmt.Sprintf("b%d", i%7)})
+	}
+	for _, id := range ids {
+		AppendPair(one, id.L, id.R)
+	}
+	// Split the same stream over several batches, with an empty batch in
+	// the middle — the shapes blocker shard merges produce.
+	AppendPairs(batch, ids[:20])
+	AppendPairs(batch, nil)
+	AppendPairs(batch, ids[20:21])
+	AppendPairs(batch, ids[21:])
+
+	if one.Len() != batch.Len() {
+		t.Fatalf("lengths differ: %d vs %d", one.Len(), batch.Len())
+	}
+	for i := 0; i < one.Len(); i++ {
+		ra, rb := one.Row(i), batch.Row(i)
+		for j := range ra {
+			if ra[j].AsString() != rb[j].AsString() {
+				t.Fatalf("row %d col %d: %q vs %q", i, j, rb[j].AsString(), ra[j].AsString())
+			}
+		}
+	}
+	// _ids are sequential ints.
+	for i := 0; i < batch.Len(); i++ {
+		if got := batch.Get(i, "_id").AsString(); got != fmt.Sprint(i) {
+			t.Fatalf("_id[%d] = %q", i, got)
+		}
+	}
+}
+
+// TestAppendPairsRejectsWrongSchema: the batch writer refuses tables that
+// do not use the conventional 3-column pair schema.
+func TestAppendPairsRejectsWrongSchema(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on non-pair schema")
+		}
+	}()
+	AppendPairs(New("bad", StringSchema("x", "y")), []PairID{{L: "a", R: "b"}})
+}
