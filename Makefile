@@ -11,7 +11,7 @@ test:
 # Determinism-under-concurrency suite: the parallel execution layer and
 # every package driving it, under the race detector.
 race:
-	$(GO) test -race ./internal/parallel ./internal/ml ./internal/block
+	$(GO) test -race ./internal/parallel ./internal/ml ./internal/block ./internal/obs ./internal/cloud
 
 vet:
 	$(GO) vet ./...

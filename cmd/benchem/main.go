@@ -11,22 +11,49 @@
 //	benchem -exp mlrules       ML/rules/ML+rules ablation (§6)
 //	benchem -exp blockers      blocker recall/reduction ablation
 //	benchem -exp parallel      Workers=1 vs multicore regression bench (BENCH_parallel.json)
+//	benchem -exp obsbench      no-op vs live metrics overhead bench (BENCH_obs.json)
 //	benchem -exp all           everything above
+//
+// With -metrics PATH the guide experiment records per-stage timings into a
+// live registry and writes the snapshot as JSON ("-" for stdout).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
+// writeMetricsSnapshot dumps a registry's per-stage timings as indented
+// JSON to path, or to stdout when path is "-".
+func writeMetricsSnapshot(reg *obs.Registry, path string) error {
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|parallel|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|parallel|obsbench|all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker goroutines for parallelized stages; 0 means GOMAXPROCS")
 	benchout := flag.String("benchout", "BENCH_parallel.json", "output path for the parallel bench JSON")
+	obsout := flag.String("obsout", "BENCH_obs.json", "output path for the metrics-overhead bench JSON")
+	metricsPath := flag.String("metrics", "", "write the guide run's per-stage metrics snapshot as JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
 	run := func(name string) error {
@@ -53,7 +80,17 @@ func main() {
 			fmt.Print(experiments.FormatTable4())
 		case "guide":
 			fmt.Println("== Figure 2: the PyMatcher how-to guide, end to end ==")
-			res, err := experiments.RunGuideWorkers(2000, 2000, 600, 600, *seed, *workers)
+			var reg *obs.Registry
+			if *metricsPath != "" {
+				reg = obs.NewRegistry()
+			}
+			// A nil *Registry must stay a nil Recorder interface, so pass
+			// it through obs.Or only when live.
+			var rec obs.Recorder
+			if reg != nil {
+				rec = reg
+			}
+			res, err := experiments.RunGuideObserved(2000, 2000, 600, 600, *seed, *workers, rec)
 			if err != nil {
 				return err
 			}
@@ -62,6 +99,11 @@ func main() {
 			fmt.Printf("cross-validation winner: %s (F1 %.2f)\n", res.CVWinner, res.CVF1)
 			fmt.Printf("final accuracy: P %.1f%%  R %.1f%%  (%d questions)\n",
 				100*res.Precision, 100*res.Recall, res.Questions)
+			if reg != nil {
+				if err := writeMetricsSnapshot(reg, *metricsPath); err != nil {
+					return err
+				}
+			}
 		case "concurrency":
 			fmt.Println("== Figure 5: serial CloudMatcher 0.1 vs concurrent 1.0 ==")
 			res, err := experiments.RunConcurrency(6, *seed)
@@ -105,6 +147,21 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchout)
+		case "obsbench":
+			fmt.Println("== observability layer: no-op vs live recorder overhead ==")
+			res, err := experiments.RunObsBench(*seed, *workers, *benchout)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatObsBench(res))
+			data, err := res.MarshalBenchJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*obsout, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *obsout)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -114,7 +171,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "parallel", "concurrency", "table2"}
+		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "parallel", "obsbench", "concurrency", "table2"}
 	} else {
 		names = []string{*exp}
 	}

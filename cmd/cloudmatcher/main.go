@@ -2,9 +2,11 @@
 // HTTP — the cloud-native shape of the envisioned Magellan ecosystem
 // (Figure 6). Endpoints:
 //
-//	GET  /services   list the 18 basic + 2 composite services (Table 4)
-//	POST /jobs       submit a workflow DAG; returns step-by-step results
-//	GET  /healthz    liveness probe
+//	GET  /services      list the 18 basic + 2 composite services (Table 4)
+//	POST /jobs          submit a workflow DAG; returns step-by-step results
+//	GET  /healthz       liveness plus per-engine queue/worker state
+//	GET  /metrics       Prometheus text exposition (pipeline + engine series)
+//	GET  /debug/pprof/  Go profiler endpoints
 //
 // Example job (self-service Falcon over inline CSVs):
 //
@@ -27,6 +29,7 @@ import (
 	"os"
 
 	"repro/internal/cloud"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,18 +37,30 @@ func main() {
 	batch := flag.Int("batch-workers", 4, "batch engine worker count")
 	users := flag.Int("user-workers", 16, "user-interaction engine worker count")
 	crowd := flag.Int("crowd-workers", 16, "crowd engine worker count")
+	timeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+	maxBody := flag.Int64("max-body", 8<<20, "POST /jobs body cap in bytes")
 	flag.Parse()
 
+	// One registry shared by the HTTP server, the metamanager, and (via
+	// JobContext.Metrics) the pipeline code the services call — so /metrics
+	// shows engine state and per-stage timings side by side.
+	reg := obs.NewRegistry()
 	mm := cloud.NewMetamanager(cloud.NewRegistry(), cloud.EngineConfig{
 		BatchWorkers: *batch,
 		UserWorkers:  *users,
 		CrowdWorkers: *crowd,
+		Metrics:      reg,
 	})
 	defer mm.Close()
 
+	srv := cloud.NewServer(mm,
+		cloud.WithMetrics(reg),
+		cloud.WithRequestTimeout(*timeout),
+		cloud.WithMaxBodySize(*maxBody),
+	)
 	basic, composite := mm.Registry().Counts()
 	fmt.Printf("cloudmatcher: %d basic + %d composite services on %s\n", basic, composite, *addr)
-	if err := http.ListenAndServe(*addr, cloud.NewServer(mm).Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudmatcher:", err)
 		os.Exit(1)
 	}

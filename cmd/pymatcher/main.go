@@ -5,10 +5,13 @@
 //
 //	pymatcher -a a.csv -b b.csv -key id -gold gold.csv -out matches.csv
 //
-// The gold CSV must have columns ltable_id,rtable_id.
+// The gold CSV must have columns ltable_id,rtable_id. With -metrics PATH
+// the run records per-stage timings and counters into a live registry and
+// writes the snapshot as JSON ("-" for stdout).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/label"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -29,15 +33,16 @@ func main() {
 	sample := flag.Int("sample", 400, "labeled sample size")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker goroutines for blocking, feature extraction, and CV; 0 means GOMAXPROCS")
+	metricsPath := flag.String("metrics", "", "write per-stage metrics snapshot as JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
-	if err := run(*aPath, *bPath, *key, *goldPath, *outPath, *sample, *seed, *workers); err != nil {
+	if err := run(*aPath, *bPath, *key, *goldPath, *outPath, *sample, *seed, *workers, *metricsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "pymatcher:", err)
 		os.Exit(1)
 	}
 }
 
-func run(aPath, bPath, key, goldPath, outPath string, sample int, seed int64, workers int) error {
+func run(aPath, bPath, key, goldPath, outPath string, sample int, seed int64, workers int, metricsPath string) error {
 	if aPath == "" || bPath == "" || goldPath == "" {
 		return fmt.Errorf("-a, -b, and -gold are required")
 	}
@@ -70,11 +75,16 @@ func run(aPath, bPath, key, goldPath, outPath string, sample int, seed int64, wo
 		return err
 	}
 	s.Workers = workers
+	var reg *obs.Registry
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+		s.Metrics = reg
+	}
 	fmt.Printf("features: %d auto-generated\n", s.Features.Len())
 
 	blockers := []block.Blocker{
-		block.WholeTupleOverlapBlocker{MinOverlap: 2, Workers: workers},
-		block.WholeTupleOverlapBlocker{MinOverlap: 1, Workers: workers},
+		block.WholeTupleOverlapBlocker{MinOverlap: 2, Workers: workers, Metrics: s.Metrics},
+		block.WholeTupleOverlapBlocker{MinOverlap: 1, Workers: workers, Metrics: s.Metrics},
 	}
 	best, reports, err := s.TryBlockers(blockers, oracle, 10)
 	if err != nil {
@@ -116,5 +126,23 @@ func run(aPath, bPath, key, goldPath, outPath string, sample int, seed int64, wo
 	conf := core.Evaluate(matches, gold)
 	fmt.Printf("selected %s; predictions: %d matches; vs gold: %s\n", cv[0].Name, matches.Len(), conf)
 	fmt.Printf("labeling effort: %s\n", oracle.Stats())
-	return matches.WriteCSVFile(outPath)
+	if err := matches.WriteCSVFile(outPath); err != nil {
+		return err
+	}
+	if reg != nil {
+		data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if metricsPath == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(metricsPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metricsPath)
+	}
+	return nil
 }

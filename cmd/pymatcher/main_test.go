@@ -37,8 +37,19 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := run(aPath, bPath, "id", goldPath, outPath, 300, 1, 0); err != nil {
+	metricsPath := filepath.Join(dir, "metrics.json")
+	if err := run(aPath, bPath, "id", goldPath, outPath, 300, 1, 0, metricsPath); err != nil {
 		t.Fatal(err)
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"em_stage_seconds", `"stage": "block"`, `"stage": "cv"`, `"stage": "predict"`, "em_block_pairs_emitted_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
 	}
 
 	out, err := table.ReadCSVFile(outPath)
@@ -60,12 +71,12 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "id", "", "out.csv", 10, 1, 0); err == nil {
+	if err := run("", "", "id", "", "out.csv", 10, 1, 0, ""); err == nil {
 		t.Fatal("want missing-flags error")
 	}
 	dir := t.TempDir()
 	bogus := filepath.Join(dir, "missing.csv")
-	if err := run(bogus, bogus, "id", bogus, filepath.Join(dir, "o.csv"), 10, 1, 0); err == nil {
+	if err := run(bogus, bogus, "id", bogus, filepath.Join(dir, "o.csv"), 10, 1, 0, ""); err == nil {
 		t.Fatal("want file-not-found error")
 	}
 	// Bad key column.
@@ -73,7 +84,7 @@ func TestRunValidation(t *testing.T) {
 	if err := os.WriteFile(aPath, []byte("id,name\n1,x\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(aPath, aPath, "nokey", aPath, filepath.Join(dir, "o.csv"), 10, 1, 0); err == nil ||
+	if err := run(aPath, aPath, "nokey", aPath, filepath.Join(dir, "o.csv"), 10, 1, 0, ""); err == nil ||
 		!strings.Contains(err.Error(), "key") {
 		t.Fatalf("want key error, got %v", err)
 	}

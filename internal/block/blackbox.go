@@ -1,6 +1,7 @@
 package block
 
 import (
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/table"
 )
@@ -18,6 +19,8 @@ type BlackBoxBlocker struct {
 	Keep func(lrow, rrow table.Row) bool
 	// Workers shards the left table across goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives blocking timings and pair counters; nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -33,6 +36,9 @@ func (b BlackBoxBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.
 	if err := requireKeys(lt, rt); err != nil {
 		return nil, err
 	}
+	rec := obs.Or(b.Metrics)
+	bl := obs.L("blocker", b.Name())
+	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
 	pairs, err := table.NewPairTable(b.Name(), lt, rt, cat)
 	if err != nil {
 		return nil, err
@@ -40,6 +46,8 @@ func (b BlackBoxBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.
 	lkey := lt.Schema().Lookup(lt.Key())
 	rkey := rt.Schema().Lookup(rt.Key())
 	shards, err := parallel.MapChunks(b.Workers, lt.Len(), func(lo, hi int) ([]table.PairID, error) {
+		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
+		defer stop()
 		var out []table.PairID
 		for i := lo; i < hi; i++ {
 			for j := 0; j < rt.Len(); j++ {
@@ -56,5 +64,7 @@ func (b BlackBoxBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.
 	for _, shard := range shards {
 		table.AppendPairs(pairs, shard)
 	}
+	rec.Count(obs.BlockPairsConsidered, float64(lt.Len()*rt.Len()), bl)
+	rec.Count(obs.BlockPairsEmitted, float64(pairs.Len()), bl)
 	return pairs, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/table"
 )
@@ -46,6 +47,8 @@ func requireKeys(lt, rt *table.Table) error {
 type CrossBlocker struct {
 	// Workers shards the left table across goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives blocking timings and pair counters; nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -56,6 +59,9 @@ func (b CrossBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Tab
 	if err := requireKeys(lt, rt); err != nil {
 		return nil, err
 	}
+	rec := obs.Or(b.Metrics)
+	bl := obs.L("blocker", b.Name())
+	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
 	pairs, err := table.NewPairTable("cross("+lt.Name()+","+rt.Name()+")", lt, rt, cat)
 	if err != nil {
 		return nil, err
@@ -67,6 +73,8 @@ func (b CrossBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Tab
 		rids[j] = rt.Row(j)[rkey].AsString()
 	}
 	shards, err := parallel.MapChunks(b.Workers, lt.Len(), func(lo, hi int) ([]table.PairID, error) {
+		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
+		defer stop()
 		out := make([]table.PairID, 0, (hi-lo)*len(rids))
 		for i := lo; i < hi; i++ {
 			lid := lt.Row(i)[lkey].AsString()
@@ -82,6 +90,8 @@ func (b CrossBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Tab
 	for _, shard := range shards {
 		table.AppendPairs(pairs, shard)
 	}
+	rec.Count(obs.BlockPairsConsidered, float64(lt.Len()*rt.Len()), bl)
+	rec.Count(obs.BlockPairsEmitted, float64(pairs.Len()), bl)
 	return pairs, nil
 }
 
@@ -93,6 +103,8 @@ type AttrEquivalenceBlocker struct {
 	Attr string
 	// Workers shards the probe side across goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives blocking timings and pair counters; nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -100,7 +112,7 @@ func (b AttrEquivalenceBlocker) Name() string { return "attr_equiv(" + b.Attr + 
 
 // Block implements Blocker.
 func (b AttrEquivalenceBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Table, error) {
-	return HashBlocker{Attr: b.Attr, Workers: b.Workers}.block(lt, rt, cat, b.Name())
+	return HashBlocker{Attr: b.Attr, Workers: b.Workers, Metrics: b.Metrics}.block(lt, rt, cat, b.Name())
 }
 
 // HashBlocker buckets tuples by a transform of an attribute value and
@@ -117,6 +129,8 @@ type HashBlocker struct {
 	// Workers shards the probe (left) side across goroutines; 0 means
 	// GOMAXPROCS. The candidate set is identical for every setting.
 	Workers int
+	// Metrics receives blocking timings and pair counters; nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -131,6 +145,9 @@ func (b HashBlocker) block(lt, rt *table.Table, cat *table.Catalog, name string)
 	if err := requireKeys(lt, rt); err != nil {
 		return nil, err
 	}
+	rec := obs.Or(b.Metrics)
+	bl := obs.L("blocker", name)
+	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
 	lj := lt.Schema().Lookup(b.Attr)
 	rj := rt.Schema().Lookup(b.Attr)
 	if lj < 0 || rj < 0 {
@@ -165,6 +182,8 @@ func (b HashBlocker) block(lt, rt *table.Table, cat *table.Catalog, name string)
 	// reproduces the serial probe order exactly.
 	lkey := lt.Schema().Lookup(lt.Key())
 	shards, err := parallel.MapChunks(b.Workers, lt.Len(), func(lo, hi int) ([]table.PairID, error) {
+		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
+		defer stop()
 		var out []table.PairID
 		for i := lo; i < hi; i++ {
 			k := key(lt.Row(i)[lj])
@@ -184,6 +203,9 @@ func (b HashBlocker) block(lt, rt *table.Table, cat *table.Catalog, name string)
 	for _, shard := range shards {
 		table.AppendPairs(pairs, shard)
 	}
+	// Hash blocking examines exactly the bucket-sharing pairs it emits.
+	rec.Count(obs.BlockPairsConsidered, float64(pairs.Len()), bl)
+	rec.Count(obs.BlockPairsEmitted, float64(pairs.Len()), bl)
 	return pairs, nil
 }
 

@@ -3,6 +3,7 @@ package block
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simjoin"
 	"repro/internal/table"
 	"repro/internal/tokenize"
@@ -20,6 +21,9 @@ type OverlapBlocker struct {
 	MinOverlap int
 	// Workers parallelizes the join; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives blocking timings and pair counters, and is passed
+	// through to the underlying similarity join; nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -46,6 +50,9 @@ func (b OverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if err := requireKeys(lt, rt); err != nil {
 		return nil, err
 	}
+	rec := obs.Or(b.Metrics)
+	bl := obs.L("blocker", b.Name())
+	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
 	lrecs, err := tokenRecords(lt, b.Attr, b.tokenizer())
 	if err != nil {
 		return nil, err
@@ -54,7 +61,7 @@ func (b OverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if err != nil {
 		return nil, err
 	}
-	joined, err := simjoin.OverlapJoin(lrecs, rrecs, b.minOverlap(), simjoin.Options{Workers: b.Workers})
+	joined, err := simjoin.OverlapJoin(lrecs, rrecs, b.minOverlap(), simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -63,6 +70,7 @@ func (b OverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 		return nil, err
 	}
 	table.AppendPairs(pairs, joinedPairIDs(joined))
+	rec.Count(obs.BlockPairsEmitted, float64(pairs.Len()), bl)
 	return pairs, nil
 }
 
@@ -74,6 +82,9 @@ type JaccardBlocker struct {
 	Tokenizer tokenize.Tokenizer
 	Threshold float64
 	Workers   int
+	// Metrics receives blocking timings and pair counters, and is passed
+	// through to the underlying similarity join; nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -86,6 +97,9 @@ func (b JaccardBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if err := requireKeys(lt, rt); err != nil {
 		return nil, err
 	}
+	rec := obs.Or(b.Metrics)
+	bl := obs.L("blocker", b.Name())
+	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
 	tok := b.Tokenizer
 	if tok == nil {
 		tok = tokenize.Alphanumeric{ReturnSet: true}
@@ -98,7 +112,7 @@ func (b JaccardBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if err != nil {
 		return nil, err
 	}
-	joined, err := simjoin.JaccardJoin(lrecs, rrecs, b.Threshold, simjoin.Options{Workers: b.Workers})
+	joined, err := simjoin.JaccardJoin(lrecs, rrecs, b.Threshold, simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +121,7 @@ func (b JaccardBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 		return nil, err
 	}
 	table.AppendPairs(pairs, joinedPairIDs(joined))
+	rec.Count(obs.BlockPairsEmitted, float64(pairs.Len()), bl)
 	return pairs, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/feature"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rules"
 	"repro/internal/table"
@@ -26,12 +27,18 @@ type RuleFilter struct {
 	// Workers parallelizes feature extraction and rule evaluation;
 	// 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives filter timings and considered/kept pair counters,
+	// and is passed through to feature extraction; nil means off.
+	Metrics obs.Recorder
 }
 
 // Filter returns a new pair table holding the pairs of cand on which no
 // rule fires, registered in cat. It also reports how many pairs each rule
 // dropped (aligned with Rules.Rules).
 func (rf RuleFilter) Filter(cand *table.Table, cat *table.Catalog) (*table.Table, []int, error) {
+	rec := obs.Or(rf.Metrics)
+	bl := obs.L("blocker", "rule_filter")
+	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
 	meta, ok := cat.PairMeta(cand)
 	if !ok {
 		return nil, nil, fmt.Errorf("block: rule filter: pair table %q not registered", cand.Name())
@@ -49,7 +56,7 @@ func (rf RuleFilter) Filter(cand *table.Table, cat *table.Catalog) (*table.Table
 	if err != nil {
 		return nil, nil, fmt.Errorf("block: rule filter: %w", err)
 	}
-	x, err := feature.Vectors(sub, cand, cat, feature.ExtractOptions{Workers: rf.Workers})
+	x, err := feature.Vectors(sub, cand, cat, feature.ExtractOptions{Workers: rf.Workers, Metrics: rf.Metrics})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -65,6 +72,8 @@ func (rf RuleFilter) Filter(cand *table.Table, cat *table.Catalog) (*table.Table
 		dropped []int
 	}
 	shards, err := parallel.MapChunks(rf.Workers, cand.Len(), func(lo, hi int) (shardResult, error) {
+		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
+		defer stop()
 		res := shardResult{dropped: make([]int, rf.Rules.Len())}
 		for i := lo; i < hi; i++ {
 			fired, idx := compiled.AnyFires(x[i])
@@ -89,6 +98,8 @@ func (rf RuleFilter) Filter(cand *table.Table, cat *table.Catalog) (*table.Table
 		}
 		table.AppendPairs(out, s.kept)
 	}
+	rec.Count(obs.BlockPairsConsidered, float64(cand.Len()), bl)
+	rec.Count(obs.BlockPairsEmitted, float64(out.Len()), bl)
 	return out, dropped, nil
 }
 
@@ -115,6 +126,9 @@ type RuleBlocker struct {
 	Rules    rules.RuleSet
 	Features *feature.Set
 	Workers  int
+	// Metrics is forwarded to the rule filter stage (the seed blocker
+	// carries its own recorder); nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -128,7 +142,7 @@ func (b RuleBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.Tabl
 	if err != nil {
 		return nil, err
 	}
-	out, _, err := RuleFilter{Rules: b.Rules, Features: b.Features, Workers: b.Workers}.Filter(cand, cat)
+	out, _, err := RuleFilter{Rules: b.Rules, Features: b.Features, Workers: b.Workers, Metrics: b.Metrics}.Filter(cand, cat)
 	if err != nil {
 		return nil, err
 	}

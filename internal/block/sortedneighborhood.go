@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/table"
 )
@@ -23,6 +24,8 @@ type SortedNeighborhoodBlocker struct {
 	// Workers shards the window scan across goroutines; 0 means
 	// GOMAXPROCS. The candidate set is identical for every setting.
 	Workers int
+	// Metrics receives blocking timings and pair counters; nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -42,6 +45,9 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 	if err := requireKeys(lt, rt); err != nil {
 		return nil, err
 	}
+	rec := obs.Or(b.Metrics)
+	bl := obs.L("blocker", b.Name())
+	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
 	lj := lt.Schema().Lookup(b.Attr)
 	rj := rt.Schema().Lookup(b.Attr)
 	if lj < 0 || rj < 0 {
@@ -87,6 +93,8 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 	// final pass dedups globally. Both dedups keep the first occurrence
 	// in window-start order, so the output matches the serial scan.
 	shards, err := parallel.MapChunks(b.Workers, len(entries), func(lo, hi int) ([]table.PairID, error) {
+		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
+		defer stop()
 		var out []table.PairID
 		local := make(map[[2]string]bool)
 		for i := lo; i < hi; i++ {
@@ -126,5 +134,6 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 		}
 	}
 	table.AppendPairs(pairs, merged)
+	rec.Count(obs.BlockPairsEmitted, float64(pairs.Len()), bl)
 	return pairs, nil
 }

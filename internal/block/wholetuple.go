@@ -3,6 +3,7 @@ package block
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simjoin"
 	"repro/internal/table"
 	"repro/internal/tokenize"
@@ -19,6 +20,9 @@ type WholeTupleOverlapBlocker struct {
 	MinOverlap int
 	// Workers parallelizes the join; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives blocking timings and pair counters, and is passed
+	// through to the underlying similarity join; nil means off.
+	Metrics obs.Recorder
 }
 
 // Name implements Blocker.
@@ -35,6 +39,9 @@ func (b WholeTupleOverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog)
 	if err := requireKeys(lt, rt); err != nil {
 		return nil, err
 	}
+	rec := obs.Or(b.Metrics)
+	bl := obs.L("blocker", b.Name())
+	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
 	k := b.MinOverlap
 	if k < 1 {
 		k = 1
@@ -42,7 +49,7 @@ func (b WholeTupleOverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog)
 	tok := tokenize.Alphanumeric{ReturnSet: true}
 	lrecs := wholeTupleRecords(lt, tok)
 	rrecs := wholeTupleRecords(rt, tok)
-	joined, err := simjoin.OverlapJoin(lrecs, rrecs, k, simjoin.Options{Workers: b.Workers})
+	joined, err := simjoin.OverlapJoin(lrecs, rrecs, k, simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +58,7 @@ func (b WholeTupleOverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog)
 		return nil, err
 	}
 	table.AppendPairs(pairs, joinedPairIDs(joined))
+	rec.Count(obs.BlockPairsEmitted, float64(pairs.Len()), bl)
 	return pairs, nil
 }
 

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -122,7 +123,7 @@ func TestSubmitFalconJob(t *testing.T) {
 	defer mm.Close()
 	ctx := NewJobContext(label.NewOracle(task.Gold), 7)
 	job := FalconJob("members", csvOf(t, task.A), csvOf(t, task.B), "id", "id", ctx, 500)
-	res := mm.Submit(job)
+	res := mm.Submit(context.Background(), job)
 	if res.Err != nil {
 		t.Fatalf("job failed: %v", res.Err)
 	}
@@ -158,7 +159,7 @@ func TestSubmitStepFailureSkipsDescendants(t *testing.T) {
 			{ID: "independent", Service: "upload_dataset", Args: Args{"csv": "id\n1\n", "out": "u"}},
 		},
 	}
-	res := mm.Submit(job)
+	res := mm.Submit(context.Background(), job)
 	if res.Err == nil {
 		t.Fatal("want job error")
 	}
@@ -180,7 +181,7 @@ func TestSubmitUnknownService(t *testing.T) {
 	mm := NewMetamanager(NewRegistry(), EngineConfig{})
 	defer mm.Close()
 	ctx := NewJobContext(label.NewOracle(label.NewGold(nil)), 1)
-	res := mm.Submit(&Job{Name: "j", Ctx: ctx, Steps: []Step{{ID: "a", Service: "ghost"}}})
+	res := mm.Submit(context.Background(), &Job{Name: "j", Ctx: ctx, Steps: []Step{{ID: "a", Service: "ghost"}}})
 	if res.Err == nil {
 		t.Fatal("want unknown-service error")
 	}
@@ -201,7 +202,7 @@ func TestConcurrentJobsInterleave(t *testing.T) {
 			task := smallTask(t, int64(50+j))
 			ctx := NewJobContext(label.NewOracle(task.Gold), int64(j))
 			job := FalconJob("concurrent", csvOf(t, task.A), csvOf(t, task.B), "id", "id", ctx, 400)
-			res := mm.Submit(job)
+			res := mm.Submit(context.Background(), job)
 			errs[j] = res.Err
 		}(j)
 	}
@@ -240,7 +241,7 @@ func TestStepByStepGuideJob(t *testing.T) {
 			{ID: "eval", Service: "evaluate_matches", Args: Args{"matches": "matches", "n": 40}, After: []string{"pred"}},
 		},
 	}
-	res := mm.Submit(job)
+	res := mm.Submit(context.Background(), job)
 	if res.Err != nil {
 		t.Fatalf("job failed: %v", res.Err)
 	}

@@ -1,42 +1,121 @@
 package cloud
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"repro/internal/label"
+	"repro/internal/obs"
 )
 
 // Server is the HTTP façade over a Metamanager: the shape the envisioned
 // cloud-native Magellan ecosystem (Figure 6) exposes its microservices in.
 // It serves:
 //
-//	GET  /services   — the service catalog (Table 4)
-//	POST /jobs       — submit a workflow DAG and block for its result
-//	GET  /healthz    — liveness
+//	GET  /services      — the service catalog (Table 4)
+//	POST /jobs          — submit a workflow DAG and block for its result
+//	GET  /healthz       — liveness plus per-engine queue/worker state
+//	GET  /metrics       — Prometheus text exposition of the obs registry
+//	GET  /debug/pprof/* — the standard Go profiler endpoints
 //
 // Interactive labeling cannot ride a synchronous HTTP call, so job
 // payloads carry the gold matches ("gold": [["a1","b1"], ...]) from which
 // a simulated labeler is built — the same substitution the rest of the
 // reproduction uses for humans.
+//
+// Request-level failures return a structured JSON error:
+//
+//	{"error": {"code": "bad_json", "message": "..."}}
+//
+// with codes bad_json (400), invalid_dag (400), and payload_too_large
+// (413); a job that executed but failed returns 422 with the per-step
+// results.
 type Server struct {
-	mm *Metamanager
+	mm       *Metamanager
+	registry *obs.Registry
+	timeout  time.Duration
+	maxBody  int64
 }
 
-// NewServer wraps a metamanager.
-func NewServer(mm *Metamanager) *Server { return &Server{mm: mm} }
+// ServerOption configures a Server; see WithRequestTimeout,
+// WithMaxBodySize, and WithMetrics.
+type ServerOption func(*Server)
+
+// WithRequestTimeout bounds each job submission: the request context is
+// cancelled after d, which stops the remaining DAG steps. 0 (the default)
+// means no server-imposed deadline — jobs still stop if the client
+// disconnects.
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithMaxBodySize caps the POST /jobs payload in bytes; larger requests
+// get a 413. The default is 8 MiB.
+func WithMaxBodySize(n int64) ServerOption {
+	return func(s *Server) { s.maxBody = n }
+}
+
+// WithMetrics replaces the server's own registry, so the process can share
+// one registry between the server, the metamanager, and anything else that
+// records. /metrics renders whatever registry the server holds.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.registry = reg }
+}
+
+// NewServer wraps a metamanager. By default the server owns a fresh
+// metrics registry with the standard metric families pre-declared; pass
+// WithMetrics to share one with the metamanager (NewMetamanager takes its
+// recorder via EngineConfig.Metrics).
+func NewServer(mm *Metamanager, opts ...ServerOption) *Server {
+	s := &Server{mm: mm, maxBody: 8 << 20}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.registry == nil {
+		s.registry = obs.NewRegistry()
+	}
+	obs.DescribeStandard(s.registry)
+	return s
+}
 
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /services", s.handleServices)
 	mux.HandleFunc("POST /jobs", s.handleJobs)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// healthResponse is the GET /healthz reply.
+type healthResponse struct {
+	Status       string        `json:"status"`
+	Engines      []EngineState `json:"engines"`
+	JobsInFlight int           `json:"jobs_in_flight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:       "ok",
+		Engines:      s.mm.EngineStates(),
+		JobsInFlight: s.mm.JobsInFlight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.registry.WritePrometheus(w)
 }
 
 // serviceInfo is the JSON form of one catalog entry.
@@ -87,9 +166,22 @@ type jobResponse struct {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req jobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad json: " + err.Error()})
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
 		return
 	}
 	gold := label.NewGold(req.Gold)
@@ -99,12 +191,19 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	} else {
 		lab = label.NewOracle(gold)
 	}
-	ctx := NewJobContext(lab, req.Seed)
-	job := &Job{Name: req.Name, Ctx: ctx}
+	jctx := NewJobContext(lab, req.Seed)
+	jctx.Metrics = s.registry
+	job := &Job{Name: req.Name, Ctx: jctx}
 	for _, st := range req.Steps {
 		job.Steps = append(job.Steps, Step{ID: st.ID, Service: st.Service, Args: st.Args, After: st.After})
 	}
-	res := s.mm.Submit(job)
+	// Validate up front so a malformed DAG is a client error, not a job
+	// failure.
+	if err := validateDAG(job); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_dag", err.Error())
+		return
+	}
+	res := s.mm.Submit(ctx, job)
 
 	resp := jobResponse{Name: res.Name}
 	if res.Err != nil {
@@ -136,8 +235,29 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// errorBody is the structured request-level error payload.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: message}})
+}
+
+// writeJSON encodes v before touching the response so an encoding failure
+// can still become a clean 500 instead of a broken 200 body, and sets
+// Content-Type ahead of WriteHeader (headers are frozen after it).
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":{"code":"encode_failed","message":%q}}`, err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	w.Write(buf)
+	w.Write([]byte("\n"))
 }

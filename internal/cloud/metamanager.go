@@ -1,8 +1,12 @@
 package cloud
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Step is one node of a submitted EM workflow DAG: a service invocation
@@ -66,6 +70,9 @@ type EngineConfig struct {
 	UserWorkers int
 	// CrowdWorkers bounds concurrent crowd fragments; 0 means 16.
 	CrowdWorkers int
+	// Metrics receives per-engine queue-depth and in-flight gauges plus
+	// per-step latency histograms (obs.Cloud* names); nil means off.
+	Metrics obs.Recorder
 }
 
 func (c EngineConfig) workers(k Kind) int {
@@ -95,8 +102,16 @@ func (c EngineConfig) workers(k Kind) int {
 type Metamanager struct {
 	registry *Registry
 	engines  map[Kind]chan func()
-	wg       sync.WaitGroup
-	once     sync.Once
+	workers  map[Kind]int
+	metrics  obs.Recorder
+	// queued counts fragments handed to an engine but not yet picked up by
+	// a worker; running counts fragments a worker is executing. Indexed by
+	// Kind (the three engine kinds are 0..2).
+	queued  [3]atomic.Int64
+	running [3]atomic.Int64
+	jobs    atomic.Int64
+	wg      sync.WaitGroup
+	once    sync.Once
 }
 
 // NewMetamanager starts the three engines' worker pools.
@@ -104,10 +119,13 @@ func NewMetamanager(reg *Registry, cfg EngineConfig) *Metamanager {
 	m := &Metamanager{
 		registry: reg,
 		engines:  make(map[Kind]chan func()),
+		workers:  make(map[Kind]int),
+		metrics:  obs.Or(cfg.Metrics),
 	}
 	for _, k := range []Kind{KindBatch, KindUser, KindCrowd} {
 		ch := make(chan func())
 		m.engines[k] = ch
+		m.workers[k] = cfg.workers(k)
 		for w := 0; w < cfg.workers(k); w++ {
 			m.wg.Add(1)
 			go func(ch chan func()) {
@@ -124,6 +142,32 @@ func NewMetamanager(reg *Registry, cfg EngineConfig) *Metamanager {
 // Registry returns the service registry the metamanager dispatches to.
 func (m *Metamanager) Registry() *Registry { return m.registry }
 
+// EngineState is a point-in-time snapshot of one engine, as reported by
+// the enriched /healthz endpoint.
+type EngineState struct {
+	Engine  string `json:"engine"`
+	Workers int    `json:"workers"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+}
+
+// EngineStates snapshots all three engines in kind order.
+func (m *Metamanager) EngineStates() []EngineState {
+	out := make([]EngineState, 0, 3)
+	for _, k := range []Kind{KindBatch, KindUser, KindCrowd} {
+		out = append(out, EngineState{
+			Engine:  k.String(),
+			Workers: m.workers[k],
+			Queued:  int(m.queued[k].Load()),
+			Running: int(m.running[k].Load()),
+		})
+	}
+	return out
+}
+
+// JobsInFlight reports how many Submit calls are currently executing.
+func (m *Metamanager) JobsInFlight() int { return int(m.jobs.Load()) }
+
 // Close shuts the engines down after in-flight fragments finish. Submit
 // must not be called after (or concurrently with) Close.
 func (m *Metamanager) Close() {
@@ -139,12 +183,32 @@ func (m *Metamanager) Close() {
 // or been skipped (steps downstream of a failure are skipped, recording a
 // propagated error). Multiple goroutines may Submit concurrently; their
 // fragments interleave on the shared engines.
-func (m *Metamanager) Submit(job *Job) *JobResult {
+//
+// Cancelling ctx stops the job early: fragments already queued on an
+// engine report a cancellation error instead of running their service, no
+// further steps launch, and the remaining DAG settles as skipped. The
+// returned result carries the cancellation as its Err.
+func (m *Metamanager) Submit(ctx context.Context, job *Job) *JobResult {
 	res := &JobResult{Name: job.Name}
 	if err := validateDAG(job); err != nil {
 		res.Err = err
 		return res
 	}
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("cloud: job %q cancelled: %w", job.Name, err)
+		return res
+	}
+	m.jobs.Add(1)
+	m.metrics.Gauge(obs.CloudJobsInFlight, 1)
+	defer func() {
+		m.jobs.Add(-1)
+		m.metrics.Gauge(obs.CloudJobsInFlight, -1)
+		status := "ok"
+		if res.Err != nil {
+			status = "error"
+		}
+		m.metrics.Count(obs.CloudJobsTotal, 1, obs.L("status", status))
+	}()
 
 	pending := make(map[string]int, len(job.Steps))
 	waiters := make(map[string][]string, len(job.Steps))
@@ -174,13 +238,37 @@ func (m *Metamanager) Submit(job *Job) *JobResult {
 			kind = svc.Kind
 		}
 		inFlight++
+		engine := obs.L("engine", kind.String())
+		m.queued[kind].Add(1)
+		m.metrics.Gauge(obs.CloudQueueDepth, 1, engine)
 		m.engines[kind] <- func() {
+			m.queued[kind].Add(-1)
+			m.metrics.Gauge(obs.CloudQueueDepth, -1, engine)
+			m.running[kind].Add(1)
+			m.metrics.Gauge(obs.CloudStepsInFlight, 1, engine)
+			service := obs.L("service", st.Service)
+			stop := obs.StartTimer(m.metrics, obs.CloudStepSeconds, service)
 			sr := StepResult{Job: job.Name, Step: id, Service: st.Service}
-			if lookupErr != nil {
+			status := "ok"
+			switch {
+			case ctx.Err() != nil:
+				// The job was cancelled while this fragment sat in the
+				// engine queue: do not run the service.
+				sr.Err = fmt.Errorf("cloud: cancelled before run: %w", ctx.Err())
+				status = "cancelled"
+			case lookupErr != nil:
 				sr.Err = lookupErr
-			} else {
+				status = "error"
+			default:
 				sr.Output, sr.Err = svc.Run(job.Ctx, st.Args)
+				if sr.Err != nil {
+					status = "error"
+				}
 			}
+			stop()
+			m.metrics.Count(obs.CloudStepsTotal, 1, service, obs.L("status", status))
+			m.running[kind].Add(-1)
+			m.metrics.Gauge(obs.CloudStepsInFlight, -1, engine)
 			done <- sr
 		}
 	}
@@ -191,6 +279,10 @@ func (m *Metamanager) Submit(job *Job) *JobResult {
 	var settle func(sr StepResult)
 	settle = func(sr StepResult) {
 		res.Steps = append(res.Steps, sr)
+		if sr.Skipped {
+			m.metrics.Count(obs.CloudStepsTotal, 1,
+				obs.L("service", sr.Service), obs.L("status", "skipped"))
+		}
 		if sr.Err != nil {
 			failed[sr.Step] = true
 			if res.Err == nil && !sr.Skipped {
@@ -231,9 +323,28 @@ func (m *Metamanager) Submit(job *Job) *JobResult {
 		inFlight--
 		ready = ready[:0]
 		settle(sr)
-		for _, id := range append([]string(nil), ready...) {
-			launch(id)
+		// Once the context is cancelled, ready steps settle as skipped
+		// instead of launching; their failure marks cascade the skip to the
+		// rest of the DAG (settling can make further steps ready, hence the
+		// drain loop).
+		for len(ready) > 0 {
+			batch := append([]string(nil), ready...)
+			ready = ready[:0]
+			for _, id := range batch {
+				if err := ctx.Err(); err != nil {
+					settle(StepResult{
+						Job: job.Name, Step: id, Service: steps[id].Service,
+						Err:     fmt.Errorf("cloud: skipped: job cancelled: %w", err),
+						Skipped: true,
+					})
+				} else {
+					launch(id)
+				}
+			}
 		}
+	}
+	if err := ctx.Err(); err != nil && res.Err == nil {
+		res.Err = fmt.Errorf("cloud: job %q cancelled: %w", job.Name, err)
 	}
 	return res
 }

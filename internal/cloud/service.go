@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/label"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -131,6 +132,9 @@ type JobContext struct {
 	Catalog *table.Catalog
 	// Seed drives randomized services deterministically per job.
 	Seed int64
+	// Metrics is forwarded into the blocking and feature-extraction calls
+	// the services make; nil means off.
+	Metrics obs.Recorder
 }
 
 // NewJobContext builds an empty context.

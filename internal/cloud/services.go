@@ -139,9 +139,9 @@ func registerBasic(r *Registry) {
 			}
 			var blk block.Blocker
 			if attr := a.StrOr("attr", ""); attr != "" {
-				blk = block.OverlapBlocker{Attr: attr, MinOverlap: a.IntOr("k", 1)}
+				blk = block.OverlapBlocker{Attr: attr, MinOverlap: a.IntOr("k", 1), Metrics: ctx.Metrics}
 			} else {
-				blk = block.WholeTupleOverlapBlocker{MinOverlap: a.IntOr("k", 1)}
+				blk = block.WholeTupleOverlapBlocker{MinOverlap: a.IntOr("k", 1), Metrics: ctx.Metrics}
 			}
 			cand, err := blk.Block(at, bt, ctx.Catalog)
 			if err != nil {
@@ -207,7 +207,7 @@ func registerBasic(r *Registry) {
 			if err != nil {
 				return nil, err
 			}
-			x, err := feature.Vectors(fs, p, ctx.Catalog, feature.ExtractOptions{})
+			x, err := feature.Vectors(fs, p, ctx.Catalog, feature.ExtractOptions{Metrics: ctx.Metrics})
 			if err != nil {
 				return nil, err
 			}
@@ -444,10 +444,10 @@ func registerBasic(r *Registry) {
 			if err != nil {
 				return nil, err
 			}
-			seed := block.WholeTupleOverlapBlocker{MinOverlap: a.IntOr("k", 1)}
+			seed := block.WholeTupleOverlapBlocker{MinOverlap: a.IntOr("k", 1), Metrics: ctx.Metrics}
 			var cand *table.Table
 			if rs.Len() > 0 {
-				cand, err = block.RuleBlocker{Seed: seed, Rules: rs, Features: fs}.Block(at, bt, ctx.Catalog)
+				cand, err = block.RuleBlocker{Seed: seed, Rules: rs, Features: fs, Metrics: ctx.Metrics}.Block(at, bt, ctx.Catalog)
 			} else {
 				cand, err = seed.Block(at, bt, ctx.Catalog)
 			}

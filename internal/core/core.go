@@ -22,6 +22,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/label"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/table"
 )
@@ -38,6 +39,11 @@ type Session struct {
 	// Workers parallelizes feature extraction and cross-validation folds;
 	// 0 means GOMAXPROCS (the standard Workers convention, see DESIGN.md).
 	Workers int
+	// Metrics receives per-stage pipeline timers (obs.StageSeconds with a
+	// stage label per guide step) and is forwarded to feature extraction
+	// and cross-validation; nil means off (the standard Metrics convention,
+	// see DESIGN.md).
+	Metrics obs.Recorder
 
 	// Candidates is the current candidate set (after Block).
 	Candidates *table.Table
@@ -85,6 +91,7 @@ func NewSession(a, b *table.Table, seed int64) (*Session, error) {
 // versions (step 1 of the guide). The original tables are untouched; keep
 // them for the production run.
 func (s *Session) DownSample(sizeA, sizeB int) error {
+	defer obs.StartTimer(obs.Or(s.Metrics), obs.StageSeconds, obs.L("stage", "downsample"))()
 	a, b, err := table.DownSample(s.A, s.B, sizeA, sizeB, s.rng)
 	if err != nil {
 		return err
@@ -118,6 +125,7 @@ func (s *Session) TryBlockers(blockers []block.Blocker, lab label.Labeler, topK 
 	if len(blockers) == 0 {
 		return 0, nil, fmt.Errorf("core: no blockers to try")
 	}
+	defer obs.StartTimer(obs.Or(s.Metrics), obs.StageSeconds, obs.L("stage", "try_blockers"))()
 	reports = make([]BlockerReport, len(blockers))
 	for i, blk := range blockers {
 		reports[i].Name = blk.Name()
@@ -159,6 +167,7 @@ func (s *Session) TryBlockers(blockers []block.Blocker, lab label.Labeler, topK 
 
 // Block runs the chosen blocker and stores the candidate set C.
 func (s *Session) Block(blk block.Blocker) (*table.Table, error) {
+	defer obs.StartTimer(obs.Or(s.Metrics), obs.StageSeconds, obs.L("stage", "block"))()
 	cand, err := blk.Block(s.A, s.B, s.Catalog)
 	if err != nil {
 		return nil, err
@@ -179,8 +188,11 @@ func (s *Session) SampleAndLabel(n int, lab label.Labeler) (*LabeledSet, error) 
 	if s.Candidates == nil {
 		return nil, fmt.Errorf("core: block before sampling (guide order)")
 	}
+	defer obs.StartTimer(obs.Or(s.Metrics), obs.StageSeconds, obs.L("stage", "sample_label"))()
 	meta, _ := s.Catalog.PairMeta(s.Candidates)
-	allX, err := feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{Workers: s.Workers})
+	stop := obs.StartTimer(obs.Or(s.Metrics), obs.StageSeconds, obs.L("stage", "feature"))
+	allX, err := feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{Workers: s.Workers, Metrics: s.Metrics})
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -248,11 +260,12 @@ func (s *Session) SelectMatcher(factories []func() ml.Classifier, folds int) ([]
 	if s.Labeled == nil {
 		return nil, fmt.Errorf("core: label a sample before selecting a matcher")
 	}
+	defer obs.StartTimer(obs.Or(s.Metrics), obs.StageSeconds, obs.L("stage", "cv"))()
 	ds, err := s.Labeled.Dataset()
 	if err != nil {
 		return nil, err
 	}
-	return ml.SelectMatcherOpt(factories, ds, folds, s.rng, ml.CVOptions{Workers: s.Workers})
+	return ml.SelectMatcher(factories, ds, folds, s.rng, ml.WithWorkers(s.Workers), ml.WithMetrics(s.Metrics))
 }
 
 // TrainAndPredict fits the matcher on the full labeled set and predicts
@@ -261,17 +274,22 @@ func (s *Session) TrainAndPredict(factory func() ml.Classifier) (*table.Table, m
 	if s.Candidates == nil || s.Labeled == nil {
 		return nil, nil, fmt.Errorf("core: need candidates and labels before predicting")
 	}
+	rec := obs.Or(s.Metrics)
 	ds, err := s.Labeled.Dataset()
 	if err != nil {
 		return nil, nil, err
 	}
 	model := factory()
-	if err := model.Fit(ds); err != nil {
+	stopTrain := obs.StartTimer(rec, obs.StageSeconds, obs.L("stage", "train"))
+	err = model.Fit(ds)
+	stopTrain()
+	if err != nil {
 		return nil, nil, err
 	}
+	defer obs.StartTimer(rec, obs.StageSeconds, obs.L("stage", "predict"))()
 	x := s.candX
 	if x == nil {
-		x, err = feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{Workers: s.Workers})
+		x, err = feature.Vectors(s.Features, s.Candidates, s.Catalog, feature.ExtractOptions{Workers: s.Workers, Metrics: s.Metrics})
 		if err != nil {
 			return nil, nil, err
 		}

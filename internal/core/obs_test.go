@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/label"
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+// TestSessionStageMetrics: a session with a live recorder times every guide
+// stage and forwards the recorder into blocking, feature extraction, and
+// cross-validation.
+func TestSessionStageMetrics(t *testing.T) {
+	task := personTask(t, 200, 7)
+	s, err := NewSession(task.A, task.B, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.Metrics = reg
+	if err := s.DownSample(150, 150); err != nil {
+		t.Fatal(err)
+	}
+	oracle := label.NewOracle(task.Gold)
+	blk := block.OverlapBlocker{Attr: "name", MinOverlap: 1, Metrics: reg}
+	if _, err := s.Block(blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SampleAndLabel(200, oracle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SelectMatcher(ml.DefaultMatcherFactories(1), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.TrainAndPredict(func() ml.Classifier { return &ml.RandomForest{Seed: 1} }); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"downsample", "block", "sample_label", "feature", "cv", "train", "predict"} {
+		if n := reg.TimerCount(obs.StageSeconds, obs.L("stage", stage)); n != 1 {
+			t.Errorf("stage %q timers = %d, want 1", stage, n)
+		}
+	}
+	bl := obs.L("blocker", blk.Name())
+	if n := reg.TimerCount(obs.BlockSeconds, bl); n != 1 {
+		t.Errorf("block timers = %d, want 1", n)
+	}
+	if v := reg.CounterValue(obs.BlockPairsEmitted, bl); v != float64(s.Candidates.Len()) {
+		t.Errorf("pairs emitted = %v, want %d", v, s.Candidates.Len())
+	}
+	if v := reg.CounterValue(obs.FeatureVectors); v == 0 {
+		t.Error("no feature vectors counted")
+	}
+	// Each of the 6 matchers cross-validates once, 3 folds each.
+	if n := reg.TimerCount(obs.CVSeconds, obs.L("matcher", "random_forest")); n != 1 {
+		t.Errorf("random_forest cv timers = %d, want 1", n)
+	}
+}
+
+// TestSessionNilMetricsUnchanged: leaving Metrics nil must not change any
+// pipeline output (the no-op recorder convention).
+func TestSessionNilMetricsUnchanged(t *testing.T) {
+	run := func(rec obs.Recorder) int {
+		task := personTask(t, 150, 9)
+		s, err := NewSession(task.A, task.B, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Metrics = rec
+		oracle := label.NewOracle(task.Gold)
+		if _, err := s.Block(block.OverlapBlocker{Attr: "name", MinOverlap: 1, Metrics: rec}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SampleAndLabel(150, oracle); err != nil {
+			t.Fatal(err)
+		}
+		matches, _, err := s.TrainAndPredict(func() ml.Classifier { return &ml.RandomForest{Seed: 1} })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return matches.Len()
+	}
+	if with, without := run(obs.NewRegistry()), run(nil); with != without {
+		t.Errorf("recorder changed predictions: %d != %d", with, without)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/label"
 	"repro/internal/ml"
+	"repro/internal/obs"
 )
 
 // GuideResult reports one run of the Figure 2 PyMatcher guide.
@@ -43,6 +45,13 @@ func RunGuide(sizeA, sizeB, downA, downB int, seed int64) (*GuideResult, error) 
 // parallelized stage (blocking, feature extraction, forest training, CV);
 // 0 means GOMAXPROCS. Results are identical for every setting.
 func RunGuideWorkers(sizeA, sizeB, downA, downB int, seed int64, workers int) (*GuideResult, error) {
+	return RunGuideObserved(sizeA, sizeB, downA, downB, seed, workers, nil)
+}
+
+// RunGuideObserved is RunGuideWorkers with a metrics recorder threaded
+// through the session and every blocker, so one guide run yields the full
+// per-stage timing breakdown (benchem -metrics). nil means off.
+func RunGuideObserved(sizeA, sizeB, downA, downB int, seed int64, workers int, rec obs.Recorder) (*GuideResult, error) {
 	task, err := datagen.Generate(datagen.Spec{
 		Name: "guide", Domain: datagen.PersonDomain(),
 		SizeA: sizeA, SizeB: sizeB, MatchFraction: 0.4, Typo: 0.2, Seed: seed,
@@ -56,15 +65,16 @@ func RunGuideWorkers(sizeA, sizeB, downA, downB int, seed int64, workers int) (*
 		return nil, err
 	}
 	s.Workers = workers
+	s.Metrics = rec
 	if err := s.DownSample(downA, downB); err != nil {
 		return nil, err
 	}
 	out := &GuideResult{DownsampledA: s.A.Len(), DownsampledB: s.B.Len()}
 
 	blockers := []block.Blocker{
-		block.AttrEquivalenceBlocker{Attr: "state", Workers: workers}, // blocker X
-		block.OverlapBlocker{Attr: "name", Workers: workers},          // blocker Y
-		block.WholeTupleOverlapBlocker{MinOverlap: 2, Workers: workers},
+		block.AttrEquivalenceBlocker{Attr: "state", Workers: workers, Metrics: rec}, // blocker X
+		block.OverlapBlocker{Attr: "name", Workers: workers, Metrics: rec},          // blocker Y
+		block.WholeTupleOverlapBlocker{MinOverlap: 2, Workers: workers, Metrics: rec},
 	}
 	best, _, err := s.TryBlockers(blockers, oracle, 10)
 	if err != nil {
@@ -172,7 +182,7 @@ func RunConcurrency(n int, seed int64) (*ConcurrencyResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if res := mmSerial.Submit(job); res.Err != nil {
+		if res := mmSerial.Submit(context.Background(), job); res.Err != nil {
 			return nil, res.Err
 		}
 	}
@@ -192,7 +202,7 @@ func RunConcurrency(n int, seed int64) (*ConcurrencyResult, error) {
 		wg.Add(1)
 		go func(j int, job *cloud.Job) {
 			defer wg.Done()
-			if res := mmConc.Submit(job); res.Err != nil {
+			if res := mmConc.Submit(context.Background(), job); res.Err != nil {
 				errs[j] = res.Err
 			}
 		}(j, job)

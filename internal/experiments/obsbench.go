@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"repro/internal/block"
+	"repro/internal/datagen"
+	"repro/internal/ml"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/table"
+)
+
+// ObsBenchRow compares one instrumented hot path with the recorder off
+// (no-op) and on (live registry), against the pre-instrumentation baseline
+// from BENCH_parallel.json when available.
+type ObsBenchRow struct {
+	Name string `json:"name"`
+	// BaselineNs is the PR-1 parallel ns/op for the same workload, 0 when
+	// no baseline file was found.
+	BaselineNs int64 `json:"baseline_ns_per_op,omitempty"`
+	// NopNs times the instrumented path with metrics disabled — the
+	// configuration every default caller runs.
+	NopNs int64 `json:"nop_ns_per_op"`
+	// LiveNs times the same path recording into a live Registry.
+	LiveNs int64 `json:"live_ns_per_op"`
+	// NopVsBaselinePct is (NopNs-BaselineNs)/BaselineNs, the overhead the
+	// disabled instrumentation added over PR 1. Noise puts it slightly
+	// negative as often as positive.
+	NopVsBaselinePct float64 `json:"nop_vs_baseline_pct,omitempty"`
+	// LiveVsNopPct is the cost of actually recording.
+	LiveVsNopPct float64 `json:"live_vs_nop_pct"`
+}
+
+// ObsBench is the machine-readable payload of BENCH_obs.json: evidence that
+// the no-op recorder keeps the instrumented hot paths at their PR-1 cost.
+type ObsBench struct {
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Workers      int           `json:"workers"`
+	BaselineFrom string        `json:"baseline_from,omitempty"`
+	Rows         []ObsBenchRow `json:"benchmarks"`
+}
+
+// MarshalBenchJSON renders the payload for BENCH_obs.json.
+func (p *ObsBench) MarshalBenchJSON() ([]byte, error) {
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// loadParallelBaseline reads BENCH_parallel.json and indexes its parallel
+// ns/op by benchmark name; a missing or unreadable file yields an empty map
+// (the bench still runs, just without the PR-1 column).
+func loadParallelBaseline(path string) map[string]int64 {
+	out := map[string]int64{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out
+	}
+	var base ParallelBench
+	if err := json.Unmarshal(data, &base); err != nil {
+		return out
+	}
+	for _, r := range base.Rows {
+		out[r.Name] = r.ParallelNs
+	}
+	return out
+}
+
+// RunObsBench measures the two instrumented hot paths BENCH_parallel.json
+// also covers — hash blocking and 5-fold cross-validation, identical
+// workloads — first with the recorder disabled (nil → obs.Nop), then
+// recording into a live Registry, and compares the no-op timings against
+// the PR-1 baselines read from baselinePath.
+func RunObsBench(seed int64, workers int, baselinePath string) (*ObsBench, error) {
+	w := parallel.Resolve(workers)
+	baseline := loadParallelBaseline(baselinePath)
+	out := &ObsBench{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: w}
+	if len(baseline) > 0 {
+		out.BaselineFrom = baselinePath
+	}
+	const iters = 5
+
+	// Hash blocking: same 2k-person workload as hash_blocking_2k.
+	task, err := datagen.Generate(datagen.Spec{
+		Name: "parbench", Domain: datagen.PersonDomain(),
+		SizeA: 2000, SizeB: 2000, MatchFraction: 0.4, Typo: 0.2, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runHash := func(rec obs.Recorder) (*table.Table, error) {
+		cat := table.NewCatalog()
+		return block.HashBlocker{
+			Attr: "city", Transform: block.LowerTransform, Workers: w, Metrics: rec,
+		}.Block(task.A, task.B, cat)
+	}
+	nopNs, err := benchIters(iters, func() error { _, err := runHash(nil); return err })
+	if err != nil {
+		return nil, err
+	}
+	liveNs, err := benchIters(iters, func() error { _, err := runHash(obs.NewRegistry()); return err })
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, obsBenchRow("hash_blocking_2k", baseline["hash_blocking_2k"], nopNs, liveNs))
+
+	// Cross-validation: same dataset and fold count as cross_validate_5fold.
+	ds, err := benchDataset(800, 16, seed)
+	if err != nil {
+		return nil, err
+	}
+	runCV := func(rec obs.Recorder) (ml.CVResult, error) {
+		rng := rand.New(rand.NewSource(seed))
+		return ml.CrossValidate(func() ml.Classifier {
+			return &ml.RandomForest{NumTrees: 16, Seed: seed, Workers: 1}
+		}, ds, 5, rng, ml.WithWorkers(w), ml.WithMetrics(rec))
+	}
+	nopNs, err = benchIters(iters, func() error { _, err := runCV(nil); return err })
+	if err != nil {
+		return nil, err
+	}
+	liveNs, err = benchIters(iters, func() error { _, err := runCV(obs.NewRegistry()); return err })
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, obsBenchRow("cross_validate_5fold", baseline["cross_validate_5fold"], nopNs, liveNs))
+
+	return out, nil
+}
+
+func obsBenchRow(name string, baselineNs, nopNs, liveNs int64) ObsBenchRow {
+	r := ObsBenchRow{Name: name, BaselineNs: baselineNs, NopNs: nopNs, LiveNs: liveNs}
+	if baselineNs > 0 {
+		r.NopVsBaselinePct = 100 * float64(nopNs-baselineNs) / float64(baselineNs)
+	}
+	if nopNs > 0 {
+		r.LiveVsNopPct = 100 * float64(liveNs-nopNs) / float64(nopNs)
+	}
+	return r
+}
+
+// FormatObsBench renders the overhead comparison for terminal output.
+func FormatObsBench(p *ObsBench) string {
+	s := fmt.Sprintf("%-22s %14s %14s %14s %12s %12s\n",
+		"benchmark", "baseline ns/op", "nop ns/op", "live ns/op", "nop vs base", "live vs nop")
+	for _, r := range p.Rows {
+		base := "-"
+		delta := "-"
+		if r.BaselineNs > 0 {
+			base = fmt.Sprintf("%d", r.BaselineNs)
+			delta = fmt.Sprintf("%+.1f%%", r.NopVsBaselinePct)
+		}
+		s += fmt.Sprintf("%-22s %14s %14d %14d %12s %+11.1f%%\n",
+			r.Name, base, r.NopNs, r.LiveNs, delta, r.LiveVsNopPct)
+	}
+	s += fmt.Sprintf("(GOMAXPROCS=%d, workers=%d", p.GOMAXPROCS, p.Workers)
+	if p.BaselineFrom != "" {
+		s += ", baseline from " + p.BaselineFrom
+	}
+	return s + ")\n"
+}

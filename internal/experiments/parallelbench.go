@@ -150,9 +150,9 @@ func RunParallelBench(seed int64, workers int) (*ParallelBench, error) {
 	// Cross-validation of the forest lineup member on the same dataset.
 	runCV := func(workers int) (ml.CVResult, error) {
 		rng := rand.New(rand.NewSource(seed))
-		return ml.CrossValidateOpt(func() ml.Classifier {
+		return ml.CrossValidate(func() ml.Classifier {
 			return &ml.RandomForest{NumTrees: 16, Seed: seed, Workers: 1}
-		}, ds, 5, rng, ml.CVOptions{Workers: workers})
+		}, ds, 5, rng, ml.WithWorkers(workers))
 	}
 	serialNs, err = benchIters(iters, func() error { _, err := runCV(1); return err })
 	if err != nil {

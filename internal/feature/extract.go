@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -12,6 +13,9 @@ import (
 type ExtractOptions struct {
 	// Workers parallelizes extraction across pairs; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics receives extraction timings and vector counts
+	// (obs.FeatureExtractSeconds, obs.FeatureVectors); nil means off.
+	Metrics obs.Recorder
 }
 
 // Vectors computes the feature matrix for every pair of a candidate-set
@@ -19,6 +23,8 @@ type ExtractOptions struct {
 // id columns are known); per the paper's self-containment principle the FK
 // metadata is re-validated before use.
 func Vectors(s *Set, pairs *table.Table, cat *table.Catalog, opts ExtractOptions) ([][]float64, error) {
+	rec := obs.Or(opts.Metrics)
+	defer obs.StartTimer(rec, obs.FeatureExtractSeconds)()
 	meta, ok := cat.PairMeta(pairs)
 	if !ok {
 		return nil, fmt.Errorf("feature: pair table %q not registered in catalog", pairs.Name())
@@ -62,6 +68,7 @@ func Vectors(s *Set, pairs *table.Table, cat *table.Catalog, opts ExtractOptions
 		}(w)
 	}
 	wg.Wait()
+	rec.Count(obs.FeatureVectors, float64(n))
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -17,22 +18,37 @@ type CVResult struct {
 	F1        float64
 }
 
-// CVOptions tunes cross-validation execution.
-type CVOptions struct {
-	// Workers parallelizes fold evaluation; 0 means GOMAXPROCS. The
-	// result is bit-identical for every setting: fold assignment is drawn
-	// from the caller's RNG before any fold runs, each fold's model draws
-	// only on its own factory-provided seed, and per-fold scores are
-	// accumulated in fold order.
-	Workers int
+// CVOption tunes cross-validation execution; see WithWorkers and
+// WithMetrics. Options are applied in order, so later options win.
+type CVOption func(*cvConfig)
+
+// cvConfig is the resolved option set.
+type cvConfig struct {
+	workers int
+	metrics obs.Recorder
 }
 
-// CrossValidate runs stratified k-fold cross-validation of the classifier
-// factory on the dataset and returns mean precision/recall/F1. A factory is
-// required (not an instance) because each fold needs a fresh model. Folds
-// are evaluated with GOMAXPROCS workers; use CrossValidateOpt to tune.
-func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand) (CVResult, error) {
-	return CrossValidateOpt(factory, d, k, rng, CVOptions{})
+func applyCVOptions(opts []CVOption) cvConfig {
+	var c cvConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithWorkers parallelizes fold evaluation across n goroutines; 0 (the
+// default) means GOMAXPROCS. The result is bit-identical for every
+// setting: fold assignment is drawn from the caller's RNG before any fold
+// runs, each fold's model draws only on its own factory-provided seed,
+// and per-fold scores are accumulated in fold order.
+func WithWorkers(n int) CVOption {
+	return func(c *cvConfig) { c.workers = n }
+}
+
+// WithMetrics records per-run and per-fold timings
+// (obs.CVSeconds/obs.CVFoldSeconds, labeled by matcher name) into r.
+func WithMetrics(r obs.Recorder) CVOption {
+	return func(c *cvConfig) { c.metrics = r }
 }
 
 // foldScore holds one evaluated fold's metrics.
@@ -41,11 +57,14 @@ type foldScore struct {
 	prec, rec, f1 float64
 }
 
-// CrossValidateOpt is CrossValidate with execution options. Degenerate
-// folds (empty train or test split, possible when one class is rarer than
-// k) are skipped, and the means are taken over the folds actually
-// evaluated; it is an error for every fold to be degenerate.
-func CrossValidateOpt(factory func() Classifier, d *Dataset, k int, rng *rand.Rand, opts CVOptions) (CVResult, error) {
+// CrossValidate runs stratified k-fold cross-validation of the classifier
+// factory on the dataset and returns mean precision/recall/F1. A factory
+// is required (not an instance) because each fold needs a fresh model.
+// Degenerate folds (empty train or test split, possible when one class is
+// rarer than k) are skipped, and the means are taken over the folds
+// actually evaluated; it is an error for every fold to be degenerate.
+func CrossValidate(factory func() Classifier, d *Dataset, k int, rng *rand.Rand, opts ...CVOption) (CVResult, error) {
+	cfg := applyCVOptions(opts)
 	if k < 2 {
 		return CVResult{}, fmt.Errorf("ml: cross-validation needs k >= 2, got %d", k)
 	}
@@ -55,8 +74,12 @@ func CrossValidateOpt(factory func() Classifier, d *Dataset, k int, rng *rand.Ra
 	// All shared randomness is consumed here, before the folds fan out.
 	folds := stratifiedFolds(d, k, rng)
 	name := factory().Name()
+	rec := obs.Or(cfg.metrics)
+	defer obs.StartTimer(rec, obs.CVSeconds, obs.L("matcher", name))()
 	scores := make([]foldScore, k)
-	err := parallel.ForEach(opts.Workers, k, func(fi int) error {
+	err := parallel.ForEach(cfg.workers, k, func(fi int) error {
+		stop := obs.StartTimer(rec, obs.CVFoldSeconds, obs.L("matcher", name))
+		defer stop()
 		var trainIdx, testIdx []int
 		for fj, fold := range folds {
 			if fj == fi {
@@ -127,22 +150,17 @@ func stratifiedFolds(d *Dataset, k int, rng *rand.Rand) [][]int {
 
 // SelectMatcher cross-validates every factory and returns all results
 // sorted by descending F1, with the winner first. This is the "select the
-// best matcher" step of the PyMatcher guide (Figure 2).
-func SelectMatcher(factories []func() Classifier, d *Dataset, k int, rng *rand.Rand) ([]CVResult, error) {
-	return SelectMatcherOpt(factories, d, k, rng, CVOptions{})
-}
-
-// SelectMatcherOpt is SelectMatcher with execution options. The factories
-// run in order (each consumes the shared RNG for its fold assignment, so
-// reordering would change results); the folds inside each cross-validation
-// run concurrently.
-func SelectMatcherOpt(factories []func() Classifier, d *Dataset, k int, rng *rand.Rand, opts CVOptions) ([]CVResult, error) {
+// best matcher" step of the PyMatcher guide (Figure 2). The factories run
+// in order (each consumes the shared RNG for its fold assignment, so
+// reordering would change results); the folds inside each
+// cross-validation run concurrently.
+func SelectMatcher(factories []func() Classifier, d *Dataset, k int, rng *rand.Rand, opts ...CVOption) ([]CVResult, error) {
 	if len(factories) == 0 {
 		return nil, fmt.Errorf("ml: no matchers to select among")
 	}
 	results := make([]CVResult, 0, len(factories))
 	for _, f := range factories {
-		r, err := CrossValidateOpt(f, d, k, rng, opts)
+		r, err := CrossValidate(f, d, k, rng, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -150,6 +168,29 @@ func SelectMatcherOpt(factories []func() Classifier, d *Dataset, k int, rng *ran
 	}
 	sort.SliceStable(results, func(a, b int) bool { return results[a].F1 > results[b].F1 })
 	return results, nil
+}
+
+// CVOptions tunes cross-validation execution.
+//
+// Deprecated: pass CVOption values (WithWorkers, WithMetrics) to
+// CrossValidate/SelectMatcher instead.
+type CVOptions struct {
+	// Workers parallelizes fold evaluation; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// CrossValidateOpt is CrossValidate with a CVOptions struct.
+//
+// Deprecated: call CrossValidate(factory, d, k, rng, WithWorkers(n)).
+func CrossValidateOpt(factory func() Classifier, d *Dataset, k int, rng *rand.Rand, opts CVOptions) (CVResult, error) {
+	return CrossValidate(factory, d, k, rng, WithWorkers(opts.Workers))
+}
+
+// SelectMatcherOpt is SelectMatcher with a CVOptions struct.
+//
+// Deprecated: call SelectMatcher(factories, d, k, rng, WithWorkers(n)).
+func SelectMatcherOpt(factories []func() Classifier, d *Dataset, k int, rng *rand.Rand, opts CVOptions) ([]CVResult, error) {
+	return SelectMatcher(factories, d, k, rng, WithWorkers(opts.Workers))
 }
 
 // DefaultMatcherFactories returns the standard PyMatcher matcher lineup:

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -28,6 +29,9 @@ type RandomForest struct {
 	// bootstrap sample) is pre-drawn from the forest RNG in serial order
 	// before any tree trains.
 	Workers int
+	// Metrics receives fit timings (obs.ForestFitSeconds per Fit call,
+	// obs.ForestTreeFitSeconds per tree); nil means off.
+	Metrics obs.Recorder
 
 	trees []*DecisionTree
 }
@@ -58,6 +62,8 @@ func (f *RandomForest) Fit(d *Dataset) error {
 	if d.Len() == 0 {
 		return errEmpty(f.Name())
 	}
+	rec := obs.Or(f.Metrics)
+	defer obs.StartTimer(rec, obs.ForestFitSeconds)()
 	rng := rand.New(rand.NewSource(f.Seed))
 	maxFeat := int(math.Sqrt(float64(d.NumFeatures())))
 	if maxFeat < 1 {
@@ -75,6 +81,8 @@ func (f *RandomForest) Fit(d *Dataset) error {
 	}
 	f.trees = make([]*DecisionTree, n)
 	err := parallel.ForEach(f.Workers, n, func(i int) error {
+		stop := obs.StartTimer(rec, obs.ForestTreeFitSeconds)
+		defer stop()
 		t := &DecisionTree{
 			MaxDepth:       f.MaxDepth,
 			MinSamplesLeaf: f.MinSamplesLeaf,

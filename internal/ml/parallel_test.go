@@ -36,12 +36,12 @@ func TestRandomForestParallelDeterminism(t *testing.T) {
 func TestCrossValidateParallelDeterminism(t *testing.T) {
 	ds := benchDataset(300, 8, 3)
 	factory := func() Classifier { return &RandomForest{NumTrees: 12, Seed: 5, Workers: 1} }
-	serial, err := CrossValidateOpt(factory, ds, 5, rand.New(rand.NewSource(2)), CVOptions{Workers: 1})
+	serial, err := CrossValidate(factory, ds, 5, rand.New(rand.NewSource(2)), WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 5, 16} {
-		par, err := CrossValidateOpt(factory, ds, 5, rand.New(rand.NewSource(2)), CVOptions{Workers: workers})
+		par, err := CrossValidate(factory, ds, 5, rand.New(rand.NewSource(2)), WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,11 +55,11 @@ func TestCrossValidateParallelDeterminism(t *testing.T) {
 // ranks identically under concurrent fold evaluation.
 func TestSelectMatcherParallelDeterminism(t *testing.T) {
 	ds := benchDataset(200, 6, 9)
-	serial, err := SelectMatcherOpt(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(4)), CVOptions{Workers: 1})
+	serial, err := SelectMatcher(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(4)), WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := SelectMatcherOpt(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(4)), CVOptions{Workers: 8})
+	par, err := SelectMatcher(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(4)), WithWorkers(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,9 +120,40 @@ func TestCrossValidateFoldErrorPropagates(t *testing.T) {
 	ds := benchDataset(50, 4, 6)
 	factory := func() Classifier { return &failFitClassifier{} }
 	for _, workers := range []int{1, 4} {
-		_, err := CrossValidateOpt(factory, ds, 5, rand.New(rand.NewSource(1)), CVOptions{Workers: workers})
+		_, err := CrossValidate(factory, ds, 5, rand.New(rand.NewSource(1)), WithWorkers(workers))
 		if err == nil || !strings.Contains(err.Error(), "cv fold") {
 			t.Fatalf("workers=%d: err = %v, want cv fold error", workers, err)
+		}
+	}
+}
+
+// TestDeprecatedOptWrappers: the pre-redesign struct-options entry points
+// must keep returning results identical to the variadic API.
+func TestDeprecatedOptWrappers(t *testing.T) {
+	ds := benchDataset(200, 6, 9)
+	factory := func() Classifier { return &DecisionTree{Seed: 3} }
+	oldCV, err := CrossValidateOpt(factory, ds, 4, rand.New(rand.NewSource(8)), CVOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCV, err := CrossValidate(factory, ds, 4, rand.New(rand.NewSource(8)), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldCV != newCV {
+		t.Errorf("CrossValidateOpt %+v != CrossValidate %+v", oldCV, newCV)
+	}
+	oldSel, err := SelectMatcherOpt(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(8)), CVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSel, err := SelectMatcher(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oldSel {
+		if oldSel[i] != newSel[i] {
+			t.Errorf("rank %d: SelectMatcherOpt %+v != SelectMatcher %+v", i, oldSel[i], newSel[i])
 		}
 	}
 }

@@ -1,0 +1,38 @@
+package obs
+
+import "testing"
+
+// The no-op path is what every production run without -metrics pays; it
+// must stay at effectively zero cost (no lock, no alloc, no clock read).
+
+func BenchmarkNopCount(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Nop.Count(BlockPairsEmitted, 1, L("blocker", "hash"))
+	}
+}
+
+func BenchmarkNopStartTimer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		StartTimer(Nop, StageSeconds, L("stage", "block"))()
+	}
+}
+
+func BenchmarkRegistryCount(b *testing.B) {
+	g := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Count(BlockPairsEmitted, 1, L("blocker", "hash"))
+	}
+}
+
+func BenchmarkRegistryObserve(b *testing.B) {
+	g := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Observe(StageSeconds, 0.001, L("stage", "block"))
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+// Canonical metric names. Instrumentation sites across the pipeline use
+// these constants so dashboards, the /metrics exposition, and the
+// -metrics JSON dumps agree on series identity. Label keys appear in the
+// comments; keep label order fixed at call sites (series identity is the
+// ordered label list).
+const (
+	// StageSeconds times one pipeline stage: labels {stage}. Stages are
+	// the Figure-2 guide steps: downsample, try_blockers, block,
+	// sample_label, feature, cv, train, predict.
+	StageSeconds = "em_stage_seconds"
+
+	// BlockSeconds times one whole Block call: labels {blocker}.
+	BlockSeconds = "em_block_seconds"
+	// BlockShardSeconds times one worker shard of a sharded blocker:
+	// labels {blocker}.
+	BlockShardSeconds = "em_block_shard_seconds"
+	// BlockPairsEmitted counts candidate pairs a blocker emitted:
+	// labels {blocker}.
+	BlockPairsEmitted = "em_block_pairs_emitted_total"
+	// BlockPairsConsidered counts pairs a blocker examined before
+	// filtering (for cross-product blockers, |L|x|R|): labels {blocker}.
+	BlockPairsConsidered = "em_block_pairs_considered_total"
+
+	// CVFoldSeconds times one cross-validation fold: labels {matcher}.
+	CVFoldSeconds = "em_cv_fold_seconds"
+	// CVSeconds times one whole cross-validation run: labels {matcher}.
+	CVSeconds = "em_cv_seconds"
+	// ForestTreeFitSeconds times one tree fit inside RandomForest.Fit.
+	ForestTreeFitSeconds = "em_forest_tree_fit_seconds"
+	// ForestFitSeconds times one whole RandomForest.Fit call.
+	ForestFitSeconds = "em_forest_fit_seconds"
+
+	// SimjoinSeconds times one similarity join: labels {join}.
+	SimjoinSeconds = "em_simjoin_seconds"
+	// SimjoinCandidates counts prefix-filter candidates verified:
+	// labels {join}.
+	SimjoinCandidates = "em_simjoin_candidates_total"
+	// SimjoinPairs counts pairs a join emitted: labels {join}.
+	SimjoinPairs = "em_simjoin_pairs_total"
+
+	// FeatureExtractSeconds times one feature.Vectors call.
+	FeatureExtractSeconds = "em_feature_extract_seconds"
+	// FeatureVectors counts feature vectors extracted.
+	FeatureVectors = "em_feature_vectors_total"
+
+	// CloudQueueDepth gauges fragments waiting for an engine worker:
+	// labels {engine}.
+	CloudQueueDepth = "cloud_engine_queue_depth"
+	// CloudStepsInFlight gauges fragments currently executing on an
+	// engine: labels {engine}.
+	CloudStepsInFlight = "cloud_engine_steps_in_flight"
+	// CloudJobsInFlight gauges jobs between Submit entry and return.
+	CloudJobsInFlight = "cloud_jobs_in_flight"
+	// CloudJobsTotal counts finished jobs: labels {status} (ok|error).
+	CloudJobsTotal = "cloud_jobs_total"
+	// CloudStepSeconds times one executed DAG step: labels {service}.
+	CloudStepSeconds = "cloud_step_seconds"
+	// CloudStepsTotal counts settled DAG steps:
+	// labels {service, status} (ok|error|skipped|cancelled).
+	CloudStepsTotal = "cloud_steps_total"
+)
+
+// DescribeStandard attaches help text for every canonical metric name to
+// the registry and pre-declares the cloud gauge families for the three
+// engines, so a fresh /metrics page documents the full schema before any
+// pipeline traffic arrives.
+func DescribeStandard(g *Registry) {
+	for _, d := range []struct{ name, help string }{
+		{StageSeconds, "Duration of one EM pipeline stage (Figure-2 guide step)."},
+		{BlockSeconds, "Duration of one blocker Block call."},
+		{BlockShardSeconds, "Duration of one worker shard inside a sharded blocker."},
+		{BlockPairsEmitted, "Candidate pairs emitted by a blocker."},
+		{BlockPairsConsidered, "Pairs a blocker examined before filtering."},
+		{CVFoldSeconds, "Duration of one cross-validation fold."},
+		{CVSeconds, "Duration of one full cross-validation run."},
+		{ForestTreeFitSeconds, "Duration of one tree fit inside RandomForest.Fit."},
+		{ForestFitSeconds, "Duration of one RandomForest.Fit call."},
+		{SimjoinSeconds, "Duration of one similarity join."},
+		{SimjoinCandidates, "Prefix-filter candidates verified by a similarity join."},
+		{SimjoinPairs, "Pairs emitted by a similarity join."},
+		{FeatureExtractSeconds, "Duration of one feature-vector extraction pass."},
+		{FeatureVectors, "Feature vectors extracted."},
+		{CloudQueueDepth, "Fragments waiting for an engine worker."},
+		{CloudStepsInFlight, "Fragments currently executing on an engine."},
+		{CloudJobsInFlight, "Jobs between Submit entry and return."},
+		{CloudJobsTotal, "Finished jobs by status (ok|error)."},
+		{CloudStepSeconds, "Duration of one executed DAG step."},
+		{CloudStepsTotal, "Settled DAG steps by service and status."},
+	} {
+		g.Describe(d.name, d.help)
+	}
+	for _, engine := range []string{"batch", "user", "crowd"} {
+		g.DeclareGauge(CloudQueueDepth, L("engine", engine))
+		g.DeclareGauge(CloudStepsInFlight, L("engine", engine))
+	}
+	g.DeclareGauge(CloudJobsInFlight)
+}

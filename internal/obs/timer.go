@@ -1,0 +1,32 @@
+package obs
+
+import "time"
+
+// StartTimer begins timing a stage and returns the function that stops it,
+// observing the elapsed seconds into the named histogram series:
+//
+//	defer obs.StartTimer(s.Metrics, "em_stage_seconds", obs.L("stage", "block"))()
+//
+// When the recorder is disabled (nil or Nop) no clock is read and a shared
+// no-capture closure is returned, so the call is free on production paths
+// that run without metrics.
+func StartTimer(r Recorder, name string, labels ...Label) func() {
+	if !Enabled(r) {
+		return nopStop
+	}
+	start := time.Now()
+	return func() { r.Observe(name, time.Since(start).Seconds(), labels...) }
+}
+
+// nopStop is the shared stop function of disabled timers.
+func nopStop() {}
+
+// Since observes the seconds elapsed since start into the named histogram
+// series — the non-deferred form of StartTimer for code that already holds
+// a start time. Disabled recorders ignore it without reading the clock.
+func Since(r Recorder, name string, start time.Time, labels ...Label) {
+	if !Enabled(r) {
+		return
+	}
+	r.Observe(name, time.Since(start).Seconds(), labels...)
+}

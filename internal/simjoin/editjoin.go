@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tokenize"
 )
@@ -31,6 +32,9 @@ func EditDistanceJoin(l, r []StringRecord, maxDist int, opts Options) ([]DistPai
 	if maxDist < 0 {
 		return nil, fmt.Errorf("simjoin: negative edit-distance bound %d", maxDist)
 	}
+	mrec := obs.Or(opts.Metrics)
+	join := obs.L("join", "edit")
+	defer obs.StartTimer(mrec, obs.SimjoinSeconds, join)()
 	const q = 2
 	tok := tokenize.QGram{Q: q}
 
@@ -68,12 +72,16 @@ func EditDistanceJoin(l, r []StringRecord, maxDist int, opts Options) ([]DistPai
 
 	workers := opts.workers()
 	results := make([][]DistPair, workers)
+	// Candidates verified with the exact distance, tallied worker-locally
+	// and recorded once after the join.
+	cands := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			var out []DistPair
+			nc := 0
 			counts := make(map[int]int)
 			for i := w; i < len(l); i += workers {
 				rec := l[i]
@@ -97,6 +105,7 @@ func EditDistanceJoin(l, r []StringRecord, maxDist int, opts Options) ([]DistPai
 					if abs(la-lb) > maxDist {
 						return
 					}
+					nc++
 					if d := sim.LevenshteinDistance(rec.Str, e.s); d <= maxDist {
 						out = append(out, DistPair{LID: rec.ID, RID: e.id, Dist: d})
 					}
@@ -132,13 +141,18 @@ func EditDistanceJoin(l, r []StringRecord, maxDist int, opts Options) ([]DistPai
 				}
 			}
 			results[w] = out
+			cands[w] = nc
 		}(w)
 	}
 	wg.Wait()
 	var all []DistPair
-	for _, out := range results {
+	total := 0
+	for w, out := range results {
 		all = append(all, out...)
+		total += cands[w]
 	}
+	mrec.Count(obs.SimjoinCandidates, float64(total), join)
+	mrec.Count(obs.SimjoinPairs, float64(len(all)), join)
 	sort.Slice(all, func(a, b int) bool {
 		if all[a].LID != all[b].LID {
 			return all[a].LID < all[b].LID

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -45,6 +46,10 @@ type Options struct {
 	// GOMAXPROCS. The paper scales PyMatcher commands with Dask on
 	// multicore machines; this is the equivalent knob.
 	Workers int
+	// Metrics receives join timings and candidate/output counters
+	// (obs.SimjoinSeconds/Candidates/Pairs, labeled by join name); nil
+	// means off.
+	Metrics obs.Recorder
 }
 
 func (o Options) workers() int {
@@ -62,6 +67,17 @@ const (
 	measureCosine
 	measureDice
 )
+
+func (m measure) String() string {
+	switch m {
+	case measureJaccard:
+		return "jaccard"
+	case measureCosine:
+		return "cosine"
+	default:
+		return "dice"
+	}
+}
 
 // JaccardJoin returns all pairs with Jaccard similarity >= threshold.
 func JaccardJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
@@ -186,6 +202,9 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 	if threshold <= 0 || threshold > 1 {
 		return nil, fmt.Errorf("simjoin: threshold %v out of (0, 1]", threshold)
 	}
+	rec := obs.Or(opts.Metrics)
+	join := obs.L("join", m.String())
+	defer obs.StartTimer(rec, obs.SimjoinSeconds, join)()
 	pl, pr := prepare(l, r)
 
 	// Index the right side: token -> postings of right-record indices that
@@ -208,12 +227,17 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 
 	workers := opts.workers()
 	results := make([][]Pair, workers)
+	// Candidates surviving the size filter (i.e. actually verified),
+	// tallied worker-locally and recorded once — the no-op path never sees
+	// a per-pair recorder call.
+	cands := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			var out []Pair
+			nc := 0
 			seen := make(map[int]bool)
 			for i := w; i < len(pl); i += workers {
 				rec := pl[i]
@@ -239,6 +263,7 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 						if len(cand.toks) < lo || len(cand.toks) > hi {
 							continue
 						}
+						nc++
 						if s := verify(m, rec.toks, cand.toks); s >= threshold-1e-12 {
 							out = append(out, Pair{LID: rec.id, RID: cand.id, Sim: s})
 						}
@@ -246,13 +271,18 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 				}
 			}
 			results[w] = out
+			cands[w] = nc
 		}(w)
 	}
 	wg.Wait()
 	var all []Pair
-	for _, out := range results {
+	total := 0
+	for w, out := range results {
 		all = append(all, out...)
+		total += cands[w]
 	}
+	rec.Count(obs.SimjoinCandidates, float64(total), join)
+	rec.Count(obs.SimjoinPairs, float64(len(all)), join)
 	sortPairs(all)
 	return all, nil
 }
@@ -263,6 +293,9 @@ func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("simjoin: overlap threshold %d must be >= 1", k)
 	}
+	rec := obs.Or(opts.Metrics)
+	join := obs.L("join", "overlap")
+	defer obs.StartTimer(rec, obs.SimjoinSeconds, join)()
 	pl, pr := prepare(l, r)
 	index := make(map[string][]int)
 	for j, rec := range pr {
@@ -280,12 +313,14 @@ func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
 	}
 	workers := opts.workers()
 	results := make([][]Pair, workers)
+	cands := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			var out []Pair
+			nc := 0
 			seen := make(map[int]bool)
 			for i := w; i < len(pl); i += workers {
 				rec := pl[i]
@@ -303,6 +338,7 @@ func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
 							continue
 						}
 						seen[j] = true
+						nc++
 						if ov := sim.OverlapSize(rec.toks, pr[j].toks); ov >= k {
 							out = append(out, Pair{LID: rec.id, RID: pr[j].id, Sim: float64(ov)})
 						}
@@ -310,13 +346,18 @@ func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
 				}
 			}
 			results[w] = out
+			cands[w] = nc
 		}(w)
 	}
 	wg.Wait()
 	var all []Pair
-	for _, out := range results {
+	total := 0
+	for w, out := range results {
 		all = append(all, out...)
+		total += cands[w]
 	}
+	rec.Count(obs.SimjoinCandidates, float64(total), join)
+	rec.Count(obs.SimjoinPairs, float64(len(all)), join)
 	sortPairs(all)
 	return all, nil
 }
