@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet lint fuzz bench
 
 build:
 	$(GO) build ./...
@@ -8,13 +9,25 @@ build:
 test:
 	$(GO) test ./...
 
-# Determinism-under-concurrency suite: the parallel execution layer and
-# every package driving it, under the race detector.
+# Determinism-under-concurrency suite: the whole tree under the race
+# detector.
 race:
-	$(GO) test -race ./internal/parallel ./internal/ml ./internal/block ./internal/obs ./internal/cloud
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# emlint enforces the repo's concurrency, determinism, and observability
+# invariants (see DESIGN.md §7). Exit 1 with file:line diagnostics on any
+# violation; suppress deliberate exceptions with //emlint:allow.
+lint:
+	$(GO) run ./cmd/emlint ./internal/... ./cmd/...
+
+# Short fuzz smoke over the text-format parsers. Override FUZZTIME for a
+# longer soak, e.g. `make fuzz FUZZTIME=5m`.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseRule -fuzztime=$(FUZZTIME) ./internal/rules
+	$(GO) test -run=^$$ -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/table
 
 # Regenerates BENCH_parallel.json (Workers=1 vs GOMAXPROCS on the
 # parallelized hot paths).

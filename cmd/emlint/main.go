@@ -1,0 +1,103 @@
+// Command emlint runs the repo's own invariant analyzers (package
+// internal/analysis) over module packages and fails when any diagnostic
+// survives. It is dependency-free: packages are parsed and type-checked
+// with go/parser + go/types and a source importer, so it runs anywhere the
+// Go toolchain's source tree is installed.
+//
+// Usage:
+//
+//	emlint [-checks list] [-list] [patterns...]
+//
+// Patterns default to ./internal/... ./cmd/... — the whole production
+// tree. Exit status is 0 for a clean tree, 1 when diagnostics were
+// reported, and 2 on load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "print the available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: emlint [-checks list] [-list] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		var err error
+		analyzers, err = analysis.ByName(*checks)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	root, err := analysis.FindRoot(wd)
+	if err != nil {
+		fail(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fail(err)
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fail(err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		diags = append(diags, analysis.Run(pkg, analyzers)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	for _, d := range diags {
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "emlint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "emlint:", err)
+	os.Exit(2)
+}

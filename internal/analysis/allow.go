@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// allowDirective is the comment prefix that suppresses a diagnostic:
+//
+//	//emlint:allow check1,check2 -- justification
+//
+// The directive covers its own line and the line directly below it (so it
+// works both trailing the flagged code and on the line above it). When it
+// appears in the doc comment of a top-level declaration it covers the
+// whole declaration, which is how long-lived worker loops and timing
+// functions opt out wholesale.
+const allowDirective = "//emlint:allow"
+
+// allowRange permits one check on lines [from, to] of a file.
+type allowRange struct {
+	check    string
+	from, to int
+}
+
+// allowSet maps a filename to its permitted ranges.
+type allowSet map[string][]allowRange
+
+// allows reports whether the diagnostic falls inside a permitted range
+// for its check.
+func (s allowSet) allows(d Diagnostic) bool {
+	for _, r := range s[d.Pos.Filename] {
+		if r.check == d.Check && d.Pos.Line >= r.from && d.Pos.Line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllow extracts the check names from one directive comment, or nil
+// if the comment is not a directive.
+func parseAllow(text string) []string {
+	rest, ok := strings.CutPrefix(text, allowDirective)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	// Strip the justification ("-- why") and split the check list.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	var checks []string
+	for _, c := range strings.Split(rest, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			checks = append(checks, c)
+		}
+	}
+	return checks
+}
+
+// collectAllows gathers every allow directive of the package.
+func collectAllows(pkg *Package) allowSet {
+	set := make(allowSet)
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		// Directives inside a top-level declaration's doc comment cover
+		// the declaration's full line range.
+		docOf := make(map[*ast.CommentGroup][2]int)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docOf[doc] = [2]int{
+					pkg.Fset.Position(decl.Pos()).Line,
+					pkg.Fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, group := range f.Comments {
+			span, isDoc := docOf[group]
+			for _, c := range group.List {
+				checks := parseAllow(c.Text)
+				if checks == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				from, to := line, line+1
+				if isDoc {
+					from, to = span[0], span[1]
+				}
+				for _, check := range checks {
+					set[filename] = append(set[filename], allowRange{check, from, to})
+				}
+			}
+		}
+	}
+	return set
+}

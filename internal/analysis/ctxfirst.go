@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the standard Go convention that context.Context is the
+// first parameter of every exported function and method (after the
+// receiver). Submit(ctx, job)-style signatures keep cancellation wiring
+// uniform across the cloud layer and any future service surface.
+var CtxFirst = &Analyzer{
+	Name:  "ctxfirst",
+	Doc:   "exported functions taking context.Context must take it as the first parameter",
+	Tests: true,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+					continue
+				}
+				idx := 0
+				for _, field := range fd.Type.Params.List {
+					width := len(field.Names)
+					if width == 0 {
+						width = 1 // unnamed parameter
+					}
+					if isContextType(pass.Info.TypeOf(field.Type)) && idx > 0 {
+						pass.Reportf(field.Pos(), "%s takes context.Context at position %d; it must be the first parameter", fd.Name.Name, idx+1)
+					}
+					idx += width
+				}
+			}
+		}
+	},
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

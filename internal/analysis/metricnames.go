@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// recorderMethods maps the obs.Recorder methods to the index of their
+// metric-name argument.
+var recorderMethods = map[string]int{
+	"Count":    0,
+	"Gauge":    0,
+	"SetGauge": 0,
+	"Observe":  0,
+}
+
+// obsNameFuncs maps package-level obs functions that take a metric name to
+// the index of that argument.
+var obsNameFuncs = map[string]int{
+	"StartTimer": 1, // StartTimer(r, name, labels...)
+	"Since":      1, // Since(r, name, start, labels...)
+}
+
+// MetricNames enforces that every metric-emitting call site passes a
+// canonical name constant from internal/obs/names.go rather than a raw
+// string (or a locally invented constant). Series identity is the name
+// plus ordered labels (DESIGN.md §6); ad-hoc strings silently fork a
+// series away from the dashboards and the -metrics JSON dumps. The obs
+// package itself is exempt — it is where the names are defined and where
+// the registry's own unit tests exercise scratch series.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "obs.Recorder call sites must pass a constant from internal/obs/names.go, never a raw string literal",
+	Run: func(pass *Pass) {
+		if pass.Path == pass.Module+"/internal/obs" {
+			return
+		}
+		obsPath := pass.Module + "/internal/obs"
+		recorder := recorderInterface(pass, obsPath)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				var nameIdx = -1
+				if idx, ok := obsNameFuncs[fn.Name()]; ok && isPkgFunc(fn, obsPath, fn.Name()) {
+					nameIdx = idx
+				} else if idx, ok := recorderMethods[fn.Name()]; ok && recorder != nil {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						if s := pass.Info.Selections[sel]; s != nil && implementsRecorder(s.Recv(), recorder) {
+							nameIdx = idx
+						}
+					}
+				}
+				if nameIdx < 0 || nameIdx >= len(call.Args) {
+					return true
+				}
+				if !isObsConstant(pass, call.Args[nameIdx], obsPath) {
+					pass.Reportf(call.Args[nameIdx].Pos(), "metric name must be a canonical constant from internal/obs/names.go (series identity feeds dashboards and -metrics dumps)")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// recorderInterface finds the obs.Recorder interface type through the
+// package's import graph, or nil when the package cannot reach obs.
+func recorderInterface(pass *Pass, obsPath string) *types.Interface {
+	var obsPkg *types.Package
+	var walk func(p *types.Package)
+	seen := make(map[*types.Package]bool)
+	walk = func(p *types.Package) {
+		if seen[p] || obsPkg != nil {
+			return
+		}
+		seen[p] = true
+		if p.Path() == obsPath {
+			obsPkg = p
+			return
+		}
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(pass.Types)
+	if obsPkg == nil {
+		return nil
+	}
+	obj := obsPkg.Scope().Lookup("Recorder")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsRecorder reports whether the receiver type (or a pointer to
+// it) satisfies obs.Recorder.
+func implementsRecorder(recv types.Type, iface *types.Interface) bool {
+	return types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface)
+}
+
+// isObsConstant reports whether the expression resolves to a constant
+// declared in the obs package.
+func isObsConstant(pass *Pass, e ast.Expr, obsPath string) bool {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return false
+	}
+	c, ok := pass.Info.Uses[id].(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Path() == obsPath
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncTypes are the sync primitives whose copy is a latent deadlock or
+// lost-update bug.
+var syncTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Pool":      true,
+	"Map":       true,
+}
+
+// MutexCopy flags declared API surface — receivers, parameters, and
+// results — that passes a lock-bearing type (one containing a sync
+// primitive, directly or through nested structs/arrays) by value. Copying
+// an obs.Registry or a Metamanager forks its lock away from its state.
+// Interior copies (assignments, ranges) are govet's copylocks territory;
+// this check guards the signatures where such types escape a package.
+var MutexCopy = &Analyzer{
+	Name:  "mutexcopy",
+	Doc:   "receivers, params, and results must not pass lock-bearing types (sync.Mutex holders) by value",
+	Tests: true,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ft, recv, name := funcSurface(n)
+				if ft == nil {
+					return true
+				}
+				if recv != nil && len(recv.List) == 1 {
+					field := recv.List[0]
+					if lock := lockIn(pass.Info.TypeOf(field.Type), nil); lock != "" {
+						pass.Reportf(field.Pos(), "%s uses a value receiver of a type containing sync.%s; use a pointer receiver", name, lock)
+					}
+				}
+				if ft.Params != nil {
+					for _, field := range ft.Params.List {
+						if lock := lockIn(pass.Info.TypeOf(field.Type), nil); lock != "" {
+							pass.Reportf(field.Pos(), "%s passes a type containing sync.%s by value; pass a pointer", name, lock)
+						}
+					}
+				}
+				if ft.Results != nil {
+					for _, field := range ft.Results.List {
+						if lock := lockIn(pass.Info.TypeOf(field.Type), nil); lock != "" {
+							pass.Reportf(field.Pos(), "%s returns a type containing sync.%s by value; return a pointer", name, lock)
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// funcSurface extracts the signature surface of a function declaration or
+// literal, with a display name for diagnostics.
+func funcSurface(n ast.Node) (*ast.FuncType, *ast.FieldList, string) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Type, fn.Recv, fn.Name.Name
+	case *ast.FuncLit:
+		return fn.Type, nil, "function literal"
+	}
+	return nil, nil, ""
+}
+
+// lockIn returns the name of the sync primitive t contains by value
+// (transitively through structs, arrays, and named types), or "".
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if t == nil {
+		return ""
+	}
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch v := t.(type) {
+	case *types.Named:
+		obj := v.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncTypes[obj.Name()] {
+			return obj.Name()
+		}
+		return lockIn(v.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			if lock := lockIn(v.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockIn(v.Elem(), seen)
+	}
+	// Pointers, slices, maps, chans, interfaces, and basics break value
+	// containment: the lock is shared, not copied.
+	return ""
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import "go/ast"
+
+// deprecatedFuncs lists the retired entry points by module-relative
+// package path. PR 2 redesigned cross-validation and matcher selection
+// around variadic functional options; the struct-options wrappers stay
+// exported for external compatibility but in-repo code must use the new
+// forms. Grow this table as future redesigns deprecate more surface.
+var deprecatedFuncs = map[string]map[string]string{
+	"/internal/ml": {
+		"CrossValidateOpt": "call CrossValidate(factory, d, k, rng, ml.WithWorkers(n), ...)",
+		"SelectMatcherOpt": "call SelectMatcher(factories, d, k, rng, ml.WithWorkers(n), ...)",
+	},
+}
+
+// NoDeprecated flags in-repo calls to deprecated wrappers. The wrappers'
+// own equivalence tests (which exist precisely to pin the wrapper to the
+// new API) opt out with an allow directive.
+var NoDeprecated = &Analyzer{
+	Name:  "nodeprecated",
+	Doc:   "calls to deprecated *Opt wrappers; use the variadic functional-options API",
+	Tests: true,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				for suffix, funcs := range deprecatedFuncs {
+					if fn.Pkg().Path() != pass.Module+suffix {
+						continue
+					}
+					if fix, ok := funcs[fn.Name()]; ok {
+						pass.Reportf(call.Pos(), "%s is deprecated: %s", fn.Name(), fix)
+					}
+				}
+				return true
+			})
+		}
+	},
+}

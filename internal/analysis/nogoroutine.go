@@ -1,0 +1,28 @@
+package analysis
+
+import "go/ast"
+
+// NoGoroutine flags naked go statements. DESIGN.md §5 requires every
+// fan-out to run through internal/parallel so the Workers knob governs it
+// and the deterministic-output contract (bit-identical to serial) holds;
+// a raw goroutine bypasses both. The pool package itself is exempt — it is
+// the one place goroutines are supposed to be spawned — and long-lived
+// worker loops that are infrastructure rather than fan-out (the cloud
+// engine workers) opt out with an allow directive.
+var NoGoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc:  "go statements outside internal/parallel; fan out through the shared pool so Workers and determinism hold",
+	Run: func(pass *Pass) {
+		if pass.Path == pass.Module+"/internal/parallel" {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(), "naked go statement: route fan-out through internal/parallel (ForEach/Map/MapChunks) so the Workers knob and deterministic output hold")
+				}
+				return true
+			})
+		}
+	},
+}

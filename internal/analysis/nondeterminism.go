@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly-seeded generators rather than touching the global source;
+// they are the sanctioned way to get randomness (deterministic given the
+// caller's seed).
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// NonDeterminism flags wall-clock reads (time.Now, time.Since) and
+// global-source math/rand calls in result-producing code. The determinism
+// contract (DESIGN.md §5) requires a pipeline run to be bit-identical for
+// the same seeds regardless of Workers; clock reads and the process-global
+// RNG break that. Methods on a *rand.Rand the caller seeded are fine, as
+// are the seeded-generator constructors. Sanctioned timing code — the obs
+// timer itself, benchmark harnesses, stage-duration reporting — opts out
+// with //emlint:allow nondeterminism and a justification.
+var NonDeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "time.Now/time.Since and global math/rand calls in result-producing paths; seed explicitly or allow-list timing code",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" || fn.Name() == "Since" {
+						pass.Reportf(call.Pos(), "time.%s reads the wall clock; results must be deterministic (allow-list sanctioned timing code)", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					sig, ok := fn.Type().(*types.Signature)
+					if !ok || sig.Recv() != nil {
+						return true // methods on a seeded *rand.Rand are fine
+					}
+					if !randConstructors[fn.Name()] {
+						pass.Reportf(call.Pos(), "rand.%s draws from the process-global source; use an explicitly seeded *rand.Rand", fn.Name())
+					}
+				}
+				return true
+			})
+		}
+	},
+}

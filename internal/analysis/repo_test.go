@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoInvariantsClean runs the full analyzer suite over every package
+// under ./internal/... and ./cmd/... — the same sweep as `make lint` —
+// and requires zero diagnostics. A failure here means a concurrency,
+// determinism, or observability invariant regressed; fix the violation or
+// add a justified //emlint:allow directive.
+func TestRepoInvariantsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo type check is slow; skipped in -short mode")
+	}
+	l := loader(t)
+	paths, err := l.Expand([]string{"./internal/...", "./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages expanded: %v", paths)
+	}
+	analyzers := All()
+	var violations []string
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, d := range Run(pkg, analyzers) {
+			rel := strings.TrimPrefix(d.Pos.Filename, l.Root+"/")
+			violations = append(violations, rel+": ["+d.Check+"] "+d.Message)
+		}
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+	if len(violations) > 0 {
+		t.Logf("%d invariant violations; see docs/GUIDE.md for the emlint workflow", len(violations))
+	}
+}

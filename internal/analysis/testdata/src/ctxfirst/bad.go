@@ -1,0 +1,15 @@
+// Package fixture exercises the ctxfirst analyzer: exported functions
+// must take context.Context first.
+package fixture
+
+import "context"
+
+type Client struct{}
+
+func Process(name string, ctx context.Context) error { // want ctxfirst
+	return ctx.Err()
+}
+
+func (c *Client) Fetch(id int, ctx context.Context) error { // want ctxfirst
+	return ctx.Err()
+}

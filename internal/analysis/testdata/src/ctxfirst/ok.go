@@ -1,0 +1,24 @@
+package fixture
+
+import "context"
+
+// Submit takes the context first — the sanctioned form.
+func Submit(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// NoCtx has no context parameter at all.
+func NoCtx(name string) string { return name }
+
+// unexportedLegacy is out of scope: the convention binds the exported
+// surface.
+func unexportedLegacy(name string, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// LegacyOrder shows the escape hatch for a frozen public signature.
+//
+//emlint:allow ctxfirst -- fixture legacy signature kept for compatibility
+func LegacyOrder(name string, ctx context.Context) error {
+	return ctx.Err()
+}

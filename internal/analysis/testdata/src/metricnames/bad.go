@@ -1,0 +1,14 @@
+// Package fixture exercises the metricnames analyzer: metric-emitting
+// call sites must pass canonical constants from internal/obs/names.go.
+package fixture
+
+import "repro/internal/obs"
+
+const localName = "em_local_total"
+
+func record(r obs.Recorder) {
+	r.Count("em_raw_total", 1)                  // want metricnames
+	r.Observe(localName, 0.5)                   // want metricnames
+	stop := obs.StartTimer(r, "em_raw_seconds") // want metricnames
+	stop()
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import "repro/internal/obs"
+
+// canonical passes names from obs/names.go — the sanctioned form.
+func canonical(r obs.Recorder) {
+	r.Count(obs.FeatureVectors, 1)
+	defer obs.StartTimer(r, obs.FeatureExtractSeconds)()
+}
+
+// allowed shows the escape hatch for a deliberately local series.
+func allowed(r obs.Recorder) {
+	//emlint:allow metricnames -- fixture-local scratch series
+	r.Count("em_scratch_total", 1)
+}

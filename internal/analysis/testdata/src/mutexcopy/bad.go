@@ -1,0 +1,30 @@
+// Package fixture exercises the mutexcopy analyzer: lock-bearing types
+// must not cross a signature by value.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// nested embeds a lock transitively.
+type nested struct {
+	inner guarded
+}
+
+func inc(g guarded) int { // want mutexcopy
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	return g.n
+}
+
+func (g guarded) value() int { // want mutexcopy
+	return g.n
+}
+
+func build() nested { // want mutexcopy
+	return nested{}
+}

@@ -1,0 +1,20 @@
+package fixture
+
+// incPtr passes the lock holder by pointer — the sanctioned form.
+func incPtr(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	return g.n
+}
+
+func (g *guarded) ptrValue() int { return g.n }
+
+func buildPtr() *nested { return &nested{} }
+
+// snapshot shows the escape hatch for a deliberate one-shot copy.
+//
+//emlint:allow mutexcopy -- fixture copies a quiescent value on purpose
+func snapshot(g guarded) int {
+	return g.n
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the nodeprecated analyzer: calls to the
+// retired struct-options wrappers must be flagged.
+package fixture
+
+import (
+	"math/rand"
+
+	"repro/internal/ml"
+)
+
+func cvOld(d *ml.Dataset) error {
+	factory := func() ml.Classifier { return &ml.GaussianNB{} }
+	_, err := ml.CrossValidateOpt(factory, d, 2, rand.New(rand.NewSource(1)), ml.CVOptions{Workers: 2}) // want nodeprecated
+	if err != nil {
+		return err
+	}
+	_, err = ml.SelectMatcherOpt(ml.DefaultMatcherFactories(1), d, 2, rand.New(rand.NewSource(1)), ml.CVOptions{}) // want nodeprecated
+	return err
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	"math/rand"
+
+	"repro/internal/ml"
+)
+
+// cvNew uses the variadic functional-options API — the sanctioned form.
+func cvNew(d *ml.Dataset) error {
+	factory := func() ml.Classifier { return &ml.GaussianNB{} }
+	_, err := ml.CrossValidate(factory, d, 2, rand.New(rand.NewSource(1)), ml.WithWorkers(2))
+	return err
+}
+
+// allowed shows the escape hatch compatibility shims use.
+func allowed(d *ml.Dataset) error {
+	factory := func() ml.Classifier { return &ml.GaussianNB{} }
+	//emlint:allow nodeprecated -- fixture equivalence check against the old API
+	_, err := ml.CrossValidateOpt(factory, d, 2, rand.New(rand.NewSource(1)), ml.CVOptions{})
+	return err
+}

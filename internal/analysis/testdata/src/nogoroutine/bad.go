@@ -1,0 +1,17 @@
+// Package fixture exercises the nogoroutine analyzer: naked go
+// statements must be flagged.
+package fixture
+
+func launch() {
+	done := make(chan struct{})
+	go func() { // want nogoroutine
+		close(done)
+	}()
+	<-done
+}
+
+func named() {
+	go work() // want nogoroutine
+}
+
+func work() {}

@@ -1,0 +1,20 @@
+package fixture
+
+import "repro/internal/parallel"
+
+// pooled is the sanctioned form: fan-out through the shared pool.
+func pooled(n int) error {
+	return parallel.ForEach(0, n, func(i int) error { return nil })
+}
+
+// allowed shows the escape hatch for long-lived infrastructure workers.
+func allowed() chan func() {
+	ch := make(chan func())
+	//emlint:allow nogoroutine -- long-lived fixture worker, not fan-out
+	go func() {
+		for f := range ch {
+			f()
+		}
+	}()
+	return ch
+}

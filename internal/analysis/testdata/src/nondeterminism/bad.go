@@ -1,0 +1,22 @@
+// Package fixture exercises the nondeterminism analyzer: wall-clock
+// reads and global-source randomness must be flagged.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	t0 := time.Now()                 // want nondeterminism
+	_ = time.Since(t0).Nanoseconds() // want nondeterminism
+	return t0.UnixNano()
+}
+
+func draw() int {
+	return rand.Intn(10) // want nondeterminism
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want nondeterminism
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded randomness through an explicit generator is the sanctioned form.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// allowedLine shows the line-scoped escape hatch.
+func allowedLine() time.Time {
+	//emlint:allow nondeterminism -- fixture timing demo
+	return time.Now()
+}
+
+// allowedDecl shows the declaration-scoped escape hatch: the directive in
+// this doc comment covers the whole function.
+//
+//emlint:allow nondeterminism -- fixture-wide stopwatch
+func allowedDecl() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

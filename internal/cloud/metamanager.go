@@ -128,6 +128,10 @@ func NewMetamanager(reg *Registry, cfg EngineConfig) *Metamanager {
 		m.workers[k] = cfg.workers(k)
 		for w := 0; w < cfg.workers(k); w++ {
 			m.wg.Add(1)
+			// Engine workers are the long-lived execution substrate itself
+			// (the CloudMatcher engines), not per-call fan-out; they outlive
+			// any one Submit, so the bounded pool cannot host them.
+			//emlint:allow nogoroutine -- long-lived engine worker, not fan-out
 			go func(ch chan func()) {
 				defer m.wg.Done()
 				for f := range ch {

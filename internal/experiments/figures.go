@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/block"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/label"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // GuideResult reports one run of the Figure 2 PyMatcher guide.
@@ -148,6 +148,8 @@ type ConcurrencyResult struct {
 // concurrently and compares wall-clock time. The jobs' simulated labeling
 // latency (PerQuestion) is what concurrency hides, exactly as interleaving
 // user-interaction fragments hides users' think time in the real system.
+//
+//emlint:allow nondeterminism -- wall-clock speedup is this experiment's product
 func RunConcurrency(n int, seed int64) (*ConcurrencyResult, error) {
 	makeJob := func(j int) (*cloud.Job, error) {
 		task, err := datagen.Generate(datagen.Spec{
@@ -173,45 +175,52 @@ func RunConcurrency(n int, seed int64) (*ConcurrencyResult, error) {
 		return cloud.FalconJob(fmt.Sprintf("job%d", j), sbA.String(), sbB.String(), "id", "id", ctx, 400), nil
 	}
 
+	// Build each phase's jobs up front so only submission is timed (a Job
+	// carries mutable per-run context, so the phases get separate copies).
+	buildJobs := func() ([]*cloud.Job, error) {
+		jobs := make([]*cloud.Job, n)
+		for j := range jobs {
+			job, err := makeJob(j)
+			if err != nil {
+				return nil, err
+			}
+			jobs[j] = job
+		}
+		return jobs, nil
+	}
+
 	// Serial: CloudMatcher 0.1 — one workflow at a time.
 	mmSerial := cloud.NewMetamanager(cloud.NewRegistry(), cloud.EngineConfig{BatchWorkers: 2, UserWorkers: 1, CrowdWorkers: 1})
 	defer mmSerial.Close()
+	serialJobs, err := buildJobs()
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	for j := 0; j < n; j++ {
-		job, err := makeJob(j)
-		if err != nil {
-			return nil, err
-		}
+	for _, job := range serialJobs {
 		if res := mmSerial.Submit(context.Background(), job); res.Err != nil {
 			return nil, res.Err
 		}
 	}
 	serial := time.Since(start)
 
-	// Concurrent: CloudMatcher 1.0 — interleaved fragments.
+	// Concurrent: CloudMatcher 1.0 — interleaved fragments. Every job is
+	// in flight at once (n workers), the scenario the metamanager exists
+	// for; the pool still propagates the lowest-index failure.
 	mmConc := cloud.NewMetamanager(cloud.NewRegistry(), cloud.EngineConfig{BatchWorkers: 4, UserWorkers: 16, CrowdWorkers: 4})
 	defer mmConc.Close()
-	start = time.Now()
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	for j := 0; j < n; j++ {
-		job, err := makeJob(j)
-		if err != nil {
-			return nil, err
-		}
-		wg.Add(1)
-		go func(j int, job *cloud.Job) {
-			defer wg.Done()
-			if res := mmConc.Submit(context.Background(), job); res.Err != nil {
-				errs[j] = res.Err
-			}
-		}(j, job)
+	concJobs, err := buildJobs()
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	start = time.Now()
+	if err := parallel.ForEach(n, n, func(j int) error {
+		if res := mmConc.Submit(context.Background(), concJobs[j]); res.Err != nil {
+			return res.Err
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	concurrent := time.Since(start)
 

@@ -47,6 +47,8 @@ func (p *ParallelBench) MarshalBenchJSON() ([]byte, error) {
 // benchIters times fn over iters runs after one warmup and returns the
 // fastest ns/op — the usual minimum-of-k estimator, robust to scheduler
 // noise at these run lengths.
+//
+//emlint:allow nondeterminism -- this is the benchmark harness's stopwatch
 func benchIters(iters int, fn func() error) (int64, error) {
 	if err := fn(); err != nil {
 		return 0, err

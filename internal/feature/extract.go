@@ -2,16 +2,16 @@ package feature
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/table"
 )
 
 // ExtractOptions tunes feature-vector extraction.
 type ExtractOptions struct {
-	// Workers parallelizes extraction across pairs; 0 means GOMAXPROCS.
+	// Workers parallelizes extraction across pairs; 0 means GOMAXPROCS
+	// (parallel.Resolve).
 	Workers int
 	// Metrics receives extraction timings and vector counts
 	// (obs.FeatureExtractSeconds, obs.FeatureVectors); nil means off.
@@ -43,31 +43,18 @@ func Vectors(s *Set, pairs *table.Table, cat *table.Catalog, opts ExtractOptions
 
 	n := pairs.Len()
 	out := make([][]float64, n)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Each pair's vector lands in its own index slot, so extraction at any
+	// Workers setting is bit-identical to serial.
+	if err := parallel.ForEach(opts.Workers, n, func(i int) error {
+		lid := pairs.Get(i, meta.LID).AsString()
+		rid := pairs.Get(i, meta.RID).AsString()
+		lrow := meta.LTable.Row(lidx[lid])
+		rrow := meta.RTable.Row(ridx[rid])
+		out[i] = s.Vector(meta.LTable, meta.RTable, lrow, rrow)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				lid := pairs.Get(i, meta.LID).AsString()
-				rid := pairs.Get(i, meta.RID).AsString()
-				lrow := meta.LTable.Row(lidx[lid])
-				rrow := meta.RTable.Row(ridx[rid])
-				out[i] = s.Vector(meta.LTable, meta.RTable, lrow, rrow)
-			}
-		}(w)
-	}
-	wg.Wait()
 	rec.Count(obs.FeatureVectors, float64(n))
 	return out, nil
 }

@@ -2,6 +2,7 @@ package feature
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -317,5 +318,38 @@ func TestFeatureRangeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestVectorsBitIdenticalAcrossWorkers pins the DESIGN.md §5 contract for
+// pooled feature extraction: every Workers setting reproduces the serial
+// matrix bit for bit.
+func TestVectorsBitIdenticalAcrossWorkers(t *testing.T) {
+	a, b := twoTables(t)
+	cat := table.NewCatalog()
+	pairs, err := table.NewPairTable("C", a, b, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.AppendPair(pairs, "a1", "b1")
+	table.AppendPair(pairs, "a1", "b2")
+	table.AppendPair(pairs, "a2", "b1")
+	table.AppendPair(pairs, "a2", "b2")
+	s, err := AutoGenerate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Vectors(s, pairs, cat, ExtractOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 16} {
+		par, err := Vectors(s, pairs, cat, ExtractOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, serial) {
+			t.Fatalf("workers=%d: extraction differs from serial", workers)
+		}
 	}
 }

@@ -128,10 +128,14 @@ func TestCrossValidateFoldErrorPropagates(t *testing.T) {
 }
 
 // TestDeprecatedOptWrappers: the pre-redesign struct-options entry points
-// must keep returning results identical to the variadic API.
+// must keep returning results identical to the variadic API. This is the
+// wrappers' contract test — the one sanctioned place left that calls them
+// (everything else migrated to the CVOption forms, enforced by emlint's
+// nodeprecated check).
 func TestDeprecatedOptWrappers(t *testing.T) {
 	ds := benchDataset(200, 6, 9)
 	factory := func() Classifier { return &DecisionTree{Seed: 3} }
+	//emlint:allow nodeprecated -- the wrapper's own equivalence test
 	oldCV, err := CrossValidateOpt(factory, ds, 4, rand.New(rand.NewSource(8)), CVOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +147,7 @@ func TestDeprecatedOptWrappers(t *testing.T) {
 	if oldCV != newCV {
 		t.Errorf("CrossValidateOpt %+v != CrossValidate %+v", oldCV, newCV)
 	}
+	//emlint:allow nodeprecated -- the wrapper's own equivalence test
 	oldSel, err := SelectMatcherOpt(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(8)), CVOptions{})
 	if err != nil {
 		t.Fatal(err)

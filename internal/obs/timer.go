@@ -10,6 +10,8 @@ import "time"
 // When the recorder is disabled (nil or Nop) no clock is read and a shared
 // no-capture closure is returned, so the call is free on production paths
 // that run without metrics.
+//
+//emlint:allow nondeterminism -- the obs timer is the sanctioned clock
 func StartTimer(r Recorder, name string, labels ...Label) func() {
 	if !Enabled(r) {
 		return nopStop
@@ -24,6 +26,8 @@ func nopStop() {}
 // Since observes the seconds elapsed since start into the named histogram
 // series — the non-deferred form of StartTimer for code that already holds
 // a start time. Disabled recorders ignore it without reading the clock.
+//
+//emlint:allow nondeterminism -- the obs timer is the sanctioned clock
 func Since(r Recorder, name string, start time.Time, labels ...Label) {
 	if !Enabled(r) {
 		return

@@ -1,0 +1,63 @@
+package rules
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRule asserts two properties of the rule parser over arbitrary
+// input: it never panics, and any rule it accepts survives a
+// String() → Parse round trip with identical predicates.
+func FuzzParseRule(f *testing.F) {
+	f.Add("jaccard_3gram_name >= 0.8")
+	f.Add("sim >= 0.5 AND len_diff <= 3")
+	f.Add("jaccard(name) > 0.7 and cosine(addr) != 0")
+	f.Add("a == 1e-9 AND b < -2.5E+10")
+	f.Add("x<=.5")
+	f.Add("")
+	f.Add("AND AND AND")
+	f.Add("f >= ")
+	f.Add("f = 1")
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		for _, p := range r.Predicates {
+			if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
+				t.Fatalf("parser admitted non-finite value %v from %q", p.Value, src)
+			}
+		}
+		rendered := r.String()
+		again, err := Parse("fuzz", rendered)
+		if err != nil {
+			t.Fatalf("round trip failed: Parse(%q) from source %q: %v", rendered, src, err)
+		}
+		if !reflect.DeepEqual(r.Predicates, again.Predicates) {
+			t.Fatalf("round trip changed predicates:\nsource %q\nfirst  %#v\nsecond %#v", src, r.Predicates, again.Predicates)
+		}
+	})
+}
+
+// FuzzParseSet asserts ParseSet never panics and that accepted sets only
+// contain rules the line parser would itself accept.
+func FuzzParseSet(f *testing.F) {
+	f.Add("a > 1\nb <= 0.5 AND c != 2\n# comment\n\n")
+	f.Add("# only a comment")
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := ParseSet("fuzz", src)
+		if err != nil {
+			return
+		}
+		for _, r := range rs.Rules {
+			if len(r.Predicates) == 0 {
+				t.Fatalf("ParseSet admitted an empty rule from %q", src)
+			}
+			if !strings.HasPrefix(r.Name, "fuzz#") {
+				t.Fatalf("rule name %q missing set prefix", r.Name)
+			}
+		}
+	})
+}

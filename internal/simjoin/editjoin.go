@@ -3,9 +3,9 @@ package simjoin
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/tokenize"
 )
@@ -70,86 +70,84 @@ func EditDistanceJoin(l, r []StringRecord, maxDist int, opts Options) ([]DistPai
 		}
 	}
 
-	workers := opts.workers()
-	results := make([][]DistPair, workers)
-	// Candidates verified with the exact distance, tallied worker-locally
-	// and recorded once after the join.
-	cands := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var out []DistPair
-			nc := 0
-			counts := make(map[int]int)
-			for i := w; i < len(l); i += workers {
-				rec := l[i]
-				la := len([]rune(rec.Str))
-				for k := range counts {
-					delete(counts, k)
-				}
-				grams := tok.Tokenize(rec.Str)
-				gramSet := make(map[string]bool, len(grams))
-				for _, g := range grams {
-					if !gramSet[g] {
-						gramSet[g] = true
-						for _, j := range index[g] {
-							counts[j]++
-						}
+	// Probe in contiguous shards through the shared pool. Candidates
+	// verified with the exact distance are tallied shard-locally and
+	// recorded once after the join.
+	type distShard struct {
+		pairs []DistPair
+		cands int
+	}
+	shards, err := parallel.MapChunks(opts.Workers, len(l), func(clo, chi int) (distShard, error) {
+		var out []DistPair
+		nc := 0
+		counts := make(map[int]int)
+		for i := clo; i < chi; i++ {
+			rec := l[i]
+			la := len([]rune(rec.Str))
+			for k := range counts {
+				delete(counts, k)
+			}
+			grams := tok.Tokenize(rec.Str)
+			gramSet := make(map[string]bool, len(grams))
+			for _, g := range grams {
+				if !gramSet[g] {
+					gramSet[g] = true
+					for _, j := range index[g] {
+						counts[j]++
 					}
 				}
-				check := func(j int) {
-					e := entries[j]
-					lb := len([]rune(e.s))
-					if abs(la-lb) > maxDist {
-						return
-					}
-					nc++
-					if d := sim.LevenshteinDistance(rec.Str, e.s); d <= maxDist {
-						out = append(out, DistPair{LID: rec.ID, RID: e.id, Dist: d})
-					}
+			}
+			check := func(j int) {
+				e := entries[j]
+				lb := len([]rune(e.s))
+				if abs(la-lb) > maxDist {
+					return
 				}
-				if la < q || len(gramSet) <= maxDist*q {
-					// Too short to filter by grams, or so few distinct
-					// grams that a within-distance partner may share none:
-					// verify everything in the length window.
-					for j := range entries {
-						check(j)
-					}
-					continue
+				nc++
+				if d := sim.LevenshteinDistance(rec.Str, e.s); d <= maxDist {
+					out = append(out, DistPair{LID: rec.ID, RID: e.id, Dist: d})
 				}
-				for j, c := range counts {
-					if entries[j].distinct <= maxDist*q {
-						continue // handled by the bypass scan below
-					}
-					// If ed(a,b) <= k, each edit can remove at most q
-					// distinct gram types from either side, so the sides
-					// share at least max(|D(a)|,|D(b)|) - k*q types.
-					need := max(len(gramSet), entries[j].distinct) - maxDist*q
-					if need < 1 {
-						need = 1
-					}
-					if c >= need {
-						check(j)
-					}
+			}
+			if la < q || len(gramSet) <= maxDist*q {
+				// Too short to filter by grams, or so few distinct
+				// grams that a within-distance partner may share none:
+				// verify everything in the length window.
+				for j := range entries {
+					check(j)
 				}
-				// Right strings the index cannot surface reliably (too
-				// short for grams, or too few distinct grams) bypass it.
-				for _, j := range short {
+				continue
+			}
+			for j, c := range counts {
+				if entries[j].distinct <= maxDist*q {
+					continue // handled by the bypass scan below
+				}
+				// If ed(a,b) <= k, each edit can remove at most q
+				// distinct gram types from either side, so the sides
+				// share at least max(|D(a)|,|D(b)|) - k*q types.
+				need := max(len(gramSet), entries[j].distinct) - maxDist*q
+				if need < 1 {
+					need = 1
+				}
+				if c >= need {
 					check(j)
 				}
 			}
-			results[w] = out
-			cands[w] = nc
-		}(w)
+			// Right strings the index cannot surface reliably (too
+			// short for grams, or too few distinct grams) bypass it.
+			for _, j := range short {
+				check(j)
+			}
+		}
+		return distShard{pairs: out, cands: nc}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	var all []DistPair
 	total := 0
-	for w, out := range results {
-		all = append(all, out...)
-		total += cands[w]
+	for _, s := range shards {
+		all = append(all, s.pairs...)
+		total += s.cands
 	}
 	mrec.Count(obs.SimjoinCandidates, float64(total), join)
 	mrec.Count(obs.SimjoinPairs, float64(len(all)), join)

@@ -15,11 +15,10 @@ package simjoin
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 )
 
@@ -43,8 +42,8 @@ type Pair struct {
 // Options tunes join execution.
 type Options struct {
 	// Workers is the number of goroutines probing the index; 0 means
-	// GOMAXPROCS. The paper scales PyMatcher commands with Dask on
-	// multicore machines; this is the equivalent knob.
+	// GOMAXPROCS (parallel.Resolve). The paper scales PyMatcher commands
+	// with Dask on multicore machines; this is the equivalent knob.
 	Workers int
 	// Metrics receives join timings and candidate/output counters
 	// (obs.SimjoinSeconds/Candidates/Pairs, labeled by join name); nil
@@ -52,11 +51,12 @@ type Options struct {
 	Metrics obs.Recorder
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+// joinShard is one worker's contiguous share of a join probe scan: the
+// pairs it emitted and the candidates it verified. Shards concatenate in
+// chunk order, reproducing the serial probe order exactly.
+type joinShard struct {
+	pairs []Pair
+	cands int
 }
 
 // measure enumerates the supported set-similarity measures.
@@ -225,61 +225,55 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 		}
 	}
 
-	workers := opts.workers()
-	results := make([][]Pair, workers)
-	// Candidates surviving the size filter (i.e. actually verified),
-	// tallied worker-locally and recorded once — the no-op path never sees
+	// Probe the index in contiguous shards through the shared pool.
+	// Candidates surviving the size filter (i.e. actually verified) are
+	// tallied shard-locally and recorded once — the no-op path never sees
 	// a per-pair recorder call.
-	cands := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var out []Pair
-			nc := 0
-			seen := make(map[int]bool)
-			for i := w; i < len(pl); i += workers {
-				rec := pl[i]
-				n := len(rec.toks)
-				if n == 0 {
-					continue
-				}
-				lo, hi := sizeBounds(m, threshold, n)
-				prefix := n - minOverlap(m, threshold, n) + 1
-				if prefix > n {
-					prefix = n
-				}
-				for k := range seen {
-					delete(seen, k)
-				}
-				for p := 0; p < prefix; p++ {
-					for _, post := range index[rec.toks[p]] {
-						if seen[post.rec] {
-							continue
-						}
-						seen[post.rec] = true
-						cand := pr[post.rec]
-						if len(cand.toks) < lo || len(cand.toks) > hi {
-							continue
-						}
-						nc++
-						if s := verify(m, rec.toks, cand.toks); s >= threshold-1e-12 {
-							out = append(out, Pair{LID: rec.id, RID: cand.id, Sim: s})
-						}
+	shards, err := parallel.MapChunks(opts.Workers, len(pl), func(clo, chi int) (joinShard, error) {
+		var out []Pair
+		nc := 0
+		seen := make(map[int]bool)
+		for i := clo; i < chi; i++ {
+			rec := pl[i]
+			n := len(rec.toks)
+			if n == 0 {
+				continue
+			}
+			lo, hi := sizeBounds(m, threshold, n)
+			prefix := n - minOverlap(m, threshold, n) + 1
+			if prefix > n {
+				prefix = n
+			}
+			for k := range seen {
+				delete(seen, k)
+			}
+			for p := 0; p < prefix; p++ {
+				for _, post := range index[rec.toks[p]] {
+					if seen[post.rec] {
+						continue
+					}
+					seen[post.rec] = true
+					cand := pr[post.rec]
+					if len(cand.toks) < lo || len(cand.toks) > hi {
+						continue
+					}
+					nc++
+					if s := verify(m, rec.toks, cand.toks); s >= threshold-1e-12 {
+						out = append(out, Pair{LID: rec.id, RID: cand.id, Sim: s})
 					}
 				}
 			}
-			results[w] = out
-			cands[w] = nc
-		}(w)
+		}
+		return joinShard{pairs: out, cands: nc}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	var all []Pair
 	total := 0
-	for w, out := range results {
-		all = append(all, out...)
-		total += cands[w]
+	for _, s := range shards {
+		all = append(all, s.pairs...)
+		total += s.cands
 	}
 	rec.Count(obs.SimjoinCandidates, float64(total), join)
 	rec.Count(obs.SimjoinPairs, float64(len(all)), join)
@@ -311,50 +305,43 @@ func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
 			index[rec.toks[p]] = append(index[rec.toks[p]], j)
 		}
 	}
-	workers := opts.workers()
-	results := make([][]Pair, workers)
-	cands := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var out []Pair
-			nc := 0
-			seen := make(map[int]bool)
-			for i := w; i < len(pl); i += workers {
-				rec := pl[i]
-				n := len(rec.toks)
-				if n < k {
-					continue
-				}
-				prefix := n - k + 1
-				for key := range seen {
-					delete(seen, key)
-				}
-				for p := 0; p < prefix; p++ {
-					for _, j := range index[rec.toks[p]] {
-						if seen[j] {
-							continue
-						}
-						seen[j] = true
-						nc++
-						if ov := sim.OverlapSize(rec.toks, pr[j].toks); ov >= k {
-							out = append(out, Pair{LID: rec.id, RID: pr[j].id, Sim: float64(ov)})
-						}
+	shards, err := parallel.MapChunks(opts.Workers, len(pl), func(clo, chi int) (joinShard, error) {
+		var out []Pair
+		nc := 0
+		seen := make(map[int]bool)
+		for i := clo; i < chi; i++ {
+			rec := pl[i]
+			n := len(rec.toks)
+			if n < k {
+				continue
+			}
+			prefix := n - k + 1
+			for key := range seen {
+				delete(seen, key)
+			}
+			for p := 0; p < prefix; p++ {
+				for _, j := range index[rec.toks[p]] {
+					if seen[j] {
+						continue
+					}
+					seen[j] = true
+					nc++
+					if ov := sim.OverlapSize(rec.toks, pr[j].toks); ov >= k {
+						out = append(out, Pair{LID: rec.id, RID: pr[j].id, Sim: float64(ov)})
 					}
 				}
 			}
-			results[w] = out
-			cands[w] = nc
-		}(w)
+		}
+		return joinShard{pairs: out, cands: nc}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	var all []Pair
 	total := 0
-	for w, out := range results {
-		all = append(all, out...)
-		total += cands[w]
+	for _, s := range shards {
+		all = append(all, s.pairs...)
+		total += s.cands
 	}
 	rec.Count(obs.SimjoinCandidates, float64(total), join)
 	rec.Count(obs.SimjoinPairs, float64(len(all)), join)

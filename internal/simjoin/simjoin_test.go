@@ -3,6 +3,7 @@ package simjoin
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -312,5 +313,60 @@ func TestTokenizeIntegration(t *testing.T) {
 	}
 	if len(got) != 1 {
 		t.Fatalf("near-duplicate strings should join: %v", got)
+	}
+}
+
+// TestPooledJoinsBitIdenticalAcrossWorkers pins the DESIGN.md §5 contract
+// for every join now running on the shared pool: any Workers setting must
+// reproduce the serial output bit for bit — IDs, similarity values, and
+// row order included.
+func TestPooledJoinsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := randomRecords(90, rng)
+	r := randomRecords(90, rng)
+	ls := make([]StringRecord, len(l))
+	rs := make([]StringRecord, len(r))
+	for i := range l {
+		ls[i] = StringRecord{ID: l[i].ID, Str: strings.Join(l[i].Tokens, " ")}
+	}
+	for i := range r {
+		rs[i] = StringRecord{ID: r[i].ID, Str: strings.Join(r[i].Tokens, " ")}
+	}
+
+	serialJac, err := JaccardJoin(l, r, 0.4, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialOv, err := OverlapJoin(l, r, 2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialEd, err := EditDistanceJoin(ls, rs, 2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 7, 32} {
+		opts := Options{Workers: workers}
+		jac, err := JaccardJoin(l, r, 0.4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(jac, serialJac) {
+			t.Fatalf("workers=%d: JaccardJoin output differs from serial", workers)
+		}
+		ov, err := OverlapJoin(l, r, 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ov, serialOv) {
+			t.Fatalf("workers=%d: OverlapJoin output differs from serial", workers)
+		}
+		ed, err := EditDistanceJoin(ls, rs, 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ed, serialEd) {
+			t.Fatalf("workers=%d: EditDistanceJoin output differs from serial", workers)
+		}
 	}
 }

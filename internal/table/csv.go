@@ -72,6 +72,19 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		for j, v := range r {
 			rec[j] = v.AsString()
 		}
+		// A lone empty field would serialize as a blank line, which CSV
+		// readers (including ours) skip — silently dropping the row. Force
+		// an explicitly quoted empty field instead.
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}

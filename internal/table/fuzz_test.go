@@ -1,0 +1,46 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV reader never panics on arbitrary bytes, and
+// that any table it accepts survives a WriteCSV → ReadCSV round trip with
+// the same shape (row count, column count, column names).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,name,price\n1,widget,9.99\n2,gadget,19.5\n")
+	f.Add("id,flag\n1,true\n2,false\n")
+	f.Add("a\n\n")
+	f.Add("a,b\n\"x,y\",2\n")
+	f.Add("a,b\n1\n")
+	f.Add("")
+	f.Add("\xff\xfe")
+	f.Add("a,a\n1,2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tab, err := ReadCSV(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of accepted table: %v", err)
+		}
+		again, err := ReadCSV(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("re-read of written table: %v\ncsv:\n%s", err, buf.String())
+		}
+		if again.Len() != tab.Len() {
+			t.Fatalf("round trip changed row count: %d != %d", again.Len(), tab.Len())
+		}
+		if got, want := again.Schema().Len(), tab.Schema().Len(); got != want {
+			t.Fatalf("round trip changed column count: %d != %d", got, want)
+		}
+		for j, name := range tab.Schema().Names() {
+			if got := again.Schema().Names()[j]; got != name {
+				t.Fatalf("round trip changed column %d name: %q != %q", j, got, name)
+			}
+		}
+	})
+}

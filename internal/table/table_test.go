@@ -271,6 +271,33 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCSVEmptySingleColumnRoundTrip pins the fix for a row-dropping bug
+// found by FuzzReadCSV: a single-column row holding an empty value used to
+// serialize as a blank line, which readers skip.
+func TestCSVEmptySingleColumnRoundTrip(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader("name\nbob\n\"\"\nalice\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", tab.Len())
+	}
+	var buf strings.Builder
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadCSV(strings.NewReader(buf.String()), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != 3 {
+		t.Fatalf("round trip rows = %d, want 3\ncsv:\n%s", again.Len(), buf.String())
+	}
+	if got := again.Get(1, "name").AsString(); got != "" {
+		t.Fatalf("middle row should be empty, got %q", got)
+	}
+}
+
 func TestCSVTypeInference(t *testing.T) {
 	in := "id,age,score,flag,name\n1,30,1.5,true,bob\n2,,2.5,false,alice\n"
 	tab, err := ReadCSV(strings.NewReader(in), "t")
