@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fuzz bench
+.PHONY: build test race vet lint fix fuzz bench
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ vet:
 # violation; suppress deliberate exceptions with //emlint:allow.
 lint:
 	$(GO) run ./cmd/emlint ./internal/... ./cmd/...
+
+# Applies the machine-applicable suggested fixes emlint diagnostics carry
+# (e.g. hotalloc prealloc rewrites) and gofmts the touched files. Safe to
+# run repeatedly: the engine is idempotent.
+fix:
+	$(GO) run ./cmd/emlint -fix ./internal/... ./cmd/...
 
 # Short fuzz smoke over the text-format parsers. Override FUZZTIME for a
 # longer soak, e.g. `make fuzz FUZZTIME=5m`.

@@ -6,98 +6,217 @@
 //
 // Usage:
 //
-//	emlint [-checks list] [-list] [patterns...]
+//	emlint [-checks list] [-list] [-fix] [-json] [-format mode] [patterns...]
 //
 // Patterns default to ./internal/... ./cmd/... — the whole production
-// tree. Exit status is 0 for a clean tree, 1 when diagnostics were
-// reported, and 2 on load or usage errors.
+// tree. Output modes:
+//
+//	-format=text    file:line:col: [check] message (default)
+//	-format=github  ::error workflow annotations for inline PR comments
+//	-format=json    machine-readable diagnostics including suggested fixes
+//	-json           shorthand for -format=json
+//
+// -fix applies the suggested fixes diagnostics carry (non-overlapping
+// byte edits, gofmt on every touched file) and is idempotent: a second
+// run applies zero edits. Exit status is 0 for a clean tree (or when -fix
+// repaired every finding), 1 when diagnostics remain, and 2 on load or
+// usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"strings"
 
 	"repro/internal/analysis"
 )
 
 func main() {
-	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	list := flag.Bool("list", false, "print the available checks and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: emlint [-checks list] [-list] [patterns...]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], ".", os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: args are the command-line arguments,
+// dir anchors module-root discovery, and the exit code is returned
+// instead of calling os.Exit.
+//
+//emlint:allow errdrop -- the driver only prints to the injected stdout/stderr; a failed diagnostic print has no further channel to report on
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "print the available checks and exit")
+	fix := fs.Bool("fix", false, "apply suggested fixes (non-overlapping edits, gofmt on touched files)")
+	jsonOut := fs.Bool("json", false, "shorthand for -format=json")
+	format := fs.String("format", "text", "output mode: text, github, or json")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: emlint [-checks list] [-list] [-fix] [-json] [-format mode] [patterns...]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "github", "json":
+	default:
+		fmt.Fprintf(stderr, "emlint: unknown -format %q (want text, github, or json)\n", *format)
+		return 2
+	}
 
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *checks != "" {
 		var err error
 		analyzers, err = analysis.ByName(*checks)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "emlint:", err)
+			return 2
 		}
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./internal/...", "./cmd/..."}
 	}
 
-	wd, err := os.Getwd()
+	root, err := analysis.FindRoot(dir)
 	if err != nil {
-		fail(err)
-	}
-	root, err := analysis.FindRoot(wd)
-	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "emlint:", err)
+		return 2
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "emlint:", err)
+		return 2
 	}
 	paths, err := loader.Expand(patterns)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "emlint:", err)
+		return 2
 	}
 
 	var diags []analysis.Diagnostic
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "emlint:", err)
+			return 2
 		}
 		diags = append(diags, analysis.Run(pkg, analyzers)...)
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+
+	if *fix {
+		res, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "emlint:", err)
+			return 2
 		}
-		return a.Pos.Line < b.Pos.Line
-	})
-	for _, d := range diags {
-		// Print module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+		for i, f := range res.Files {
+			if rel, err := filepath.Rel(root, f); err == nil {
+				res.Files[i] = rel
+			}
 		}
-		fmt.Println(d)
+		fmt.Fprintf(stdout, "emlint: applied %d fix(es) across %d file(s)", res.Applied, len(res.Files))
+		if len(res.Files) > 0 {
+			fmt.Fprintf(stdout, ": %s", strings.Join(res.Files, " "))
+		}
+		fmt.Fprintln(stdout)
+		if res.Skipped > 0 {
+			fmt.Fprintf(stdout, "emlint: skipped %d overlapping fix(es); re-run -fix to apply\n", res.Skipped)
+		}
+		// Only findings without an applied fix still stand.
+		var remaining []analysis.Diagnostic
+		for _, d := range diags {
+			if len(d.Fixes) == 0 {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
+	// Print module-relative paths so output is stable across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+		for j := range diags[i].Fixes {
+			for k := range diags[i].Fixes[j].Edits {
+				e := &diags[i].Fixes[j].Edits[k]
+				if rel, err := filepath.Rel(root, e.Filename); err == nil {
+					e.Filename = rel
+				}
+			}
+		}
+	}
+
+	switch *format {
+	case "json":
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "emlint:", err)
+			return 2
+		}
+	case "github":
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column,
+				githubEscape(fmt.Sprintf("[%s] %s", d.Check, d.Message)))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "emlint: %d invariant violation(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "emlint: %d invariant violation(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "emlint:", err)
-	os.Exit(2)
+// jsonDiagnostic is the stable -json output shape.
+type jsonDiagnostic struct {
+	File    string                  `json:"file"`
+	Line    int                     `json:"line"`
+	Col     int                     `json:"col"`
+	Check   string                  `json:"check"`
+	Message string                  `json:"message"`
+	Fixes   []analysis.SuggestedFix `json:"fixes,omitempty"`
+}
+
+// writeJSON emits the diagnostics as a JSON array (never null).
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+			Fixes:   d.Fixes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// githubEscape encodes the characters the workflow-command grammar
+// reserves in annotation messages.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module so driver tests never mutate
+// the real tree. files maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fixturemod\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const cleanSrc = `package fx
+
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+`
+
+// fixableSrc carries exactly one finding (hotalloc prealloc) whose
+// suggested fix is derivable, so -fix repairs the whole tree.
+const fixableSrc = `package fx
+
+func Pairs(ls, rs []int) []int {
+	var out []int
+	for _, l := range ls {
+		for _, r := range rs {
+			out = append(out, l+r)
+		}
+	}
+	return out
+}
+`
+
+// unfixableSrc carries one finding with no suggested fix (errdrop).
+const unfixableSrc = `package fx
+
+import "os"
+
+func Touch(name string) {
+	f, _ := os.Create(name)
+	f.Close()
+}
+`
+
+func TestRunCleanTree(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": cleanSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean tree printed: %q", stdout.String())
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": unfixableSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "fx.go") || !strings.Contains(out, "[errdrop]") {
+		t.Fatalf("text output missing file/check: %q", out)
+	}
+	if !strings.Contains(stderr.String(), "invariant violation") {
+		t.Fatalf("stderr missing summary: %q", stderr.String())
+	}
+	// Paths are module-relative, not absolute.
+	if strings.Contains(out, root) {
+		t.Fatalf("output leaks absolute paths: %q", out)
+	}
+}
+
+func TestRunUsageErrorsExitTwo(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": cleanSrc})
+	cases := [][]string{
+		{"-format=bogus", "./..."},
+		{"-checks=nosuchcheck", "./..."},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, root, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunTypeErrorExitTwo(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"fx/fx.go": "package fx\n\nfunc Bad() int { return undefinedSymbol }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, root, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "emlint:") {
+		t.Fatalf("stderr missing error report: %q", stderr.String())
+	}
+}
+
+func TestRunJSONShape(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": fixableSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.File != filepath.Join("fx", "fx.go") || d.Line == 0 || d.Col == 0 || d.Check != "hotalloc" || d.Message == "" {
+		t.Fatalf("bad shape: %+v", d)
+	}
+	if len(d.Fixes) != 1 || len(d.Fixes[0].Edits) != 1 {
+		t.Fatalf("expected one suggested fix with one edit: %+v", d.Fixes)
+	}
+}
+
+func TestRunJSONEmptyArray(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": cleanSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format=json", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestRunGithubFormat(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": unfixableSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format=github", "./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	line := strings.TrimSpace(stdout.String())
+	if !strings.HasPrefix(line, "::error file=") || !strings.Contains(line, "::[errdrop]") {
+		t.Fatalf("not a workflow annotation: %q", line)
+	}
+}
+
+func TestRunFixIdempotent(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": fixableSrc})
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fix", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("first -fix exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "applied 1 fix(es) across 1 file(s)") {
+		t.Fatalf("first -fix output: %q", stdout.String())
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(root, "fx", "fx.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "out := make([]int, 0, len(ls))") {
+		t.Fatalf("fix not applied:\n%s", fixed)
+	}
+
+	// Second run must be a no-op on an already-fixed tree.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-fix", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "applied 0 fix(es) across 0 file(s)") {
+		t.Fatalf("second -fix output: %q", stdout.String())
+	}
+	again, err := os.ReadFile(filepath.Join(root, "fx", "fx.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixed, again) {
+		t.Fatalf("second -fix changed the file:\n%s", again)
+	}
+}
+
+func TestRunFixLeavesUnfixable(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": unfixableSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fix", "./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1 (finding has no fix)", code)
+	}
+	if !strings.Contains(stdout.String(), "applied 0 fix(es)") {
+		t.Fatalf("output: %q", stdout.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": cleanSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, check := range []string{"errdrop", "hotalloc", "locksafety", "maporder", "nondeterminism"} {
+		if !strings.Contains(stdout.String(), check) {
+			t.Errorf("-list missing %s", check)
+		}
+	}
+}

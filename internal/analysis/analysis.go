@@ -24,11 +24,32 @@ import (
 	"strings"
 )
 
-// Diagnostic is one analyzer finding at a source position.
+// TextEdit is one byte-range replacement inside a file. Start and End are
+// 0-based byte offsets into the file named by Filename; the half-open
+// range [Start, End) is replaced by NewText. An insertion has Start == End.
+type TextEdit struct {
+	Filename string `json:"file"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	NewText  string `json:"new_text"`
+}
+
+// SuggestedFix is a machine-applicable repair attached to a diagnostic:
+// a set of non-overlapping edits that, applied together, resolve the
+// finding. emlint -fix applies fixes whose edits do not collide with
+// edits already accepted from earlier diagnostics.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// Diagnostic is one analyzer finding at a source position, optionally
+// carrying machine-applicable fixes.
 type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	Fixes   []SuggestedFix
 }
 
 // String renders the diagnostic in the file:line:col form emlint prints.
@@ -56,6 +77,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a diagnostic at pos carrying a machine-applicable fix.
+// A fix with no edits is dropped (the diagnostic is still reported), so
+// analyzers can build edits optimistically and bail without branching.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	d := Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	}
+	if len(fix.Edits) > 0 {
+		d.Fixes = []SuggestedFix{fix}
+	}
+	p.diags = append(p.diags, d)
+}
+
+// Edit builds a TextEdit replacing the source range [from, to) with text,
+// converting token positions to the byte offsets the fix engine applies.
+func (p *Pass) Edit(from, to token.Pos, text string) TextEdit {
+	start := p.Fset.Position(from)
+	end := p.Fset.Position(to)
+	return TextEdit{
+		Filename: start.Filename,
+		Start:    start.Offset,
+		End:      end.Offset,
+		NewText:  text,
+	}
+}
+
 // Analyzer is one invariant check.
 type Analyzer struct {
 	// Name is the check name diagnostics carry and allow comments cite.
@@ -75,6 +124,10 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		CtxFirst,
+		ErrDrop,
+		HotAlloc,
+		LockSafety,
+		MapOrder,
 		MetricNames,
 		MutexCopy,
 		NoDeprecated,
@@ -116,7 +169,7 @@ func isTestFile(fset *token.FileSet, f *ast.File) bool {
 // (not allow-suppressed) diagnostics sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	allows := collectAllows(pkg)
-	var out []Diagnostic
+	out := make([]Diagnostic, 0, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{Package: pkg, check: a.Name}
 		for _, f := range pkg.Files {

@@ -110,6 +110,12 @@ func TestAnalyzerTestFileOptOut(t *testing.T) {
 	if NonDeterminism.Tests || MetricNames.Tests {
 		t.Fatal("clock/metric analyzers must skip test files")
 	}
+	if !ErrDrop.Tests || !LockSafety.Tests {
+		t.Fatal("errdrop and locksafety guard correctness in test files too")
+	}
+	if MapOrder.Tests || HotAlloc.Tests {
+		t.Fatal("ordering/allocation analyzers must skip test files (tests assert on small fixed inputs)")
+	}
 	_ = pkg
 }
 

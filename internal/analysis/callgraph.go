@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the static package-level call graph of one analysis unit:
+// for every function or method declared in the package, the set of
+// same-package functions its body (including nested function literals)
+// calls directly. Calls through interface values or stored function
+// values are not resolved — the graph is intentionally a cheap
+// under-approximation; analyzers use it to extend an intra-procedural
+// fact ("this body performs a channel operation") one call hop at a time
+// rather than to prove absence of behavior.
+type CallGraph struct {
+	// callees maps a declared function to the declared functions it calls.
+	callees map[*types.Func]map[*types.Func]bool
+	// decls maps a declared function to its syntax, so analyzers can
+	// inspect callee bodies.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// NewCallGraph builds the call graph of the package from its syntax.
+func NewCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{
+		callees: make(map[*types.Func]map[*types.Func]bool),
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			g.decls[fn] = fd
+			edges := make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pkg.Info, call)
+				if callee != nil && callee.Pkg() == pkg.Types {
+					edges[callee] = true
+				}
+				return true
+			})
+			g.callees[fn] = edges
+		}
+	}
+	return g
+}
+
+// Decl returns the declaration syntax of a package function, or nil.
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl {
+	return g.decls[fn]
+}
+
+// Callees returns the same-package functions fn calls directly, sorted by
+// full name so callers iterate deterministically.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	out := make([]*types.Func, 0, len(g.callees[fn]))
+	for c := range g.callees[fn] {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// Reaches reports whether to is reachable from from over package-local
+// call edges (including from == to).
+func (g *CallGraph) Reaches(from, to *types.Func) bool {
+	seen := make(map[*types.Func]bool)
+	var walk func(fn *types.Func) bool
+	walk = func(fn *types.Func) bool {
+		if fn == to {
+			return true
+		}
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		for c := range g.callees[fn] {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// AnyReachable reports whether any function reachable from fn (including
+// fn itself) satisfies pred, which is evaluated on the callee's
+// declaration syntax. Functions without local syntax (imported, methods
+// of instantiated generics) are skipped.
+func (g *CallGraph) AnyReachable(fn *types.Func, pred func(*ast.FuncDecl) bool) bool {
+	seen := make(map[*types.Func]bool)
+	var walk func(fn *types.Func) bool
+	walk = func(fn *types.Func) bool {
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		if fd := g.decls[fn]; fd != nil && pred(fd) {
+			return true
+		}
+		for c := range g.callees[fn] {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(fn)
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadSource type-checks an in-memory package through the real loader so
+// the graph is built the same way analyzers see it.
+func loadSource(t *testing.T, src string) *Package {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixturemod\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "pkg")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("fixturemod/pkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+const graphSrc = `package pkg
+
+import "sort"
+
+func a() { b(); c() }
+func b() { c() }
+func c() { leaf() }
+func leaf() {
+	ch := make(chan int, 1)
+	ch <- 1
+}
+func standalone() { sort.Strings(nil) }
+
+type T struct{}
+
+func (T) M() { a() }
+`
+
+func fnByName(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	if name == "T.M" {
+		obj, _, _ := types.LookupFieldOrMethod(pkg.Types.Scope().Lookup("T").Type(), false, pkg.Types, "M")
+		if fn, ok := obj.(*types.Func); ok {
+			return fn
+		}
+		t.Fatalf("method M not found")
+	}
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found", name)
+	}
+	return fn
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	pkg := loadSource(t, graphSrc)
+	g := NewCallGraph(pkg)
+
+	a := fnByName(t, pkg, "a")
+	callees := g.Callees(a)
+	if len(callees) != 2 {
+		t.Fatalf("a calls %d functions, want 2", len(callees))
+	}
+	// Callees is sorted by full name: b before c.
+	if callees[0].Name() != "b" || callees[1].Name() != "c" {
+		t.Fatalf("callees of a = [%s %s], want sorted [b c]", callees[0].Name(), callees[1].Name())
+	}
+
+	// Cross-package calls (sort.Strings) never become edges.
+	if got := g.Callees(fnByName(t, pkg, "standalone")); len(got) != 0 {
+		t.Fatalf("standalone has %d same-package callees, want 0", len(got))
+	}
+}
+
+func TestCallGraphReaches(t *testing.T) {
+	pkg := loadSource(t, graphSrc)
+	g := NewCallGraph(pkg)
+
+	a, leaf, standalone := fnByName(t, pkg, "a"), fnByName(t, pkg, "leaf"), fnByName(t, pkg, "standalone")
+	if !g.Reaches(a, leaf) {
+		t.Fatal("a must reach leaf through b/c")
+	}
+	if g.Reaches(leaf, a) {
+		t.Fatal("reachability must be directional")
+	}
+	if g.Reaches(standalone, leaf) {
+		t.Fatal("standalone must not reach leaf")
+	}
+	if !g.Reaches(a, a) {
+		t.Fatal("a function reaches itself")
+	}
+	// Methods participate: T.M -> a -> ... -> leaf.
+	if !g.Reaches(fnByName(t, pkg, "T.M"), leaf) {
+		t.Fatal("method M must reach leaf")
+	}
+}
+
+func TestCallGraphAnyReachable(t *testing.T) {
+	pkg := loadSource(t, graphSrc)
+	g := NewCallGraph(pkg)
+
+	hasChan := func(fd *ast.FuncDecl) bool {
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.SendStmt); ok {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	if !g.AnyReachable(fnByName(t, pkg, "a"), hasChan) {
+		t.Fatal("a transitively performs a channel send")
+	}
+	if g.AnyReachable(fnByName(t, pkg, "standalone"), hasChan) {
+		t.Fatal("standalone performs no channel op anywhere")
+	}
+}

@@ -1,0 +1,215 @@
+// dataflow.go is the lightweight intra-procedural layer the typed
+// analyzers (errdrop, maporder, hotalloc, locksafety) share. It is
+// deliberately not a full CFG/SSA framework: analysis units are single
+// function bodies, function literals are independent units (a closure runs
+// under its own dynamic context), and facts are propagated by a single
+// forward walk in source order. DESIGN.md §7 records the resulting scope
+// and limits: facts never cross a call boundary except through the
+// package-level call graph (callgraph.go), and flow-insensitive
+// suppressions (e.g. "this slice is sorted somewhere in the function")
+// favor silence over false positives.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcUnit is one intra-procedural analysis unit: a function or function
+// literal body together with a display position.
+type funcUnit struct {
+	body *ast.BlockStmt
+	pos  token.Pos
+}
+
+// funcUnits yields every function body in the file, treating each
+// function literal as its own unit.
+func funcUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				units = append(units, funcUnit{fn.Body, fn.Pos()})
+			}
+		case *ast.FuncLit:
+			units = append(units, funcUnit{fn.Body, fn.Pos()})
+		}
+		return true
+	})
+	return units
+}
+
+// walkUnit inspects the statements of one unit without descending into
+// nested function literals (they are their own units). The root body node
+// itself is visited.
+func walkUnit(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// objOf resolves the object an identifier expression denotes, unwrapping
+// parentheses; nil for anything that is not a plain identifier.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// sortCalls maps the sort/slices entry points that establish a
+// deterministic order to the index of the slice argument they reorder.
+var sortCalls = map[string]map[string]int{
+	"sort": {
+		"Strings": 0, "Ints": 0, "Float64s": 0,
+		"Slice": 0, "SliceStable": 0, "Sort": 0, "Stable": 0,
+	},
+	"slices": {
+		"Sort": 0, "SortFunc": 0, "SortStableFunc": 0,
+	},
+}
+
+// sortedExprs collects the textual form (types.ExprString) of every slice
+// expression the unit passes to a sorting call anywhere in its body, so
+// selector and index targets (res.Files, m.rows) suppress like plain
+// locals. The set is flow-insensitive on purpose: a slice sorted anywhere
+// in the function is treated as order-established, trading a little
+// soundness (append after sort) for near-zero false positives on the
+// standard collect-sort-iterate pattern.
+func sortedExprs(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	sorted := make(map[string]bool)
+	walkUnit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		byName, ok := sortCalls[fn.Pkg().Path()]
+		if !ok {
+			return true
+		}
+		idx, ok := byName[fn.Name()]
+		if !ok || idx >= len(call.Args) {
+			return true
+		}
+		sorted[types.ExprString(ast.Unparen(call.Args[idx]))] = true
+		return true
+	})
+	return sorted
+}
+
+// mentionsAny reports whether the expression mentions an identifier bound
+// to one of the given objects.
+func mentionsAny(info *types.Info, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// errorResults returns the result indices of sig whose type is the
+// built-in error interface.
+func errorResults(sig *types.Signature) []int {
+	var idx []int
+	if sig == nil {
+		return nil
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callSignature resolves the signature of a call expression, whether it
+// invokes a declared function, a method, or a function-typed value (the
+// "local wrapper" case: a variable or field holding a func() error).
+// Conversions and built-ins yield nil.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if fn := calleeFunc(info, call); fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		return sig
+	}
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	// Distinguish a call through a func value from a type conversion:
+	// conversions have a type, not a signature, as their Fun type.
+	if _, isConv := info.Types[call.Fun]; isConv && info.Types[call.Fun].IsType() {
+		return nil
+	}
+	return sig
+}
+
+// hasChanOp reports whether the unit body contains a channel send,
+// receive, or select statement (not descending into nested literals).
+func hasChanOp(body *ast.BlockStmt) bool {
+	found := false
+	walkUnit(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeContainsChanOp is hasChanOp generalized to any subtree.
+func nodeContainsChanOp(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

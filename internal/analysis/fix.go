@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Applied counts the suggested fixes whose edits were accepted.
+	Applied int
+	// Skipped counts fixes dropped because an edit overlapped one already
+	// accepted from an earlier diagnostic (first reported wins).
+	Skipped int
+	// Files lists the files rewritten, sorted.
+	Files []string
+}
+
+// ApplyFixes applies the suggested fixes carried by diags to the files on
+// disk. Fixes are taken in diagnostic order; a fix is accepted only if
+// none of its edits overlaps an already-accepted edit, so the applied set
+// is always a consistent non-overlapping collection of byte replacements.
+// Every touched file is reformatted with go/format before being written
+// back, which makes the engine idempotent: a second run over the fixed
+// tree produces zero edits because the diagnostics themselves are gone.
+func ApplyFixes(diags []Diagnostic) (FixResult, error) {
+	var res FixResult
+	accepted := make(map[string][]TextEdit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			if fixConflicts(accepted, fix) {
+				res.Skipped++
+				continue
+			}
+			for _, e := range fix.Edits {
+				accepted[e.Filename] = append(accepted[e.Filename], e)
+			}
+			res.Applied++
+		}
+	}
+	for file, edits := range accepted {
+		if err := applyToFile(file, edits); err != nil {
+			return res, err
+		}
+	}
+	for file := range accepted {
+		res.Files = append(res.Files, file)
+	}
+	sort.Strings(res.Files)
+	return res, nil
+}
+
+// fixConflicts reports whether any edit of fix overlaps an edit already
+// accepted for the same file. Two edits overlap when their [Start, End)
+// ranges intersect; equal-position insertions also conflict (their order
+// would be ambiguous).
+func fixConflicts(accepted map[string][]TextEdit, fix SuggestedFix) bool {
+	for _, e := range fix.Edits {
+		for _, a := range accepted[e.Filename] {
+			if e.Start < a.End && a.Start < e.End {
+				return true
+			}
+			if e.Start == e.End && a.Start == a.End && e.Start == a.Start {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyToFile rewrites one file with its accepted edits and gofmts it.
+func applyToFile(file string, edits []TextEdit) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return fmt.Errorf("analysis: fix %s: %w", file, err)
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Start < edits[j].Start })
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		if e.Start < last || e.End > len(src) || e.Start > e.End {
+			return fmt.Errorf("analysis: fix %s: edit range [%d,%d) out of bounds", file, e.Start, e.End)
+		}
+		out = append(out, src[last:e.Start]...)
+		out = append(out, e.NewText...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+	formatted, err := format.Source(out)
+	if err != nil {
+		return fmt.Errorf("analysis: fix %s produced unparsable code: %w", file, err)
+	}
+	info, err := os.Stat(file)
+	if err != nil {
+		return fmt.Errorf("analysis: fix %s: %w", file, err)
+	}
+	if err := os.WriteFile(file, formatted, info.Mode().Perm()); err != nil {
+		return fmt.Errorf("analysis: fix %s: %w", file, err)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSrc drops one Go file in a temp dir and returns its path.
+func writeSrc(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixDiag(file string, edits ...TextEdit) Diagnostic {
+	return Diagnostic{
+		Pos:     token.Position{Filename: file, Line: 1, Column: 1},
+		Check:   "testcheck",
+		Message: "m",
+		Fixes:   []SuggestedFix{{Message: "f", Edits: edits}},
+	}
+}
+
+func TestApplyFixesRewritesAndFormats(t *testing.T) {
+	src := "package p\n\nvar  answer = 0\n"
+	path := writeSrc(t, src)
+	// Replace "0" with "42"; the doubled space before "answer" proves the
+	// gofmt pass ran on the whole file, not just the edit.
+	off := strings.Index(src, "0")
+	res, err := ApplyFixes([]Diagnostic{
+		fixDiag(path, TextEdit{Filename: path, Start: off, End: off + 1, NewText: "42"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 0 || len(res.Files) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "package p\n\nvar answer = 42\n" {
+		t.Fatalf("rewritten file:\n%s", got)
+	}
+}
+
+func TestApplyFixesOverlapFirstWins(t *testing.T) {
+	src := "package p\n\nvar answer = 1234\n"
+	path := writeSrc(t, src)
+	off := strings.Index(src, "1234")
+	first := fixDiag(path, TextEdit{Filename: path, Start: off, End: off + 4, NewText: "1"})
+	overlapping := fixDiag(path, TextEdit{Filename: path, Start: off + 2, End: off + 4, NewText: "9"})
+	res, err := ApplyFixes([]Diagnostic{first, overlapping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Fatalf("res = %+v, want 1 applied / 1 skipped", res)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "answer = 1\n") {
+		t.Fatalf("first fix did not win:\n%s", got)
+	}
+}
+
+func TestApplyFixesDisjointEditsCompose(t *testing.T) {
+	src := "package p\n\nvar a = 1\n\nvar b = 2\n"
+	path := writeSrc(t, src)
+	offA := strings.Index(src, "1")
+	offB := strings.Index(src, "2")
+	res, err := ApplyFixes([]Diagnostic{
+		fixDiag(path, TextEdit{Filename: path, Start: offB, End: offB + 1, NewText: "20"}),
+		fixDiag(path, TextEdit{Filename: path, Start: offA, End: offA + 1, NewText: "10"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Skipped != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "var a = 10") || !strings.Contains(string(got), "var b = 20") {
+		t.Fatalf("edits out of order:\n%s", got)
+	}
+}
+
+func TestApplyFixesRejectsUnparsableResult(t *testing.T) {
+	src := "package p\n\nvar a = 1\n"
+	path := writeSrc(t, src)
+	res, err := ApplyFixes([]Diagnostic{
+		fixDiag(path, TextEdit{Filename: path, Start: 0, End: 7, NewText: "pack age"}),
+	})
+	if err == nil {
+		t.Fatalf("broken rewrite accepted: %+v", res)
+	}
+	// The file must be left untouched on error.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != src {
+		t.Fatalf("file mutated despite error:\n%s", got)
+	}
+}
+
+func TestApplyFixesOutOfBoundsEdit(t *testing.T) {
+	path := writeSrc(t, "package p\n")
+	if _, err := ApplyFixes([]Diagnostic{
+		fixDiag(path, TextEdit{Filename: path, Start: 5, End: 99999, NewText: "x"}),
+	}); err == nil {
+		t.Fatal("out-of-bounds edit accepted")
+	}
+}
+
+func TestApplyFixesNoFixesNoTouch(t *testing.T) {
+	res, err := ApplyFixes([]Diagnostic{{
+		Pos: token.Position{Filename: "nonexistent.go", Line: 1}, Check: "c", Message: "m",
+	}})
+	if err != nil || res.Applied != 0 || len(res.Files) != 0 {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+}

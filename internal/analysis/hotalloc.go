@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags per-pair allocation patterns in inner loops — the code
+// paths internal/block, internal/simjoin, and internal/feature run once
+// per candidate pair, where an avoidable allocation multiplies by |L|×|R|.
+// Three patterns are reported, each per function body (closures are
+// independent units):
+//
+//   - an un-preallocated slice (var s []T, s := []T{}, s := make([]T, 0))
+//     grown by append inside a loop nested two deep, or inside any loop
+//     when the declaration itself already sits in a loop. When the trip
+//     count of the declaration-adjacent loop is derivable from pure
+//     expressions, the diagnostic carries a machine-applicable fix that
+//     rewrites the declaration to make([]T, 0, n).
+//   - fmt.Sprintf/fmt.Sprint in a loop nested two deep: per-pair
+//     formatting; hoist it or build keys with strconv/Builder.
+//   - non-constant string concatenation in a loop nested two deep.
+//
+// Cold paths (error formatting) and intentionally lazy slices opt out
+// with //emlint:allow hotalloc -- reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "per-pair inner-loop allocations: un-preallocated append (auto-fixable), fmt.Sprintf, string concatenation",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, unit := range funcUnits(f) {
+				checkHotAllocUnit(pass, unit)
+			}
+		}
+	},
+}
+
+func checkHotAllocUnit(pass *Pass, unit funcUnit) {
+	checkPrealloc(pass, unit)
+	checkInnerLoopTransients(pass, unit)
+}
+
+// checkInnerLoopTransients reports Sprintf/Sprint calls and string
+// concatenation at loop depth >= 2 of the unit.
+func checkInnerLoopTransients(pass *Pass, unit funcUnit) {
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		switch v := n.(type) {
+		case nil, *ast.FuncLit:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+		case *ast.CallExpr:
+			if depth >= 2 {
+				if fn := calleeFunc(pass.Info, v); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "fmt" && (fn.Name() == "Sprintf" || fn.Name() == "Sprint") {
+					pass.Reportf(v.Pos(), "fmt.%s allocates per inner-loop iteration; hoist the formatting or use strconv/strings.Builder (//emlint:allow hotalloc -- reason to keep)", fn.Name())
+				}
+			}
+		case *ast.BinaryExpr:
+			if depth >= 2 && v.Op == token.ADD && isStringExpr(pass.Info, v) && pass.Info.Types[v].Value == nil {
+				pass.Reportf(v.Pos(), "string concatenation allocates per inner-loop iteration; build with strings.Builder or hoist (//emlint:allow hotalloc -- reason to keep)")
+				return // don't re-report each + of a chain
+			}
+		}
+		children(n, func(c ast.Node) { walk(c, depth) })
+	}
+	walk(unit.body, 0)
+}
+
+// children visits the direct AST children of n.
+func children(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		visit(m)
+		return false
+	})
+}
+
+// isStringExpr reports whether e has (possibly named) string type.
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// preallocCandidate is one un-preallocated slice declaration.
+type preallocCandidate struct {
+	obj types.Object
+	// stmt is the whole declaration statement (replaced by a fix).
+	stmt ast.Stmt
+	// typ is the slice type expression, reused in the fix's make call.
+	typ ast.Expr
+	// inLoop records whether the declaration itself sits inside a loop.
+	inLoop bool
+	// blockStmts is the statement list the declaration belongs to, and
+	// index its position there, for locating the adjacent loop.
+	blockStmts []ast.Stmt
+	index      int
+}
+
+// checkPrealloc finds un-preallocated slice declarations grown by append
+// in a qualifying loop and reports them, attaching a make(cap) rewrite
+// when the trip count is derivable.
+func checkPrealloc(pass *Pass, unit funcUnit) {
+	var cands []preallocCandidate
+	var scan func(n ast.Node, depth int)
+	scan = func(n ast.Node, depth int) {
+		switch v := n.(type) {
+		case nil, *ast.FuncLit:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+		case *ast.BlockStmt:
+			for i, stmt := range v.List {
+				if obj, typ := uninitSliceDecl(pass, stmt); obj != nil {
+					cands = append(cands, preallocCandidate{
+						obj: obj, stmt: stmt, typ: typ,
+						inLoop: depth > 0, blockStmts: v.List, index: i,
+					})
+				}
+			}
+		}
+		children(n, func(c ast.Node) { scan(c, depth) })
+	}
+	scan(unit.body, 0)
+
+	for _, c := range cands {
+		loop, appendDepth := adjacentGrowthLoop(pass, c)
+		if loop == nil {
+			continue
+		}
+		// Per-pair shape: append nested two deep, or any append loop when
+		// the declaration re-executes per outer iteration.
+		if appendDepth < 2 && !c.inLoop {
+			continue
+		}
+		capText, ok := tripCountText(pass, loop)
+		if !ok {
+			pass.Reportf(c.stmt.Pos(), "slice grown by append in a per-pair inner loop without preallocation; size it with make([]T, 0, n) (//emlint:allow hotalloc -- reason if the size is unknowable)")
+			continue
+		}
+		newText := c.obj.Name() + " := make(" + types.ExprString(c.typ) + ", 0, " + capText + ")"
+		fix := SuggestedFix{
+			Message: "preallocate with the loop's trip count as capacity",
+			Edits:   []TextEdit{pass.Edit(c.stmt.Pos(), c.stmt.End(), newText)},
+		}
+		pass.ReportFix(c.stmt.Pos(), fix,
+			"slice grown by append in a per-pair inner loop without preallocation; preallocate: %s", newText)
+	}
+}
+
+// uninitSliceDecl matches the un-preallocated slice declaration forms and
+// returns the declared object and its slice type expression.
+func uninitSliceDecl(pass *Pass, stmt ast.Stmt) (types.Object, ast.Expr) {
+	switch v := stmt.(type) {
+	case *ast.DeclStmt:
+		gd, ok := v.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR || len(gd.Specs) != 1 {
+			return nil, nil
+		}
+		spec, ok := gd.Specs[0].(*ast.ValueSpec)
+		if !ok || len(spec.Names) != 1 || len(spec.Values) != 0 {
+			return nil, nil
+		}
+		at, ok := spec.Type.(*ast.ArrayType)
+		if !ok || at.Len != nil {
+			return nil, nil
+		}
+		return pass.Info.Defs[spec.Names[0]], spec.Type
+	case *ast.AssignStmt:
+		if v.Tok != token.DEFINE || len(v.Lhs) != 1 || len(v.Rhs) != 1 {
+			return nil, nil
+		}
+		id, ok := v.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil, nil
+		}
+		switch rhs := ast.Unparen(v.Rhs[0]).(type) {
+		case *ast.CompositeLit:
+			at, ok := rhs.Type.(*ast.ArrayType)
+			if !ok || at.Len != nil || len(rhs.Elts) != 0 {
+				return nil, nil
+			}
+			return pass.Info.Defs[id], rhs.Type
+		case *ast.CallExpr:
+			// make([]T, 0) with no capacity argument.
+			if fn, ok := ast.Unparen(rhs.Fun).(*ast.Ident); !ok || fn.Name != "make" {
+				return nil, nil
+			} else if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+				return nil, nil
+			}
+			if len(rhs.Args) != 2 {
+				return nil, nil
+			}
+			at, ok := rhs.Args[0].(*ast.ArrayType)
+			if !ok || at.Len != nil {
+				return nil, nil
+			}
+			if lit, ok := rhs.Args[1].(*ast.BasicLit); !ok || lit.Value != "0" {
+				return nil, nil
+			}
+			return pass.Info.Defs[id], rhs.Args[0]
+		}
+	}
+	return nil, nil
+}
+
+// adjacentGrowthLoop finds the first loop following the declaration in
+// its block that appends to the declared slice, returning the loop and
+// the nesting depth of the deepest such append within it (1 = directly in
+// the loop body).
+func adjacentGrowthLoop(pass *Pass, c preallocCandidate) (ast.Stmt, int) {
+	for _, stmt := range c.blockStmts[c.index+1:] {
+		switch stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+		default:
+			continue
+		}
+		depth := deepestAppendDepth(pass, stmt, c.obj)
+		if depth > 0 {
+			return stmt, depth
+		}
+	}
+	return nil, 0
+}
+
+// deepestAppendDepth returns the maximum loop-nesting depth (counting the
+// root loop as 1) of `obj = append(obj, ...)` statements under the loop,
+// or 0 when none exists. Nested function literals are skipped.
+func deepestAppendDepth(pass *Pass, loop ast.Stmt, obj types.Object) int {
+	maxDepth := 0
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		switch v := n.(type) {
+		case nil, *ast.FuncLit:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass.Info, v) && len(v.Args) > 0 &&
+				objOf(pass.Info, v.Args[0]) == obj && depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+		children(n, func(m ast.Node) { walk(m, depth) })
+	}
+	walk(loop, 0)
+	return maxDepth
+}
+
+// tripCountText derives a pure capacity expression for the loop's trip
+// count: len(X) for `range X` over a pure expression, and B - A (or B
+// when A is 0) for `for i := A; i < B; i++` with pure bounds.
+func tripCountText(pass *Pass, loop ast.Stmt) (string, bool) {
+	switch v := loop.(type) {
+	case *ast.RangeStmt:
+		if !isPureExpr(v.X) {
+			return "", false
+		}
+		if t := pass.Info.TypeOf(v.X); t != nil {
+			switch u := t.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Map:
+				return "len(" + types.ExprString(v.X) + ")", true
+			case *types.Basic:
+				if u.Info()&types.IsString != 0 {
+					return "len(" + types.ExprString(v.X) + ")", true
+				}
+				if u.Info()&types.IsInteger != 0 { // range-over-int
+					return types.ExprString(v.X), true
+				}
+			}
+		}
+		return "", false
+	case *ast.ForStmt:
+		init, ok := v.Init.(*ast.AssignStmt)
+		if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+			return "", false
+		}
+		cond, ok := v.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.LSS {
+			return "", false
+		}
+		iv := objOf(pass.Info, init.Lhs[0])
+		if iv == nil || objOf(pass.Info, cond.X) != iv {
+			return "", false
+		}
+		lo, hi := init.Rhs[0], cond.Y
+		if !isPureExpr(lo) || !isPureExpr(hi) {
+			return "", false
+		}
+		if lit, ok := ast.Unparen(lo).(*ast.BasicLit); ok && lit.Value == "0" {
+			return types.ExprString(hi), true
+		}
+		return types.ExprString(hi) + "-" + types.ExprString(lo), true
+	}
+	return "", false
+}
+
+// isPureExpr reports whether e is a side-effect-free, loop-invariant
+// expression safe to hoist into a make capacity: identifiers, selector
+// chains, literals, len of a pure expression, and arithmetic over those.
+func isPureExpr(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return isPureExpr(v.X)
+	case *ast.BinaryExpr:
+		return isPureExpr(v.X) && isPureExpr(v.Y)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "len" && len(v.Args) == 1 {
+			return isPureExpr(v.Args[0])
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// tempModule writes a throwaway module and returns a loader rooted at it.
+func tempModule(t *testing.T, files map[string]string) *Loader {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fixturemod\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestLoadSkipsForeignBuildTags proves constraint handling by making the
+// excluded files type-invalid: if either the //go:build file or the
+// _GOOS-suffix file were parsed into the package, type-checking would fail.
+func TestLoadSkipsForeignBuildTags(t *testing.T) {
+	foreignOS := "windows"
+	l := tempModule(t, map[string]string{
+		"pkg/ok.go": "package pkg\n\nfunc Ok() int { return 1 }\n",
+		"pkg/tagged.go": "//go:build " + foreignOS + "\n\npackage pkg\n\n" +
+			"func Broken() int { return undefinedOnPurpose }\n",
+		"pkg/suffix_" + foreignOS + ".go": "package pkg\n\n" +
+			"func AlsoBroken() int { return undefinedOnPurpose }\n",
+		"pkg/ignored.go": "//go:build ignore\n\npackage pkg\n\n" +
+			"func Scratch() int { return undefinedOnPurpose }\n",
+	})
+	pkg, err := l.Load("fixturemod/pkg")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (constrained files must be skipped)", len(pkg.Files))
+	}
+}
+
+// TestLoadMatchingBuildTag keeps files whose constraint matches the host.
+func TestLoadMatchingBuildTag(t *testing.T) {
+	l := tempModule(t, map[string]string{
+		"pkg/ok.go": "package pkg\n\nfunc Ok() int { return Extra() }\n",
+		"pkg/tagged.go": "//go:build linux || darwin || windows || freebsd || netbsd || openbsd || solaris || aix || dragonfly || illumos || plan9 || js || wasip1 || android || ios\n\n" +
+			"package pkg\n\nfunc Extra() int { return 2 }\n",
+	})
+	pkg, err := l.Load("fixturemod/pkg")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("got %d files, want 2 (matching constraint must be kept)", len(pkg.Files))
+	}
+}
+
+// TestLoadTestOnlyPackage loads a directory holding nothing but _test.go
+// files: the test group becomes the analysis unit instead of an error.
+func TestLoadTestOnlyPackage(t *testing.T) {
+	l := tempModule(t, map[string]string{
+		"pkg/pkg_test.go": "package pkg\n\nimport \"testing\"\n\n" +
+			"func TestNothing(t *testing.T) { t.Log(\"ok\") }\n",
+	})
+	pkg, err := l.Load("fixturemod/pkg")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkg.Files) != 1 || pkg.Types.Name() != "pkg" {
+		t.Fatalf("files=%d name=%q, want the test-only group", len(pkg.Files), pkg.Types.Name())
+	}
+}
+
+// TestLoadTypeErrorIsError: a package that does not type-check must come
+// back as an error (driver exit 2), never a panic or a partial package.
+func TestLoadTypeErrorIsError(t *testing.T) {
+	l := tempModule(t, map[string]string{
+		"pkg/bad.go": "package pkg\n\nfunc Bad() int { return undefinedSymbol }\n",
+	})
+	pkg, err := l.Load("fixturemod/pkg")
+	if err == nil {
+		t.Fatalf("Load returned %+v, want type-check error", pkg)
+	}
+	if !strings.Contains(err.Error(), "undefinedSymbol") {
+		t.Fatalf("error does not name the failure: %v", err)
+	}
+}
+
+// TestLoadParseErrorIsError: syntactically broken source is an error too.
+func TestLoadParseErrorIsError(t *testing.T) {
+	l := tempModule(t, map[string]string{
+		"pkg/bad.go": "package pkg\n\nfunc Bad( {\n",
+	})
+	if _, err := l.Load("fixturemod/pkg"); err == nil {
+		t.Fatal("Load accepted a parse error")
+	}
+}
+
+func TestMatchFileName(t *testing.T) {
+	// Pick an OS that is guaranteed foreign to the host so the negative
+	// cases hold on any platform.
+	foreign := "windows"
+	if runtime.GOOS == "windows" {
+		foreign = "linux"
+	}
+	cases := map[string]bool{
+		"plain.go":                      true,
+		"name_" + runtime.GOOS + ".go":  true,
+		"name_" + foreign + ".go":       false,
+		"name_" + foreign + "_s390x.go": false,
+		"name_test.go":                  true,
+		"deep_blue.go":                  true, // "blue" is neither an OS nor an arch
+	}
+	for name, want := range cases {
+		if got := matchFileName(name); got != want {
+			t.Errorf("matchFileName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

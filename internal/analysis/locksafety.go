@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafety flags mutex regions with unsound shapes: a Lock (or RLock)
+// with no matching Unlock anywhere in the function, a return statement
+// between Lock and Unlock (the lock leaks on that path), and a lock held
+// across a channel operation — including one performed by a same-package
+// function the locked region calls, resolved through the package call
+// graph. Holding a lock across a blocking channel op is the classic
+// pool/metamanager deadlock: the goroutine that would drain the channel
+// may need the same lock.
+//
+// The analysis is intra-procedural per function body (closures are
+// separate units) and scans statement siblings forward from each Lock:
+// a defer Unlock protects the rest of the unit (only the channel-op check
+// still applies); an Unlock nested inside branching control flow ends the
+// scan conservatively without reports. Deliberate hand-off patterns opt
+// out with //emlint:allow locksafety -- reason.
+var LockSafety = &Analyzer{
+	Name:  "locksafety",
+	Doc:   "Lock without Unlock on some path, or a lock held across a channel operation (call-graph aware)",
+	Tests: true,
+	Run: func(pass *Pass) {
+		graph := NewCallGraph(pass.Package)
+		chanFuncs := make(map[*ast.FuncDecl]bool)
+		reachesChan := func(fn *types.Func) bool {
+			return graph.AnyReachable(fn, func(fd *ast.FuncDecl) bool {
+				has, ok := chanFuncs[fd]
+				if !ok {
+					has = fd.Body != nil && hasChanOp(fd.Body)
+					chanFuncs[fd] = has
+				}
+				return has
+			})
+		}
+		for _, f := range pass.Files {
+			for _, unit := range funcUnits(f) {
+				checkLockUnit(pass, unit, reachesChan)
+			}
+		}
+	},
+}
+
+// syncLockMethods pairs each acquire method with its release.
+var syncLockMethods = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// lockCallInfo matches `expr.Lock()`-shaped calls to sync primitives and
+// returns a textual key for the lock expression plus the method name.
+func lockCallInfo(info *types.Info, n ast.Node) (key, method string, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// checkLockUnit scans every statement list of the unit for lock regions.
+func checkLockUnit(pass *Pass, unit funcUnit, reachesChan func(*types.Func) bool) {
+	var lists func(n ast.Node)
+	lists = func(n ast.Node) {
+		switch v := n.(type) {
+		case nil, *ast.FuncLit:
+			return
+		case *ast.BlockStmt:
+			scanLockRegions(pass, unit, v.List, reachesChan)
+		case *ast.CaseClause:
+			scanLockRegions(pass, unit, v.Body, reachesChan)
+		case *ast.CommClause:
+			scanLockRegions(pass, unit, v.Body, reachesChan)
+		}
+		children(n, lists)
+	}
+	lists(unit.body)
+}
+
+// scanLockRegions walks one statement list and checks the region following
+// each Lock/RLock expression statement.
+func scanLockRegions(pass *Pass, unit funcUnit, stmts []ast.Stmt, reachesChan func(*types.Func) bool) {
+	for i, stmt := range stmts {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		key, method, ok := lockCallInfo(pass.Info, es.X)
+		if !ok {
+			continue
+		}
+		release, isAcquire := syncLockMethods[method]
+		if !isAcquire {
+			continue
+		}
+		if !unitHasRelease(pass, unit, key, release) {
+			pass.Reportf(es.Pos(), "%s.%s has no matching %s in this function; unlock on every path (or //emlint:allow locksafety -- reason for hand-off)", key, method, release)
+			continue
+		}
+		checkRegion(pass, unit, stmts[i+1:], es, key, release, reachesChan)
+	}
+}
+
+// checkRegion inspects the statements following a Lock until its release.
+func checkRegion(pass *Pass, unit funcUnit, rest []ast.Stmt, lock *ast.ExprStmt, key, release string, reachesChan func(*types.Func) bool) {
+	for _, stmt := range rest {
+		switch v := stmt.(type) {
+		case *ast.DeferStmt:
+			if k, m, ok := lockCallInfo(pass.Info, v.Call); ok && k == key && m == release {
+				// Protected until the unit returns; the lock is still held
+				// across anything after this point.
+				reportChanOpsAfter(pass, unit, v.End(), key, reachesChan)
+				return
+			}
+		case *ast.ExprStmt:
+			if k, m, ok := lockCallInfo(pass.Info, v.X); ok && k == key && m == release {
+				return // clean linear region
+			}
+		}
+		if stmtHasRelease(pass, stmt, key, release) {
+			return // released inside branching flow; assume the branches balance
+		}
+		if ret := firstNode(stmt, isReturnStmt); ret != nil {
+			pass.Reportf(ret.Pos(), "return while %s is locked (no %s on this path); release before returning or use defer", key, release)
+			return
+		}
+		if op := firstNode(stmt, isChanOpNode); op != nil {
+			pass.Reportf(op.Pos(), "channel operation while %s is locked; a blocked send/receive here can deadlock the lock's other users", key)
+			return
+		}
+		if call := firstChanReachingCall(pass, stmt, reachesChan); call != nil {
+			pass.Reportf(call.Pos(), "%s performs channel operations and is called while %s is locked; a blocked send/receive there can deadlock the lock's other users", calleeLabel(pass.Info, call), key)
+			return
+		}
+	}
+}
+
+// reportChanOpsAfter flags channel ops (direct or one call hop away)
+// positioned after pos in the unit — the region a defer Unlock leaves
+// covered by the lock.
+func reportChanOpsAfter(pass *Pass, unit funcUnit, pos token.Pos, key string, reachesChan func(*types.Func) bool) {
+	walkUnit(unit.body, func(n ast.Node) bool {
+		if n == nil || n.Pos() <= pos {
+			return true
+		}
+		if isChanOpNode(n) {
+			pass.Reportf(n.Pos(), "channel operation while %s is locked (deferred unlock runs at return); a blocked send/receive here can deadlock the lock's other users", key)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() == pass.Types && reachesChan(fn) {
+				pass.Reportf(call.Pos(), "%s performs channel operations and is called while %s is locked (deferred unlock runs at return)", calleeLabel(pass.Info, call), key)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// unitHasRelease reports whether the unit contains key.release() anywhere,
+// as a statement or deferred.
+func unitHasRelease(pass *Pass, unit funcUnit, key, release string) bool {
+	found := false
+	walkUnit(unit.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if k, m, ok := lockCallInfo(pass.Info, n); ok && k == key && m == release {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// stmtHasRelease reports whether the statement subtree contains
+// key.release(), not descending into function literals.
+func stmtHasRelease(pass *Pass, stmt ast.Stmt, key, release string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if k, m, ok := lockCallInfo(pass.Info, n); ok && k == key && m == release {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// firstNode returns the first node in the statement subtree satisfying
+// pred, skipping nested function literals.
+func firstNode(stmt ast.Stmt, pred func(ast.Node) bool) ast.Node {
+	var hit ast.Node
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if hit != nil || n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if pred(n) {
+			hit = n
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+func isReturnStmt(n ast.Node) bool {
+	_, ok := n.(*ast.ReturnStmt)
+	return ok
+}
+
+func isChanOpNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.SendStmt, *ast.SelectStmt:
+		return true
+	case *ast.UnaryExpr:
+		return v.Op == token.ARROW
+	}
+	return false
+}
+
+// firstChanReachingCall returns the first call in the statement subtree
+// whose same-package callee (transitively) performs a channel operation.
+func firstChanReachingCall(pass *Pass, stmt ast.Stmt, reachesChan func(*types.Func) bool) *ast.CallExpr {
+	var hit *ast.CallExpr
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() == pass.Types && reachesChan(fn) {
+				hit = call
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}

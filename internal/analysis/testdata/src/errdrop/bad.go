@@ -1,0 +1,29 @@
+// Package fixture exercises the errdrop analyzer: error results silently
+// discarded through bare calls or blank assignment must be flagged.
+package fixture
+
+import "os"
+
+type resource struct{}
+
+func (resource) Close() error { return nil }
+
+func bare(r resource) {
+	r.Close() // want errdrop
+}
+
+func blankSingle(r resource) {
+	_ = r.Close() // want errdrop
+}
+
+func blankMulti() {
+	f, _ := os.Open("x") // want errdrop
+	_ = f
+}
+
+// wrapper drops the error of a call through a function-typed value — the
+// "local wrapper" shape resolved through the signature, not the callee.
+func wrapper() {
+	fn := func() error { return nil }
+	fn() // want errdrop
+}

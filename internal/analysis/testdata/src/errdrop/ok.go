@@ -1,0 +1,43 @@
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+// handled is the baseline: the error is checked.
+func handled(r resource) error {
+	if err := r.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferred cleanup on a read-side resource is the sanctioned idiom.
+func deferred(r resource) {
+	defer r.Close()
+}
+
+// Terminal prints and never-failing writers are exempt by design:
+// fmt.Print* to stdout, fmt.Fprint* to stdout/stderr or to a
+// strings.Builder/bytes.Buffer, Builder/Buffer methods, and hash writers.
+func exemptWriters() {
+	fmt.Println("status")
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	var buf bytes.Buffer
+	buf.WriteString("y")
+	fmt.Fprintln(os.Stderr, "warn")
+	h := fnv.New32a()
+	h.Write([]byte("tok"))
+}
+
+// allowedLine shows the line-scoped escape hatch.
+func allowedLine(r resource) {
+	//emlint:allow errdrop -- best-effort cleanup on an error path
+	r.Close()
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises the hotalloc analyzer: per-pair allocations
+// in inner loops — un-preallocated appended slices (auto-fixable when the
+// trip count is derivable), fmt.Sprintf, and string concatenation.
+package fixture
+
+import "fmt"
+
+// crossCount grows a var-declared slice two loops deep.
+func crossCount(ls, rs []string) []int {
+	var out []int // want hotalloc
+	for _, l := range ls {
+		for j := 0; j < len(rs); j++ {
+			if len(l) == len(rs[j]) {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// perRow re-declares the slice on every outer iteration.
+func perRow(rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		vals := []int{} // want hotalloc
+		for _, v := range row {
+			vals = append(vals, v)
+		}
+		total += len(vals)
+	}
+	return total
+}
+
+// nested uses the capacity-free make form.
+func nested(xss [][]int) []int {
+	out := make([]int, 0) // want hotalloc
+	for _, xs := range xss {
+		for _, x := range xs {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// keys formats a map key per pair.
+func keys(ls, rs []string) map[string]bool {
+	seen := make(map[string]bool)
+	for _, l := range ls {
+		for _, r := range rs {
+			seen[fmt.Sprintf("%s|%s", l, r)] = true // want hotalloc
+		}
+	}
+	return seen
+}
+
+// concat builds a transient string per pair.
+func concat(ls, rs []string) int {
+	n := 0
+	for _, l := range ls {
+		for _, r := range rs {
+			k := l + "|" + r // want hotalloc
+			n += len(k)
+		}
+	}
+	return n
+}

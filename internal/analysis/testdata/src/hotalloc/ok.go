@@ -1,0 +1,49 @@
+package fixture
+
+import "strconv"
+
+// crossCountOK preallocates with the outer loop's trip count.
+func crossCountOK(ls, rs []string) []int {
+	out := make([]int, 0, len(ls))
+	for _, l := range ls {
+		for j := 0; j < len(rs); j++ {
+			if len(l) == len(rs[j]) {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// flat appends one loop deep from a top-level declaration: not per-pair
+// work, so it is out of scope.
+func flat(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// ids builds keys with strconv instead of fmt in the inner loop.
+func ids(n, m int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			out = append(out, strconv.Itoa(i*m+j))
+		}
+	}
+	return out
+}
+
+// allowed shows the escape hatch for unknowable growth.
+func allowed(xss [][]int) []int {
+	//emlint:allow hotalloc -- growth is data-dependent, fixture demo
+	var out []int
+	for _, xs := range xss {
+		for _, x := range xs {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package fixture exercises the locksafety analyzer: unmatched locks,
+// returns inside a locked region, and locks held across channel
+// operations (directly or one same-package call away).
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+// missingUnlock never releases anywhere in the function.
+func missingUnlock(g *guarded) {
+	g.mu.Lock() // want locksafety
+	g.n++
+}
+
+// earlyReturn leaks the lock on the positive branch.
+func earlyReturn(g *guarded) int {
+	g.mu.Lock()
+	if g.n > 0 {
+		return g.n // want locksafety
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// sendLocked performs a channel send while holding the lock.
+func sendLocked(g *guarded) {
+	g.mu.Lock()
+	g.ch <- g.n // want locksafety
+	g.mu.Unlock()
+}
+
+// emits performs a channel operation; holding a lock across a call to it
+// is the one-hop deadlock shape the call graph resolves.
+func emits(g *guarded) {
+	g.ch <- 1
+}
+
+func callLocked(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	emits(g) // want locksafety
+	g.mu.Unlock()
+}
+
+// deferSend: a deferred unlock keeps the lock held across everything
+// after it, including this send.
+func deferSend(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- g.n // want locksafety
+}

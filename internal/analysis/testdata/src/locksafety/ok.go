@@ -1,0 +1,50 @@
+package fixture
+
+// linear is the clean lock/touch/unlock region.
+func linear(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// deferred unlock with no channel operation afterward is fine.
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// sendAfterUnlock releases before touching the channel.
+func sendAfterUnlock(g *guarded) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	g.ch <- n
+}
+
+// branchy releases inside branching control flow: the scan ends
+// conservatively without reports.
+func branchy(g *guarded) {
+	g.mu.Lock()
+	if g.n > 0 {
+		g.mu.Unlock()
+	} else {
+		g.mu.Unlock()
+	}
+	g.ch <- 1
+}
+
+// read pairs RLock with RUnlock.
+func read(g *guarded) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+// handoff shows the declaration-scoped escape hatch for deliberate
+// lock hand-off patterns.
+//
+//emlint:allow locksafety -- fixture hand-off demo: the consumer releases
+func handoff(g *guarded) {
+	g.mu.Lock()
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the maporder analyzer: values flowing from a
+// map iteration into an ordered sink without a sort must be flagged.
+package fixture
+
+import (
+	"fmt"
+	"maps"
+	"strings"
+)
+
+// appendUnsorted builds a slice in map order and never sorts it.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want maporder
+	}
+	return out
+}
+
+// writeDirect emits map entries straight into a writer.
+func writeDirect(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want maporder
+	}
+}
+
+// taintThroughLocal tracks the order through an intermediate local.
+func taintThroughLocal(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		key := k + "!"
+		out = append(out, key) // want maporder
+	}
+	return out
+}
+
+// iterKeys: maps.Keys is as order-randomized as ranging the map itself.
+func iterKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) {
+		out = append(out, k) // want maporder
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package fixture
+
+import "sort"
+
+// collectSort is the sanctioned collect-then-sort idiom.
+func collectSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// count carries no order: the range binds no variables.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sortedField shows suppression through a selector target.
+type acc struct{ rows []string }
+
+func (a *acc) collect(m map[string]int) {
+	for k := range m {
+		a.rows = append(a.rows, k)
+	}
+	sort.Strings(a.rows)
+}
+
+// allowed shows the escape hatch for flows ordered downstream.
+func allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//emlint:allow maporder -- order re-established by the caller
+		out = append(out, k)
+	}
+	return out
+}

@@ -48,7 +48,7 @@ func (b BlackBoxBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.
 	shards, err := parallel.MapChunks(b.Workers, lt.Len(), func(lo, hi int) ([]table.PairID, error) {
 		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
 		defer stop()
-		var out []table.PairID
+		out := make([]table.PairID, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			for j := 0; j < rt.Len(); j++ {
 				if b.Keep(lt.Row(i), rt.Row(j)) {

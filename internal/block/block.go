@@ -184,7 +184,7 @@ func (b HashBlocker) block(lt, rt *table.Table, cat *table.Catalog, name string)
 	shards, err := parallel.MapChunks(b.Workers, lt.Len(), func(lo, hi int) ([]table.PairID, error) {
 		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
 		defer stop()
-		var out []table.PairID
+		out := make([]table.PairID, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			k := key(lt.Row(i)[lj])
 			if k == "" {

@@ -121,8 +121,8 @@ func TestHashBlockerNulls(t *testing.T) {
 	a.MustAppend(table.String("a1"), table.Null(table.KindString))
 	b := table.New("B", sch)
 	b.MustAppend(table.String("b1"), table.Null(table.KindString))
-	a.SetKey("id")
-	b.SetKey("id")
+	a.MustSetKey("id")
+	b.MustSetKey("id")
 	cat := table.NewCatalog()
 	pairs, err := HashBlocker{Attr: "name"}.Block(a, b, cat)
 	if err != nil {
@@ -453,8 +453,8 @@ func TestOverlapBlockerScales(t *testing.T) {
 		a.MustAppend(table.String(fmt.Sprintf("a%d", i)), table.String(name))
 		b.MustAppend(table.String(fmt.Sprintf("b%d", i)), table.String(name))
 	}
-	a.SetKey("id")
-	b.SetKey("id")
+	a.MustSetKey("id")
+	b.MustSetKey("id")
 	cat := table.NewCatalog()
 	pairs, err := OverlapBlocker{Attr: "name", MinOverlap: 2}.Block(a, b, cat)
 	if err != nil {

@@ -54,6 +54,7 @@ func DebugBlocker(cand *table.Table, cat *table.Catalog, topK int) ([]MissedPair
 
 	lkey := lt.Schema().Lookup(lt.Key())
 	rkey := rt.Schema().Lookup(rt.Key())
+	//emlint:allow hotalloc -- miss count is data-dependent and this explain path runs once per debug report, not per candidate pair
 	var missed []MissedPair
 	for i := 0; i < lt.Len(); i++ {
 		counts := make(map[int]int)
@@ -72,6 +73,7 @@ func DebugBlocker(cand *table.Table, cat *table.Catalog, topK int) ([]MissedPair
 				continue // too little overlap to bother verifying
 			}
 			rid := rt.Row(j)[rkey].AsString()
+			//emlint:allow hotalloc -- the concat IS the map key being probed; debug report path, not blocking hot loop
 			if inCand[lid+"\x00"+rid] {
 				continue
 			}

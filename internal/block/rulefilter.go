@@ -107,7 +107,7 @@ func (rf RuleFilter) Filter(cand *table.Table, cat *table.Catalog) (*table.Table
 // predicates mention, in first-appearance order.
 func referencedFeatures(rs rules.RuleSet) []string {
 	seen := make(map[string]bool)
-	var out []string
+	out := make([]string, 0, len(rs.Rules))
 	for _, r := range rs.Rules {
 		for _, p := range r.Predicates {
 			if !seen[p.Feature] {

@@ -95,7 +95,7 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 	shards, err := parallel.MapChunks(b.Workers, len(entries), func(lo, hi int) ([]table.PairID, error) {
 		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
 		defer stop()
-		var out []table.PairID
+		out := make([]table.PairID, 0, hi-lo)
 		local := make(map[[2]string]bool)
 		for i := lo; i < hi; i++ {
 			end := i + w
@@ -123,7 +123,7 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 		return nil, err
 	}
 	seen := make(map[[2]string]bool)
-	var merged []table.PairID
+	merged := make([]table.PairID, 0, len(shards))
 	for _, shard := range shards {
 		for _, p := range shard {
 			k := [2]string{p.L, p.R}

@@ -115,6 +115,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	//emlint:allow errdrop -- a mid-response write failure means the scraper hung up; there is no channel left to report on
 	_ = s.registry.WritePrometheus(w)
 }
 
@@ -248,6 +249,8 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 // writeJSON encodes v before touching the response so an encoding failure
 // can still become a clean 500 instead of a broken 200 body, and sets
 // Content-Type ahead of WriteHeader (headers are frozen after it).
+//
+//emlint:allow errdrop -- body writes after WriteHeader can only fail when the client hung up; nothing can be reported to it anymore
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	buf, err := json.Marshal(v)
 	if err != nil {

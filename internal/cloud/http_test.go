@@ -75,7 +75,7 @@ func TestHTTPSubmitJob(t *testing.T) {
 				"args": map[string]any{"table": "t"}, "after": []string{"key"}},
 		},
 	}
-	body, _ := json.Marshal(payload)
+	body := mustJSON(t, payload)
 	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestHTTPSubmitFailingJob(t *testing.T) {
 			{"id": "x", "service": "no_such_service", "args": map[string]any{}},
 		},
 	}
-	body, _ := json.Marshal(payload)
+	body := mustJSON(t, payload)
 	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -151,12 +151,12 @@ func TestHTTPNoisyLabeler(t *testing.T) {
 				"args": map[string]any{"csv": "id\n1\n", "out": "t"}},
 		},
 	}
-	body, _ := json.Marshal(payload)
+	body := mustJSON(t, payload)
 	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	closeBody(t, resp)
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("status = %d", resp.StatusCode)
 	}

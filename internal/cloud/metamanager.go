@@ -3,6 +3,7 @@ package cloud
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -386,12 +387,16 @@ func validateDAG(job *Job) error {
 	for _, s := range job.Steps {
 		indeg[s.ID] = len(s.After)
 	}
-	var queue []string
+	queue := make([]string, 0, len(indeg))
 	for id, d := range indeg {
 		if d == 0 {
 			queue = append(queue, id)
 		}
 	}
+	// Only the visited count matters for cycle detection, but a sorted
+	// seed keeps the traversal (and any future use of its order)
+	// deterministic.
+	sort.Strings(queue)
 	visited := 0
 	for len(queue) > 0 {
 		id := queue[0]

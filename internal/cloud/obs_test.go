@@ -191,7 +191,7 @@ func TestHTTPInvalidDAG(t *testing.T) {
 		},
 		"no steps": {},
 	} {
-		body, _ := json.Marshal(map[string]any{"name": "bad", "steps": steps})
+		body := mustJSON(t, map[string]any{"name": "bad", "steps": steps})
 		resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
@@ -202,7 +202,7 @@ func TestHTTPInvalidDAG(t *testing.T) {
 		if e := decodeError(t, resp.Body); e.Code != "invalid_dag" {
 			t.Errorf("%s: code = %q, want invalid_dag", name, e.Code)
 		}
-		resp.Body.Close()
+		closeBody(t, resp)
 	}
 }
 
@@ -230,7 +230,7 @@ func TestHTTPPayloadTooLarge(t *testing.T) {
 	defer srv.Close()
 	defer mm.Close()
 
-	big, _ := json.Marshal(map[string]any{
+	big := mustJSON(t, map[string]any{
 		"name": "huge",
 		"steps": []map[string]any{
 			{"id": "up", "service": "upload_dataset",
@@ -254,7 +254,7 @@ func TestHTTPPayloadTooLarge(t *testing.T) {
 // job (422) whose step result names the missing service.
 func TestHTTPUnknownService(t *testing.T) {
 	srv, _ := newTestServer(t)
-	body, _ := json.Marshal(map[string]any{
+	body := mustJSON(t, map[string]any{
 		"name": "missing",
 		"steps": []map[string]any{
 			{"id": "x", "service": "no_such_service", "args": map[string]any{}},
@@ -329,7 +329,7 @@ func TestHTTPCancelledRequestStopsDAG(t *testing.T) {
 	defer srv.Close()
 	defer mm.Close()
 
-	body, _ := json.Marshal(map[string]any{
+	body := mustJSON(t, map[string]any{
 		"name": "abandoned",
 		"steps": []map[string]any{
 			{"id": "s1", "service": "slow_step", "args": map[string]any{}},
@@ -346,7 +346,7 @@ func TestHTTPCancelledRequestStopsDAG(t *testing.T) {
 	go func() {
 		resp, err := http.DefaultClient.Do(req)
 		if resp != nil {
-			resp.Body.Close()
+			closeBody(t, resp)
 		}
 		errc <- err
 	}()
@@ -400,7 +400,7 @@ func TestHTTPRequestTimeout(t *testing.T) {
 	defer srv.Close()
 	defer mm.Close()
 
-	body, _ := json.Marshal(map[string]any{
+	body := mustJSON(t, map[string]any{
 		"name": "overdue",
 		"steps": []map[string]any{
 			{"id": "s1", "service": "sleepy", "args": map[string]any{}},
@@ -464,7 +464,7 @@ func TestHTTPMetricsExposition(t *testing.T) {
 	defer srv.Close()
 	defer mm.Close()
 
-	body, _ := json.Marshal(map[string]any{
+	body := mustJSON(t, map[string]any{
 		"name": "metered",
 		"steps": []map[string]any{
 			{"id": "up", "service": "upload_dataset",
@@ -475,7 +475,7 @@ func TestHTTPMetricsExposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	closeBody(t, resp)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("job status = %d", resp.StatusCode)
 	}

@@ -391,7 +391,7 @@ func registerBasic(r *Registry) {
 				if err != nil {
 					continue
 				}
-				var fired []int
+				fired := make([]int, 0, len(v.X))
 				for i := range v.X {
 					if c.Fires(v.X[i]) {
 						fired = append(fired, i)

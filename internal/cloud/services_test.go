@@ -155,8 +155,12 @@ func TestCrowdLabelService(t *testing.T) {
 	crowd := label.NewCrowd(task.Gold, 1)
 	ctx := NewJobContext(crowd, 3)
 	var csvA, csvB strings.Builder
-	task.A.WriteCSV(&csvA)
-	task.B.WriteCSV(&csvB)
+	if err := task.A.WriteCSV(&csvA); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.B.WriteCSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
 	svc(t, reg, ctx, "upload_dataset", Args{"csv": csvA.String(), "out": "a"})
 	svc(t, reg, ctx, "upload_dataset", Args{"csv": csvB.String(), "out": "b"})
 	svc(t, reg, ctx, "set_key", Args{"table": "a", "key": "id"})

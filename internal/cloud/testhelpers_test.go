@@ -1,0 +1,26 @@
+package cloud
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// mustJSON marshals a request payload that is statically known to encode.
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// closeBody closes a response body, reporting (not aborting on) the error;
+// it is safe to call from helper goroutines.
+func closeBody(t testing.TB, resp *http.Response) {
+	t.Helper()
+	if err := resp.Body.Close(); err != nil {
+		t.Errorf("close response body: %v", err)
+	}
+}

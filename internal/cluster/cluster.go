@@ -36,8 +36,13 @@ func ConnectedComponents(matches *table.Table, cat *table.Catalog) ([]Cluster, e
 		r := "B:" + matches.Get(i, meta.RID).AsString()
 		uf.union(l, r)
 	}
-	groups := make(map[string][]string)
+	ids := make([]string, 0, len(uf.parent))
 	for id := range uf.parent {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	groups := make(map[string][]string)
+	for _, id := range ids {
 		root := uf.find(id)
 		groups[root] = append(groups[root], id)
 	}

@@ -65,8 +65,8 @@ func TestConnectedComponentsTransitive(t *testing.T) {
 	for _, id := range []string{"b1", "b2"} {
 		b.MustAppend(table.String(id), table.String("x"))
 	}
-	a.SetKey("id")
-	b.SetKey("id")
+	a.MustSetKey("id")
+	b.MustSetKey("id")
 	cat := table.NewCatalog()
 	m, err := table.NewPairTable("m", a, b, cat)
 	if err != nil {
@@ -129,8 +129,8 @@ func TestMergeMajorityTieBreak(t *testing.T) {
 	a.MustAppend(table.String("a1"), table.String("beta"))
 	b := table.New("B", sch)
 	b.MustAppend(table.String("b1"), table.String("alpha"))
-	a.SetKey("id")
-	b.SetKey("id")
+	a.MustSetKey("id")
+	b.MustSetKey("id")
 	cat := table.NewCatalog()
 	m, err := table.NewPairTable("m", a, b, cat)
 	if err != nil {
@@ -157,15 +157,18 @@ func TestMergeIgnoresNulls(t *testing.T) {
 	a.MustAppend(table.String("a1"), table.Null(table.KindString))
 	b := table.New("B", sch)
 	b.MustAppend(table.String("b1"), table.String("present"))
-	a.SetKey("id")
-	b.SetKey("id")
+	a.MustSetKey("id")
+	b.MustSetKey("id")
 	cat := table.NewCatalog()
 	m, err := table.NewPairTable("m", a, b, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
 	table.AppendPair(m, "a1", "b1")
-	clusters, _ := ConnectedComponents(m, cat)
+	clusters, err := ConnectedComponents(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
 	merged, err := Merge(clusters, m, cat)
 	if err != nil {
 		t.Fatal(err)

@@ -259,11 +259,17 @@ func TestRuleMatcher(t *testing.T) {
 	if m.PredictProba([]float64{0, 1}) != 0 {
 		t.Error("rule should not fire")
 	}
-	ds, _ := ml.NewDataset([][]float64{{1, 0}}, []int{1}, names)
+	ds, err := ml.NewDataset([][]float64{{1, 0}}, []int{1}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Fit(ds); err != nil {
 		t.Errorf("fit on matching names: %v", err)
 	}
-	wrong, _ := ml.NewDataset([][]float64{{1, 0}}, []int{1}, []string{"a", "b"})
+	wrong, err := ml.NewDataset([][]float64{{1, 0}}, []int{1}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Fit(wrong); err == nil {
 		t.Error("want feature-order mismatch error")
 	}

@@ -58,8 +58,14 @@ func TestMatchedPairsAreSimilar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aIdx, _ := task.A.KeyIndex()
-	bIdx, _ := task.B.KeyIndex()
+	aIdx, err := task.A.KeyIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bIdx, err := task.B.KeyIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Gold pairs must share the ISBN most of the time (codes rarely
 	// corrupted), while random pairs almost never do.
 	shared := 0

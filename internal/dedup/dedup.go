@@ -8,6 +8,7 @@ package dedup
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/block"
 	"repro/internal/table"
@@ -81,32 +82,25 @@ func Groups(matches *table.Table, cat *table.Catalog) ([][]string, error) {
 			parent[l] = r
 		}
 	}
-	byRoot := make(map[string][]string)
+	ids := make([]string, 0, len(parent))
 	for id := range parent {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	byRoot := make(map[string][]string)
+	roots := make([]string, 0, len(byRoot))
+	for _, id := range ids {
 		root := find(id)
+		if _, ok := byRoot[root]; !ok {
+			roots = append(roots, root)
+		}
 		byRoot[root] = append(byRoot[root], id)
 	}
-	var groups [][]string
-	for _, members := range byRoot {
-		sortStrings(members)
-		groups = append(groups, members)
+	// Members inherit the sorted id order; groups sort by first member.
+	groups := make([][]string, 0, len(roots))
+	for _, root := range roots {
+		groups = append(groups, byRoot[root])
 	}
-	sortGroups(groups)
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
 	return groups, nil
-}
-
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
-}
-
-func sortGroups(gs [][]string) {
-	for i := 1; i < len(gs); i++ {
-		for j := i; j > 0 && gs[j][0] < gs[j-1][0]; j-- {
-			gs[j], gs[j-1] = gs[j-1], gs[j]
-		}
-	}
 }

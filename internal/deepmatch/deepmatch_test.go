@@ -20,7 +20,10 @@ func xorDataset(n int, seed int64) *ml.Dataset {
 			y[i] = 1
 		}
 	}
-	d, _ := ml.NewDataset(x, y, nil)
+	d, err := ml.NewDataset(x, y, nil)
+	if err != nil {
+		panic(err)
+	}
 	return d
 }
 
@@ -51,8 +54,14 @@ func TestMLPBeatsLinearOnXOR(t *testing.T) {
 	if err := lin.Fit(train); err != nil {
 		t.Fatal(err)
 	}
-	nc, _ := ml.Evaluate(net, test)
-	lc, _ := ml.Evaluate(lin, test)
+	nc, err := ml.Evaluate(net, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := ml.Evaluate(lin, test)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if nc.Accuracy() <= lc.Accuracy() {
 		t.Errorf("mlp %.3f should beat logistic regression %.3f on XOR", nc.Accuracy(), lc.Accuracy())
 	}
@@ -106,7 +115,10 @@ func TestMLPCustomArchitecture(t *testing.T) {
 	if err := net.Fit(train); err != nil {
 		t.Fatal(err)
 	}
-	conf, _ := ml.Evaluate(net, train)
+	conf, err := ml.Evaluate(net, train)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if conf.Accuracy() < 0.85 {
 		t.Errorf("single-hidden-layer accuracy = %.3f", conf.Accuracy())
 	}
@@ -182,8 +194,14 @@ func TestTextMatcherLearnsNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aIdx, _ := task.A.KeyIndex()
-	bIdx, _ := task.B.KeyIndex()
+	aIdx, err := task.A.KeyIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bIdx, err := task.B.KeyIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var pairs [][2]string
 	var y []int
 	// Positives: gold matches. Negatives: shifted pairings.

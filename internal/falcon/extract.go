@@ -42,12 +42,13 @@ func ExtractBlockingRules(f *ml.RandomForest, featureNames []string) (rules.Rule
 				continue
 			}
 			seen[key] = true
-			r.Name = fmt.Sprintf("falcon_rule_%d", rs.Len())
 			rs.Add(r)
 		}
 	}
-	// Resolve feature indices to names and validate them.
+	// Name rules and resolve feature indices outside the per-branch loop;
+	// the index at add time equals the slice index, so names are unchanged.
 	for i := range rs.Rules {
+		rs.Rules[i].Name = fmt.Sprintf("falcon_rule_%d", i)
 		for j := range rs.Rules[i].Predicates {
 			p := &rs.Rules[i].Predicates[j]
 			idx, err := parseFeatureIndex(p.Feature)

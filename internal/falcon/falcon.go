@@ -416,7 +416,7 @@ func evaluateRules(cand rules.RuleSet, pool *active.Pool, stage1 *active.Result,
 		if err != nil {
 			continue
 		}
-		var fired []int
+		fired := make([]int, 0, len(pool.X))
 		for i := range pool.X {
 			if c.Fires(pool.X[i]) {
 				fired = append(fired, i)

@@ -113,7 +113,10 @@ func TestExtractBlockingRulesDedup(t *testing.T) {
 		x = append(x, []float64{v})
 		y = append(y, int(v))
 	}
-	ds, _ := ml.NewDataset(x, y, []string{"f"})
+	ds, err := ml.NewDataset(x, y, []string{"f"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := &ml.RandomForest{NumTrees: 20, Seed: 1}
 	if err := f.Fit(ds); err != nil {
 		t.Fatal(err)
@@ -193,10 +196,10 @@ func TestRunBudgeted(t *testing.T) {
 func TestRunEmptyTables(t *testing.T) {
 	sch := table.StringSchema("id", "name")
 	empty := table.New("E", sch)
-	empty.SetKey("id")
+	empty.MustSetKey("id")
 	full := table.New("F", sch)
 	full.MustAppend(table.String("x"), table.String("y"))
-	full.SetKey("id")
+	full.MustSetKey("id")
 	cat := table.NewCatalog()
 	if _, err := Run(empty, full, label.NewOracle(label.NewGold(nil)), cat, Config{}); err == nil {
 		t.Fatal("want empty-table error")

@@ -70,8 +70,8 @@ func BenchmarkAutoGenerate(b *testing.B) {
 	a.MustAppend(table.String("a1"), table.String("x"), table.String("y"), table.String("z"))
 	bt := a.Clone()
 	bt.SetName("B")
-	a.SetKey("id")
-	bt.SetKey("id")
+	a.MustSetKey("id")
+	bt.MustSetKey("id")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := AutoGenerate(a, bt); err != nil {

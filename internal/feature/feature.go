@@ -234,10 +234,15 @@ func AutoGenerate(a, b *table.Table, exclude ...string) (*Set, error) {
 	s := &Set{}
 	matched := 0
 	for _, col := range a.Schema().Columns() {
-		if skip[col.Name] || !b.Schema().Has(col.Name) {
+		if skip[col.Name] {
 			continue
 		}
-		bKind, _ := b.Schema().KindOf(col.Name)
+		// KindOf doubles as the existence check: an error means b has no
+		// such column.
+		bKind, err := b.Schema().KindOf(col.Name)
+		if err != nil {
+			continue
+		}
 		kind := col.Kind
 		if bKind != kind {
 			// Disagreeing kinds: fall back to string features.

@@ -78,8 +78,8 @@ func TestAutoGenerateNoSharedAttrs(t *testing.T) {
 	b := table.New("B", table.StringSchema("id", "y"))
 	a.MustAppend(table.String("1"), table.String("v"))
 	b.MustAppend(table.String("1"), table.String("v"))
-	a.SetKey("id")
-	b.SetKey("id")
+	a.MustSetKey("id")
+	b.MustSetKey("id")
 	if _, err := AutoGenerate(a, b); err == nil {
 		t.Fatal("want no-shared-attributes error")
 	}
@@ -118,8 +118,8 @@ func TestMissingPolicies(t *testing.T) {
 	a.MustAppend(table.String("a1"), table.Null(table.KindString))
 	b := table.New("B", sch)
 	b.MustAppend(table.String("b1"), table.String("x"))
-	a.SetKey("id")
-	b.SetKey("id")
+	a.MustSetKey("id")
+	b.MustSetKey("id")
 	s, err := AutoGenerate(a, b)
 	if err != nil {
 		t.Fatal(err)

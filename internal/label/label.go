@@ -20,6 +20,7 @@ package label
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -47,12 +48,19 @@ func (g *Gold) IsMatch(lid, rid string) bool { return g.matches[[2]string{lid, r
 // Len returns the number of gold matches.
 func (g *Gold) Len() int { return len(g.matches) }
 
-// Pairs returns all gold match pairs.
+// Pairs returns all gold match pairs, sorted so callers iterate the gold
+// set in the same order every run.
 func (g *Gold) Pairs() [][2]string {
 	out := make([][2]string, 0, len(g.matches))
 	for p := range g.matches {
 		out = append(out, p)
 	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
 	return out
 }
 

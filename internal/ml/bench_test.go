@@ -19,7 +19,10 @@ func benchDataset(n, d int, seed int64) *Dataset {
 			y[i] = 1
 		}
 	}
-	ds, _ := NewDataset(x, y, nil)
+	ds, err := NewDataset(x, y, nil)
+	if err != nil {
+		panic(err)
+	}
 	return ds
 }
 

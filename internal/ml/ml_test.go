@@ -44,7 +44,10 @@ func xorDataset(n int, seed int64) *Dataset {
 			y[i] = 1
 		}
 	}
-	d, _ := NewDataset(x, y, nil)
+	d, err := NewDataset(x, y, nil)
+	if err != nil {
+		panic(err)
+	}
 	return d
 }
 
@@ -77,7 +80,10 @@ func TestNewDatasetValidation(t *testing.T) {
 	if d.FeatureName(0) != "a" || d.FeatureName(1) != "b" {
 		t.Error("feature names lost")
 	}
-	un, _ := NewDataset([][]float64{{1}}, []int{0}, nil)
+	un, err := NewDataset([][]float64{{1}}, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if un.FeatureName(0) != "f0" {
 		t.Errorf("unnamed feature = %q", un.FeatureName(0))
 	}
@@ -139,7 +145,10 @@ func TestDecisionTreeLearnsXOR(t *testing.T) {
 func TestDecisionTreePureNodeStops(t *testing.T) {
 	x := [][]float64{{0}, {0.1}, {0.2}}
 	y := []int{1, 1, 1}
-	d, _ := NewDataset(x, y, nil)
+	d, err := NewDataset(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tree := &DecisionTree{}
 	if err := tree.Fit(d); err != nil {
 		t.Fatal(err)
@@ -316,7 +325,10 @@ func TestLogisticRegressionConstantFeature(t *testing.T) {
 	// A zero-variance feature must not produce NaNs.
 	x := [][]float64{{1, 0}, {1, 1}, {1, 0.2}, {1, 0.9}}
 	y := []int{0, 1, 0, 1}
-	d, _ := NewDataset(x, y, nil)
+	d, err := NewDataset(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lr := &LogisticRegression{Seed: 1, Epochs: 200}
 	if err := lr.Fit(d); err != nil {
 		t.Fatal(err)
@@ -345,7 +357,10 @@ func TestGaussianNBLearns(t *testing.T) {
 func TestGaussianNBSingleClass(t *testing.T) {
 	x := [][]float64{{0.1}, {0.2}, {0.3}}
 	y := []int{1, 1, 1}
-	d, _ := NewDataset(x, y, nil)
+	d, err := NewDataset(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	nb := &GaussianNB{}
 	if err := nb.Fit(d); err != nil {
 		t.Fatal(err)
@@ -367,7 +382,10 @@ func TestKNNLearns(t *testing.T) {
 		t.Errorf("knn accuracy = %.3f, want >= 0.85", acc)
 	}
 	// K larger than the training set must not panic.
-	small, _ := NewDataset([][]float64{{0}, {1}}, []int{0, 1}, nil)
+	small, err := NewDataset([][]float64{{0}, {1}}, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	big := &KNN{K: 50}
 	if err := big.Fit(small); err != nil {
 		t.Fatal(err)
@@ -440,12 +458,18 @@ func TestConfusionMetrics(t *testing.T) {
 
 func TestConfusionEdgeConventions(t *testing.T) {
 	// No predicted positives: precision 1 by convention.
-	c, _ := NewConfusion([]int{1, 0}, []int{0, 0})
+	c, err := NewConfusion([]int{1, 0}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Precision() != 1 {
 		t.Errorf("vacuous precision = %v", c.Precision())
 	}
 	// No gold positives: recall 1 by convention.
-	c, _ = NewConfusion([]int{0, 0}, []int{0, 1})
+	c, err = NewConfusion([]int{0, 0}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Recall() != 1 {
 		t.Errorf("vacuous recall = %v", c.Recall())
 	}

@@ -146,7 +146,10 @@ func TestSnapshotDeterministicAndJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j2, _ := json.Marshal(s2)
+	j2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if string(j1) != string(j2) {
 		t.Errorf("snapshot not deterministic:\n%s\n%s", j1, j2)
 	}

@@ -44,7 +44,7 @@ func GeneralizedJaccard(a, b []string, inner func(x, y string) float64, threshol
 		i, j int
 		s    float64
 	}
-	var pairs []pair
+	pairs := make([]pair, 0, len(a))
 	for i, ta := range a {
 		for j, tb := range b {
 			if s := inner(ta, tb); s >= threshold {

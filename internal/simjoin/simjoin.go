@@ -109,7 +109,7 @@ func prepare(l, r []Record) (pl, pr []prepared) {
 		out := make([][]string, len(rs))
 		for i, rec := range rs {
 			seen := make(map[string]bool, len(rec.Tokens))
-			var toks []string
+			toks := make([]string, 0, len(rec.Tokens))
 			for _, t := range rec.Tokens {
 				if !seen[t] {
 					seen[t] = true
@@ -230,7 +230,7 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 	// tallied shard-locally and recorded once — the no-op path never sees
 	// a per-pair recorder call.
 	shards, err := parallel.MapChunks(opts.Workers, len(pl), func(clo, chi int) (joinShard, error) {
-		var out []Pair
+		out := make([]Pair, 0, chi-clo)
 		nc := 0
 		seen := make(map[int]bool)
 		for i := clo; i < chi; i++ {
@@ -306,7 +306,7 @@ func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
 		}
 	}
 	shards, err := parallel.MapChunks(opts.Workers, len(pl), func(clo, chi int) (joinShard, error) {
-		var out []Pair
+		out := make([]Pair, 0, chi-clo)
 		nc := 0
 		seen := make(map[int]bool)
 		for i := clo; i < chi; i++ {

@@ -2,6 +2,7 @@ package table
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -100,8 +101,7 @@ func (t *Table) WriteCSVFile(path string) error {
 		return err
 	}
 	if err := t.WriteCSV(f); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

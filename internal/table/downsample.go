@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"unicode"
 )
@@ -104,6 +105,9 @@ func DownSample(a, b *Table, sizeA, sizeB int, rng *rand.Rand) (*Table, *Table, 
 	for i := range chosen {
 		idxs = append(idxs, i)
 	}
+	// chosen is a map: without the sort the sampled rows would come out
+	// in a different order every run.
+	sort.Ints(idxs)
 	aSample := a.Select(idxs)
 	aSample.SetName(a.Name() + "_sample")
 	bSample.SetName(b.Name() + "_sample")

@@ -78,6 +78,14 @@ func (t *Table) MustAppend(vals ...Value) {
 	}
 }
 
+// MustSetKey is SetKey that panics on error; for fixtures and generators
+// whose key column is statically known to be valid.
+func (t *Table) MustSetKey(col string) {
+	if err := t.SetKey(col); err != nil {
+		panic(err)
+	}
+}
+
 // AppendStrings adds a row of string cells, parsing each into the column's
 // declared kind.
 func (t *Table) AppendStrings(cells ...string) error {

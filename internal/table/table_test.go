@@ -219,10 +219,10 @@ func TestParseValue(t *testing.T) {
 	if err != nil || v.Int != 42 {
 		t.Errorf("parse int: %v %v", v, err)
 	}
-	if v, _ := ParseValue("", KindFloat); !v.IsNull() {
+	if v, err := ParseValue("", KindFloat); err != nil || !v.IsNull() {
 		t.Error("empty float should parse to null")
 	}
-	if v, _ := ParseValue("", KindString); v.IsNull() || v.Str != "" {
+	if v, err := ParseValue("", KindString); err != nil || v.IsNull() || v.Str != "" {
 		t.Error("empty string should stay a present empty string")
 	}
 	if _, err := ParseValue("abc", KindInt); err == nil {
@@ -484,8 +484,8 @@ func TestDownSampleKeepsMatches(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		b.MustAppend(String("b"+itoa(i)), String(names[i%len(names)]+" branch "+itoa(i)))
 	}
-	a.SetKey("id")
-	b.SetKey("id")
+	a.MustSetKey("id")
+	b.MustSetKey("id")
 	as, bs, err := DownSample(a, b, 100, 50, rng)
 	if err != nil {
 		t.Fatal(err)
