@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fix fuzz bench
+.PHONY: build test race vet lint fix fuzz bench bench-tokens
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,8 @@ fuzz:
 # parallelized hot paths).
 bench:
 	$(GO) run ./cmd/benchem -exp parallel
+
+# Regenerates BENCH_tokens.json (string kernels vs interned integer
+# kernels). Exits non-zero if the two paths ever disagree bit-for-bit.
+bench-tokens:
+	$(GO) run ./cmd/benchem -exp tokens

@@ -12,6 +12,7 @@
 //	benchem -exp blockers      blocker recall/reduction ablation
 //	benchem -exp parallel      Workers=1 vs multicore regression bench (BENCH_parallel.json)
 //	benchem -exp obsbench      no-op vs live metrics overhead bench (BENCH_obs.json)
+//	benchem -exp tokens        string vs interned similarity kernels (BENCH_tokens.json)
 //	benchem -exp all           everything above
 //
 // With -metrics PATH the guide experiment records per-stage timings into a
@@ -48,11 +49,13 @@ func writeMetricsSnapshot(reg *obs.Registry, path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|parallel|obsbench|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|parallel|obsbench|tokens|all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker goroutines for parallelized stages; 0 means GOMAXPROCS")
 	benchout := flag.String("benchout", "BENCH_parallel.json", "output path for the parallel bench JSON")
 	obsout := flag.String("obsout", "BENCH_obs.json", "output path for the metrics-overhead bench JSON")
+	tokensout := flag.String("tokensout", "BENCH_tokens.json", "output path for the token-interning bench JSON")
+	tokensn := flag.Int("tokensn", 1000, "records per side (and candidate pairs) for the tokens bench workloads")
 	metricsPath := flag.String("metrics", "", "write the guide run's per-stage metrics snapshot as JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
@@ -162,6 +165,26 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *obsout)
+		case "tokens":
+			fmt.Println("== token interning: string kernels vs integer kernels ==")
+			res, err := experiments.RunTokensBench(*seed, *workers, *tokensn, *benchout)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTokensBench(res))
+			data, err := res.MarshalBenchJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*tokensout, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *tokensout)
+			// A divergence means the interned kernels broke bit-identity
+			// with the string path: fail the run so CI catches it.
+			if div := res.Diverged(); len(div) > 0 {
+				return fmt.Errorf("interned kernels diverged from string path on: %v", div)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -171,7 +194,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "parallel", "obsbench", "concurrency", "table2"}
+		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "parallel", "obsbench", "tokens", "concurrency", "table2"}
 	} else {
 		names = []string{*exp}
 	}

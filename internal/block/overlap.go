@@ -3,6 +3,7 @@ package block
 import (
 	"fmt"
 
+	"repro/internal/intern"
 	"repro/internal/obs"
 	"repro/internal/simjoin"
 	"repro/internal/table"
@@ -53,15 +54,16 @@ func (b OverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	rec := obs.Or(b.Metrics)
 	bl := obs.L("blocker", b.Name())
 	defer obs.StartTimer(rec, obs.BlockSeconds, bl)()
-	lrecs, err := tokenRecords(lt, b.Attr, b.tokenizer())
+	d := intern.NewDict()
+	lrecs, err := tokenIDRecords(lt, b.Attr, b.tokenizer(), d)
 	if err != nil {
 		return nil, err
 	}
-	rrecs, err := tokenRecords(rt, b.Attr, b.tokenizer())
+	rrecs, err := tokenIDRecords(rt, b.Attr, b.tokenizer(), d)
 	if err != nil {
 		return nil, err
 	}
-	joined, err := simjoin.OverlapJoin(lrecs, rrecs, b.minOverlap(), simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
+	joined, err := simjoin.OverlapJoinIDs(lrecs, rrecs, b.minOverlap(), simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -104,15 +106,16 @@ func (b JaccardBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if tok == nil {
 		tok = tokenize.Alphanumeric{ReturnSet: true}
 	}
-	lrecs, err := tokenRecords(lt, b.Attr, tok)
+	d := intern.NewDict()
+	lrecs, err := tokenIDRecords(lt, b.Attr, tok, d)
 	if err != nil {
 		return nil, err
 	}
-	rrecs, err := tokenRecords(rt, b.Attr, tok)
+	rrecs, err := tokenIDRecords(rt, b.Attr, tok, d)
 	if err != nil {
 		return nil, err
 	}
-	joined, err := simjoin.JaccardJoin(lrecs, rrecs, b.Threshold, simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
+	joined, err := simjoin.JaccardJoinIDs(lrecs, rrecs, b.Threshold, simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -134,23 +137,24 @@ func joinedPairIDs(joined []simjoin.Pair) []table.PairID {
 	return out
 }
 
-// tokenRecords tokenizes one attribute of every row into simjoin records
-// keyed by the table key.
-func tokenRecords(t *table.Table, attr string, tok tokenize.Tokenizer) ([]simjoin.Record, error) {
+// tokenIDRecords tokenizes one attribute of every row into pre-interned
+// simjoin records keyed by the table key. Callers pass one dictionary for
+// both tables of a blocking run, so the join never re-hashes token strings.
+func tokenIDRecords(t *table.Table, attr string, tok tokenize.Tokenizer, d *intern.Dict) ([]simjoin.IDRecord, error) {
 	j := t.Schema().Lookup(attr)
 	if j < 0 {
 		return nil, fmt.Errorf("block: attribute %q missing from %q", attr, t.Name())
 	}
 	kj := t.Schema().Lookup(t.Key())
-	out := make([]simjoin.Record, 0, t.Len())
+	out := make([]simjoin.IDRecord, 0, t.Len())
 	for i := 0; i < t.Len(); i++ {
 		v := t.Row(i)[j]
 		if v.IsNull() {
 			continue
 		}
-		out = append(out, simjoin.Record{
+		out = append(out, simjoin.IDRecord{
 			ID:     t.Row(i)[kj].AsString(),
-			Tokens: tok.Tokenize(v.AsString()),
+			Tokens: d.InternTokens(tok.Tokenize(v.AsString())),
 		})
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/intern"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/table"
@@ -58,9 +59,14 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 		keyFn = func(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
 	}
 
+	// Row IDs are interned to dense uint32s so the window-scan dedup runs
+	// on packed uint64 keys instead of [2]string map keys. The dictionary
+	// is built serially here and only read (never grown) once the parallel
+	// scan starts; d.Token turns the winners back into strings at emit.
+	d := intern.NewDict()
 	type entry struct {
 		key  string
-		id   string
+		id   uint32
 		left bool
 	}
 	var entries []entry
@@ -70,7 +76,7 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 		if v.IsNull() {
 			continue
 		}
-		entries = append(entries, entry{keyFn(v.AsString()), lt.Row(i)[lkey].AsString(), true})
+		entries = append(entries, entry{keyFn(v.AsString()), d.Intern(lt.Row(i)[lkey].AsString()), true})
 	}
 	rkey := rt.Schema().Lookup(rt.Key())
 	for i := 0; i < rt.Len(); i++ {
@@ -78,7 +84,7 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 		if v.IsNull() {
 			continue
 		}
-		entries = append(entries, entry{keyFn(v.AsString()), rt.Row(i)[rkey].AsString(), false})
+		entries = append(entries, entry{keyFn(v.AsString()), d.Intern(rt.Row(i)[rkey].AsString()), false})
 	}
 	sort.SliceStable(entries, func(a, c int) bool { return entries[a].key < entries[c].key })
 
@@ -92,11 +98,14 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 	// shard's entries, so the same pair can surface in two shards and a
 	// final pass dedups globally. Both dedups keep the first occurrence
 	// in window-start order, so the output matches the serial scan.
-	shards, err := parallel.MapChunks(b.Workers, len(entries), func(lo, hi int) ([]table.PairID, error) {
+	// Pairs travel as packed (left id << 32 | right id) keys until the
+	// final emit; interning is injective, so the packed key identifies the
+	// (L, R) string pair exactly as the old [2]string key did.
+	shards, err := parallel.MapChunks(b.Workers, len(entries), func(lo, hi int) ([]uint64, error) {
 		stop := obs.StartTimer(rec, obs.BlockShardSeconds, bl)
 		defer stop()
-		out := make([]table.PairID, 0, hi-lo)
-		local := make(map[[2]string]bool)
+		out := make([]uint64, 0, hi-lo)
+		local := make(map[uint64]bool)
 		for i := lo; i < hi; i++ {
 			end := i + w
 			if end > len(entries) {
@@ -110,10 +119,10 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 				if !a.left {
 					a, c = c, a
 				}
-				k := [2]string{a.id, c.id}
+				k := uint64(a.id)<<32 | uint64(c.id)
 				if !local[k] {
 					local[k] = true
-					out = append(out, table.PairID{L: a.id, R: c.id})
+					out = append(out, k)
 				}
 			}
 		}
@@ -122,14 +131,17 @@ func (b SortedNeighborhoodBlocker) Block(lt, rt *table.Table, cat *table.Catalog
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[[2]string]bool)
-	merged := make([]table.PairID, 0, len(shards))
+	npairs := 0
 	for _, shard := range shards {
-		for _, p := range shard {
-			k := [2]string{p.L, p.R}
+		npairs += len(shard)
+	}
+	seen := make(map[uint64]bool, npairs)
+	merged := make([]table.PairID, 0, npairs)
+	for _, shard := range shards {
+		for _, k := range shard {
 			if !seen[k] {
 				seen[k] = true
-				merged = append(merged, p)
+				merged = append(merged, table.PairID{L: d.Token(uint32(k >> 32)), R: d.Token(uint32(k))})
 			}
 		}
 	}

@@ -2,10 +2,13 @@ package feature
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/intern"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/table"
+	"repro/internal/tokenize"
 )
 
 // ExtractOptions tunes feature-vector extraction.
@@ -16,6 +19,117 @@ type ExtractOptions struct {
 	// Metrics receives extraction timings and vector counts
 	// (obs.FeatureExtractSeconds, obs.FeatureVectors); nil means off.
 	Metrics obs.Recorder
+	// NoTokenCache disables the per-row tokenization cache, forcing every
+	// feature through its string PairFunc as if no token-set fast path
+	// existed. The cached and uncached paths produce bit-identical
+	// vectors; the flag exists for the equivalence tests and as the
+	// string-path baseline of benchem -exp tokens.
+	NoTokenCache bool
+}
+
+// tokenCache holds each token-set feature's attribute columns tokenized and
+// interned once per row, turning the per-pair-per-feature retokenization of
+// the string path into an O(rows × columns) preprocessing pass. It also
+// hoists the per-pair schema lookups every feature needs. Built once before
+// the (possibly parallel) pair scan, then shared read-only.
+type tokenCache struct {
+	// lsets[k]/rsets[k] is the cached column for feature k (nil when the
+	// feature has no token-set path or its attribute is missing); row i
+	// holds the sorted interned set of that row's value, nil marking null.
+	lsets, rsets [][][]uint32
+	// lcol[k]/rcol[k] is feature k's column index in each schema (-1 when
+	// absent), precomputed for the string-path features too.
+	lcol, rcol []int
+}
+
+// cacheColKey identifies one tokenized column build: distinct features
+// sharing an attribute and tokenizer reuse the same column.
+type cacheColKey struct {
+	attr string
+	tok  string
+}
+
+// buildTokenCache tokenizes and interns every column some token-set feature
+// needs, through one dictionary shared by both tables. Returns nil when no
+// feature carries a token-set path.
+func buildTokenCache(s *Set, lt, rt *table.Table) *tokenCache {
+	c := &tokenCache{
+		lsets: make([][][]uint32, len(s.Features)),
+		rsets: make([][][]uint32, len(s.Features)),
+		lcol:  make([]int, len(s.Features)),
+		rcol:  make([]int, len(s.Features)),
+	}
+	d := intern.NewDict()
+	lBuilt := make(map[cacheColKey][][]uint32)
+	rBuilt := make(map[cacheColKey][][]uint32)
+	any := false
+	for k, f := range s.Features {
+		c.lcol[k] = lt.Schema().Lookup(f.LAttr)
+		c.rcol[k] = rt.Schema().Lookup(f.RAttr)
+		if f.SetFn == nil || f.Tok == nil || c.lcol[k] < 0 || c.rcol[k] < 0 {
+			continue
+		}
+		any = true
+		lk := cacheColKey{f.LAttr, f.Tok.Name()}
+		if _, ok := lBuilt[lk]; !ok {
+			lBuilt[lk] = internColumn(d, lt, c.lcol[k], f.Tok)
+		}
+		c.lsets[k] = lBuilt[lk]
+		rk := cacheColKey{f.RAttr, f.Tok.Name()}
+		if _, ok := rBuilt[rk]; !ok {
+			rBuilt[rk] = internColumn(d, rt, c.rcol[k], f.Tok)
+		}
+		c.rsets[k] = rBuilt[rk]
+	}
+	if !any {
+		return nil
+	}
+	return c
+}
+
+// internColumn tokenizes one attribute of every row into sorted interned
+// sets, mirroring the string path's tokenized() adapter (lower-case first).
+// Null values stay nil; non-null values always get a non-nil set.
+func internColumn(d *intern.Dict, t *table.Table, col int, tok tokenize.Tokenizer) [][]uint32 {
+	out := make([][]uint32, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		v := t.Row(i)[col]
+		if v.IsNull() {
+			continue
+		}
+		out[i] = d.SortedSet(tok.Tokenize(strings.ToLower(v.AsString())))
+	}
+	return out
+}
+
+// vector computes one pair's feature vector through the cache, reproducing
+// Set.Vector bit for bit: cached features score interned sets, everything
+// else falls through to the string PairFunc.
+func (c *tokenCache) vector(s *Set, lrow, rrow table.Row, li, ri int) []float64 {
+	x := make([]float64, len(s.Features))
+	for k, f := range s.Features {
+		lj, rj := c.lcol[k], c.rcol[k]
+		if lj < 0 || rj < 0 {
+			x[k] = s.missingScore()
+			continue
+		}
+		if c.lsets[k] != nil {
+			ls, rs := c.lsets[k][li], c.rsets[k][ri]
+			if ls == nil || rs == nil {
+				x[k] = s.missingScore()
+				continue
+			}
+			x[k] = f.SetFn(ls, rs)
+			continue
+		}
+		lv, rv := lrow[lj], rrow[rj]
+		if lv.IsNull() || rv.IsNull() {
+			x[k] = s.missingScore()
+			continue
+		}
+		x[k] = f.Fn(lv.AsString(), rv.AsString())
+	}
+	return x
 }
 
 // Vectors computes the feature matrix for every pair of a candidate-set
@@ -41,6 +155,11 @@ func Vectors(s *Set, pairs *table.Table, cat *table.Catalog, opts ExtractOptions
 		return nil, err
 	}
 
+	var cache *tokenCache
+	if !opts.NoTokenCache {
+		cache = buildTokenCache(s, meta.LTable, meta.RTable)
+	}
+
 	n := pairs.Len()
 	out := make([][]float64, n)
 	// Each pair's vector lands in its own index slot, so extraction at any
@@ -48,9 +167,14 @@ func Vectors(s *Set, pairs *table.Table, cat *table.Catalog, opts ExtractOptions
 	if err := parallel.ForEach(opts.Workers, n, func(i int) error {
 		lid := pairs.Get(i, meta.LID).AsString()
 		rid := pairs.Get(i, meta.RID).AsString()
-		lrow := meta.LTable.Row(lidx[lid])
-		rrow := meta.RTable.Row(ridx[rid])
-		out[i] = s.Vector(meta.LTable, meta.RTable, lrow, rrow)
+		li, ri := lidx[lid], ridx[rid]
+		lrow := meta.LTable.Row(li)
+		rrow := meta.RTable.Row(ri)
+		if cache != nil {
+			out[i] = cache.vector(s, lrow, rrow, li, ri)
+		} else {
+			out[i] = s.Vector(meta.LTable, meta.RTable, lrow, rrow)
+		}
 		return nil
 	}); err != nil {
 		return nil, err

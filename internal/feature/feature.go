@@ -36,6 +36,15 @@ type Feature struct {
 	LAttr, RAttr string
 	// Fn scores the pair of rendered attribute values.
 	Fn PairFunc
+	// Tok and SetFn, when both non-nil, expose the feature's token-set
+	// fast path: bulk extraction (Vectors) lower-cases, tokenizes, and
+	// interns each attribute value once per row and scores pairs with
+	// SetFn over the cached sets, instead of re-tokenizing both strings
+	// through Fn for every pair × feature. SetFn must agree with Fn bit
+	// for bit on every input (pinned by TestVectorsCacheEquivalence).
+	Tok tokenize.Tokenizer
+	// SetFn scores two sorted duplicate-free interned token sets.
+	SetFn func(a, b []uint32) float64
 }
 
 // MissingPolicy controls the score of a pair in which either attribute
@@ -268,6 +277,14 @@ func featuresFor(at AttrType, attr string) []Feature {
 	mk := func(kind string, fn PairFunc) Feature {
 		return Feature{Name: kind + "_" + attr, LAttr: attr, RAttr: attr, Fn: fn}
 	}
+	// mkSet builds a token-set feature carrying both the string path (Fn,
+	// used by per-pair Vector calls) and the interned fast path (Tok +
+	// SetFn, used by the Vectors extraction cache).
+	mkSet := func(kind string, tok tokenize.Tokenizer, setFn func(a, b []uint32) float64, fn func(a, b []string) float64) Feature {
+		f := mk(kind, tokenized(tok, fn))
+		f.Tok, f.SetFn = tok, setFn
+		return f
+	}
 	ws := tokenize.Whitespace{ReturnSet: true}
 	g3 := tokenize.QGram{Q: 3, ReturnSet: true}
 	switch at {
@@ -285,25 +302,25 @@ func featuresFor(at AttrType, attr string) []Feature {
 			mk("lev", sim.Levenshtein),
 			mk("jaro", sim.Jaro),
 			mk("jaro_winkler", sim.JaroWinkler),
-			mk("jaccard_3gram", tokenized(g3, sim.Jaccard)),
+			mkSet("jaccard_3gram", g3, sim.JaccardU32, sim.Jaccard),
 			mk("soundex", sim.SoundexSim),
 		}
 	case TypeMediumString:
 		return []Feature{
 			mk("exact", sim.ExactMatch),
 			mk("lev", sim.Levenshtein),
-			mk("jaccard_ws", tokenized(ws, sim.Jaccard)),
-			mk("jaccard_3gram", tokenized(g3, sim.Jaccard)),
-			mk("cosine_ws", tokenized(ws, sim.CosineSet)),
-			mk("overlap_coeff_ws", tokenized(ws, sim.OverlapCoefficient)),
+			mkSet("jaccard_ws", ws, sim.JaccardU32, sim.Jaccard),
+			mkSet("jaccard_3gram", g3, sim.JaccardU32, sim.Jaccard),
+			mkSet("cosine_ws", ws, sim.CosineSetU32, sim.CosineSet),
+			mkSet("overlap_coeff_ws", ws, sim.OverlapCoefficientU32, sim.OverlapCoefficient),
 			mk("monge_elkan_jw", mongeElkanJW),
 		}
 	default: // TypeLongText
 		return []Feature{
-			mk("jaccard_ws", tokenized(ws, sim.Jaccard)),
-			mk("cosine_ws", tokenized(ws, sim.CosineSet)),
-			mk("dice_ws", tokenized(ws, sim.Dice)),
-			mk("overlap_coeff_ws", tokenized(ws, sim.OverlapCoefficient)),
+			mkSet("jaccard_ws", ws, sim.JaccardU32, sim.Jaccard),
+			mkSet("cosine_ws", ws, sim.CosineSetU32, sim.CosineSet),
+			mkSet("dice_ws", ws, sim.DiceU32, sim.Dice),
+			mkSet("overlap_coeff_ws", ws, sim.OverlapCoefficientU32, sim.OverlapCoefficient),
 		}
 	}
 }

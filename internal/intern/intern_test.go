@@ -1,0 +1,70 @@
+package intern
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("acme")
+	b := d.Intern("corp")
+	if a != 0 || b != 1 {
+		t.Fatalf("IDs not dense/first-intern ordered: %d %d", a, b)
+	}
+	if got := d.Intern("acme"); got != a {
+		t.Errorf("re-intern changed ID: %d != %d", got, a)
+	}
+	if d.Token(a) != "acme" || d.Token(b) != "corp" {
+		t.Errorf("Token round trip failed")
+	}
+	if id, ok := d.Lookup("corp"); !ok || id != b {
+		t.Errorf("Lookup(corp) = %d,%v", id, ok)
+	}
+	if _, ok := d.Lookup("nope"); ok {
+		t.Error("Lookup of uninterned token succeeded")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDictDeterministicAssignment(t *testing.T) {
+	toks := []string{"c", "a", "b", "a", "c", "d"}
+	d1, d2 := NewDict(), NewDict()
+	if !reflect.DeepEqual(d1.InternTokens(toks), d2.InternTokens(toks)) {
+		t.Fatal("same token stream produced different IDs")
+	}
+}
+
+func TestSortedSet(t *testing.T) {
+	d := NewDict()
+	got := d.SortedSet([]string{"b", "a", "b", "c", "a"})
+	// IDs: b=0 a=1 c=2; sorted deduped -> [0 1 2]
+	if !reflect.DeepEqual(got, []uint32{0, 1, 2}) {
+		t.Errorf("SortedSet = %v", got)
+	}
+	if got := d.SortedSet(nil); got == nil || len(got) != 0 {
+		t.Errorf("SortedSet(nil) = %#v, want non-nil empty", got)
+	}
+}
+
+func TestSortedDedup(t *testing.T) {
+	got := SortedDedup([]uint32{5, 1, 5, 3, 1})
+	if !reflect.DeepEqual(got, []uint32{1, 3, 5}) {
+		t.Errorf("SortedDedup = %v", got)
+	}
+	if got := SortedDedup(nil); got == nil || len(got) != 0 {
+		t.Errorf("SortedDedup(nil) = %#v, want non-nil empty", got)
+	}
+}
+
+func TestFrequencyRemap(t *testing.T) {
+	// freq by old ID: 0->3, 1->1, 2->1, 3->2. Ascending frequency with
+	// old-ID tie-break orders old IDs 1,2,3,0 -> new IDs 0,1,2,3.
+	remap := FrequencyRemap([]int{3, 1, 1, 2})
+	want := []uint32{3, 0, 1, 2}
+	if !reflect.DeepEqual(remap, want) {
+		t.Errorf("FrequencyRemap = %v, want %v", remap, want)
+	}
+}

@@ -1,28 +1,35 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"slices"
+	"sort"
+)
 
-// toSet converts a token list to a set.
-func toSet(toks []string) map[string]bool {
-	s := make(map[string]bool, len(toks))
-	for _, t := range toks {
-		s[t] = true
+// The string set measures are thin wrappers around the merge kernels in
+// setint.go: each call canonicalizes its token lists to sorted duplicate-free
+// form once and runs the same generic merge the integer kernels use, instead
+// of building throwaway hash sets per call. One-off scoring pays two small
+// slice allocations here; bulk callers (simjoin, the feature cache) intern
+// tokens up front and hit the []uint32 kernels with zero allocations per
+// pair.
+
+// sortedUnique returns a sorted duplicate-free copy of toks.
+func sortedUnique(toks []string) []string {
+	if len(toks) == 0 {
+		return nil
 	}
-	return s
+	out := make([]string, len(toks))
+	copy(out, toks)
+	sort.Strings(out)
+	return slices.Compact(out)
 }
 
-// intersectionSize returns |set(a) ∩ set(b)|.
+// intersectionSize returns |set(a) ∩ set(b)| along with both set sizes,
+// all derived from the two canonicalized sets built here.
 func intersectionSize(a, b []string) (inter, sizeA, sizeB int) {
-	sa, sb := toSet(a), toSet(b)
-	if len(sa) > len(sb) {
-		sa, sb = sb, sa
-	}
-	for t := range sa {
-		if sb[t] {
-			inter++
-		}
-	}
-	return inter, len(toSet(a)), len(toSet(b))
+	sa, sb := sortedUnique(a), sortedUnique(b)
+	return intersectSorted(sa, sb), len(sa), len(sb)
 }
 
 // Jaccard returns |A∩B| / |A∪B| of the token sets. Two empty sets score 1.

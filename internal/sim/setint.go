@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"cmp"
+	"math"
+)
+
+// This file holds the integer set-similarity kernels: the same measures as
+// set.go, but over interned token IDs (package intern) held as sorted,
+// duplicate-free []uint32. Every kernel is a zero-allocation merge over the
+// two sorted slices — no maps, no copies — which is what lets the
+// set-similarity joins and the feature-extraction cache run allocation-free
+// per pair. The string APIs in set.go are thin wrappers over the same
+// generic merge, so the two paths agree bit for bit (pinned by the
+// testing/quick equivalence properties in setint_test.go).
+//
+// Contract: inputs must be sorted ascending with no duplicates (what
+// intern.SortedDedup / Dict.SortedSet produce). The kernels do not verify
+// this.
+
+// intersectSorted is the shared merge kernel: |a ∩ b| for two ascending,
+// duplicate-free slices.
+func intersectSorted[T cmp.Ordered](a, b []T) int {
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return inter
+}
+
+// IntersectSortedU32 returns |a ∩ b| for two sorted duplicate-free ID sets.
+func IntersectSortedU32(a, b []uint32) int { return intersectSorted(a, b) }
+
+// IntersectSortedU32Bounded returns |a ∩ b| when it is at least need, and -1
+// as soon as the remaining suffixes cannot reach need (the suffix-length
+// early exit the similarity joins use to abandon hopeless candidates
+// mid-verify). A non-negative return is always the exact intersection size.
+func IntersectSortedU32Bounded(a, b []uint32, need int) int {
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		rem := len(a) - i
+		if r := len(b) - j; r < rem {
+			rem = r
+		}
+		if inter+rem < need {
+			return -1
+		}
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return inter
+}
+
+// JaccardU32 is Jaccard over sorted duplicate-free ID sets.
+func JaccardU32(a, b []uint32) float64 {
+	inter := intersectSorted(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// DiceU32 is Dice over sorted duplicate-free ID sets.
+func DiceU32(a, b []uint32) float64 {
+	inter := intersectSorted(a, b)
+	if len(a)+len(b) == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(len(a)+len(b))
+}
+
+// OverlapCoefficientU32 is the overlap coefficient over sorted
+// duplicate-free ID sets.
+func OverlapCoefficientU32(a, b []uint32) float64 {
+	inter := intersectSorted(a, b)
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	if m == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(inter) / float64(m)
+}
+
+// OverlapSizeU32 is the raw overlap |a ∩ b| over sorted duplicate-free ID
+// sets.
+func OverlapSizeU32(a, b []uint32) int { return intersectSorted(a, b) }
+
+// CosineSetU32 is set cosine over sorted duplicate-free ID sets.
+func CosineSetU32(a, b []uint32) float64 {
+	inter := intersectSorted(a, b)
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// TverskyU32 is the Tversky index over sorted duplicate-free ID sets.
+func TverskyU32(a, b []uint32, alpha, beta float64) float64 {
+	inter := intersectSorted(a, b)
+	onlyA := float64(len(a) - inter)
+	onlyB := float64(len(b) - inter)
+	den := float64(inter) + alpha*onlyA + beta*onlyB
+	if den == 0 {
+		return 1
+	}
+	return float64(inter) / den
+}

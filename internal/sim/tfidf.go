@@ -15,7 +15,7 @@ type Corpus struct {
 func NewCorpus(docs [][]string) *Corpus {
 	c := &Corpus{df: make(map[string]int), docs: len(docs)}
 	for _, d := range docs {
-		for t := range toSet(d) {
+		for _, t := range sortedUnique(d) {
 			c.df[t]++
 		}
 	}
@@ -24,7 +24,7 @@ func NewCorpus(docs [][]string) *Corpus {
 
 // AddDoc adds one more document to the corpus statistics.
 func (c *Corpus) AddDoc(d []string) {
-	for t := range toSet(d) {
+	for _, t := range sortedUnique(d) {
 		c.df[t]++
 	}
 	c.docs++

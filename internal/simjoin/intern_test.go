@@ -1,0 +1,127 @@
+package simjoin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/intern"
+)
+
+// TestInternedJoinsMatchReference pins the tentpole equivalence: every
+// integer-kernel join must reproduce the retained string-kernel
+// implementation bit for bit — IDs, similarity values, and row order.
+func TestInternedJoinsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		l := randomRecords(70, rng)
+		r := randomRecords(70, rng)
+		for _, th := range []float64{0.3, 0.5, 0.75, 1.0} {
+			for name, pair := range map[string][2]func([]Record, []Record, float64, Options) ([]Pair, error){
+				"jaccard": {JaccardJoin, ReferenceJaccardJoin},
+				"cosine":  {CosineJoin, ReferenceCosineJoin},
+				"dice":    {DiceJoin, ReferenceDiceJoin},
+			} {
+				got, err := pair[0](l, r, th, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := pair[1](l, r, th, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d %s t=%v: interned join diverged from reference (%d vs %d pairs)",
+						trial, name, th, len(got), len(want))
+				}
+			}
+		}
+		for _, k := range []int{1, 2, 3} {
+			got, err := OverlapJoin(l, r, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ReferenceOverlapJoin(l, r, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d overlap k=%d: interned join diverged from reference", trial, k)
+			}
+		}
+	}
+}
+
+// TestJoinIDsMatchesStringAPI: pre-interning through a caller-owned
+// dictionary (the blocker path) must be indistinguishable from handing the
+// join raw strings.
+func TestJoinIDsMatchesStringAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	l := randomRecords(80, rng)
+	r := randomRecords(80, rng)
+	d := intern.NewDict()
+	conv := func(rs []Record) []IDRecord {
+		out := make([]IDRecord, len(rs))
+		for i, rec := range rs {
+			out[i] = IDRecord{ID: rec.ID, Tokens: d.InternTokens(rec.Tokens)}
+		}
+		return out
+	}
+	il, ir := conv(l), conv(r)
+
+	gotJ, err := JaccardJoinIDs(il, ir, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJ, err := JaccardJoin(l, r, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotJ, wantJ) {
+		t.Error("JaccardJoinIDs diverged from JaccardJoin")
+	}
+
+	gotO, err := OverlapJoinIDs(il, ir, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantO, err := OverlapJoin(l, r, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotO, wantO) {
+		t.Error("OverlapJoinIDs diverged from OverlapJoin")
+	}
+}
+
+// TestJoinIDsValidation: the IDs APIs validate thresholds like the string
+// APIs.
+func TestJoinIDsValidation(t *testing.T) {
+	if _, err := JaccardJoinIDs(nil, nil, 0, Options{}); err == nil {
+		t.Error("want threshold error for 0")
+	}
+	if _, err := OverlapJoinIDs(nil, nil, 0, Options{}); err == nil {
+		t.Error("want overlap threshold error")
+	}
+}
+
+// TestEpochScratchWraparound: the epoch stamp survives uint32 wraparound
+// without reporting stale marks.
+func TestEpochScratchWraparound(t *testing.T) {
+	e := newEpochScratch(3)
+	e.epoch = ^uint32(0) - 1 // two probes away from wrapping
+	e.next()
+	if e.mark(1) {
+		t.Fatal("fresh probe reported stale mark")
+	}
+	e.next() // wraps: stamps reset, epoch restarts at 1
+	if e.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", e.epoch)
+	}
+	if e.mark(1) {
+		t.Fatal("mark from before the wrap leaked through")
+	}
+	if !e.mark(1) {
+		t.Fatal("second mark in same probe not reported")
+	}
+}

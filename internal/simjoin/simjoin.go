@@ -4,19 +4,32 @@
 // Jaccard, cosine, Dice, or overlap similarity clears a threshold, or whose
 // edit distance is within a bound, without comparing all |L|×|R| pairs.
 //
-// The joins use the standard prefix-filter framework: tokens are globally
-// ordered by ascending document frequency (rarest first); a record only
-// needs its first few tokens ("the prefix") indexed, because two records
-// whose prefixes are disjoint provably cannot reach the threshold. A size
-// filter prunes candidates whose set sizes alone rule the threshold out,
-// and every surviving candidate is verified with the exact similarity.
+// The joins use the standard prefix-filter framework over interned integer
+// token IDs (package intern): tokens are globally ordered by ascending
+// document frequency (rarest first, ties by first-appearance ID); a record
+// only needs its first few tokens ("the prefix") indexed, because two
+// records whose prefixes are disjoint provably cannot reach the threshold.
+// A size filter prunes candidates whose set sizes alone rule the threshold
+// out, a PPJoin-style positional filter prunes candidates whose shared
+// suffixes are too short, and every surviving candidate is verified with a
+// zero-allocation merge that abandons the pair as soon as the remaining
+// suffix cannot reach the required overlap.
+//
+// The string-token APIs (JaccardJoin etc.) intern their inputs into a
+// per-call dictionary; callers that already hold interned IDs (the blockers
+// in package block) use the *JoinIDs variants and share one dictionary
+// across blocking, joining, and feature extraction. The retained map-based
+// string implementation lives in reference.go as the equivalence-test and
+// benchmark baseline.
 package simjoin
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
+	"repro/internal/intern"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sim"
@@ -29,6 +42,14 @@ type Record struct {
 	// Tokens is the token set of the join attribute. Duplicates are
 	// collapsed internally.
 	Tokens []string
+}
+
+// IDRecord is one tokenized input row whose tokens are already interned to
+// IDs by a caller-owned intern.Dict (shared across both sides of the join).
+// Token order does not matter and duplicates are collapsed internally.
+type IDRecord struct {
+	ID     string
+	Tokens []uint32
 }
 
 // Pair is one output row of a join.
@@ -81,70 +102,101 @@ func (m measure) String() string {
 
 // JaccardJoin returns all pairs with Jaccard similarity >= threshold.
 func JaccardJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
-	return setJoin(l, r, threshold, measureJaccard, opts)
+	il, ir := internRecords(l, r)
+	return setJoin(il, ir, threshold, measureJaccard, opts)
 }
 
 // CosineJoin returns all pairs with set-cosine similarity >= threshold.
 func CosineJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
-	return setJoin(l, r, threshold, measureCosine, opts)
+	il, ir := internRecords(l, r)
+	return setJoin(il, ir, threshold, measureCosine, opts)
 }
 
 // DiceJoin returns all pairs with Dice similarity >= threshold.
 func DiceJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
+	il, ir := internRecords(l, r)
+	return setJoin(il, ir, threshold, measureDice, opts)
+}
+
+// JaccardJoinIDs is JaccardJoin over pre-interned records.
+func JaccardJoinIDs(l, r []IDRecord, threshold float64, opts Options) ([]Pair, error) {
+	return setJoin(l, r, threshold, measureJaccard, opts)
+}
+
+// CosineJoinIDs is CosineJoin over pre-interned records.
+func CosineJoinIDs(l, r []IDRecord, threshold float64, opts Options) ([]Pair, error) {
+	return setJoin(l, r, threshold, measureCosine, opts)
+}
+
+// DiceJoinIDs is DiceJoin over pre-interned records.
+func DiceJoinIDs(l, r []IDRecord, threshold float64, opts Options) ([]Pair, error) {
 	return setJoin(l, r, threshold, measureDice, opts)
 }
 
-// prepared is a record with canonicalized (deduped, globally ordered)
-// tokens.
-type prepared struct {
-	id   string
-	toks []string // ordered by ascending global frequency
-}
-
-// prepare dedups all records' tokens and orders them rarest-first by the
-// combined document frequency of both collections.
-func prepare(l, r []Record) (pl, pr []prepared) {
-	freq := make(map[string]int)
-	dedup := func(rs []Record) [][]string {
-		out := make([][]string, len(rs))
+// internRecords interns both collections through one fresh dictionary —
+// the adapter the string-token APIs run before the integer join.
+func internRecords(l, r []Record) (il, ir []IDRecord) {
+	d := intern.NewDict()
+	conv := func(rs []Record) []IDRecord {
+		out := make([]IDRecord, len(rs))
 		for i, rec := range rs {
-			seen := make(map[string]bool, len(rec.Tokens))
-			toks := make([]string, 0, len(rec.Tokens))
-			for _, t := range rec.Tokens {
-				if !seen[t] {
-					seen[t] = true
-					toks = append(toks, t)
-				}
-			}
-			out[i] = toks
-			for _, t := range toks {
-				freq[t]++
-			}
+			out[i] = IDRecord{ID: rec.ID, Tokens: d.InternTokens(rec.Tokens)}
 		}
 		return out
 	}
-	lt := dedup(l)
-	rt := dedup(r)
-	order := func(toks []string) {
-		sort.Slice(toks, func(a, b int) bool {
-			fa, fb := freq[toks[a]], freq[toks[b]]
-			if fa != fb {
-				return fa < fb
+	return conv(l), conv(r)
+}
+
+// intRec is a canonicalized record: duplicate-free token IDs remapped to
+// frequency order and sorted ascending, so the rarest tokens come first.
+type intRec struct {
+	id   string
+	toks []uint32
+}
+
+// prepare canonicalizes both collections: per-record dedup, a document
+// frequency count over both sides, a frequency-ordered remap of the ID
+// space (intern.FrequencyRemap), and a final per-record sort. nids is the
+// size of the remapped ID space, used to size the dense postings index.
+func prepare(l, r []IDRecord) (pl, pr []intRec, nids int) {
+	maxID := -1
+	canon := func(rs []IDRecord) []intRec {
+		out := make([]intRec, len(rs))
+		for i, rec := range rs {
+			toks := make([]uint32, len(rec.Tokens))
+			copy(toks, rec.Tokens)
+			toks = intern.SortedDedup(toks)
+			if n := len(toks); n > 0 && int(toks[n-1]) > maxID {
+				maxID = int(toks[n-1])
 			}
-			return toks[a] < toks[b]
-		})
+			out[i] = intRec{id: rec.ID, toks: toks}
+		}
+		return out
 	}
-	pl = make([]prepared, len(l))
-	for i := range l {
-		order(lt[i])
-		pl[i] = prepared{id: l[i].ID, toks: lt[i]}
+	pl, pr = canon(l), canon(r)
+	freq := make([]int, maxID+1)
+	for _, rec := range pl {
+		for _, t := range rec.toks {
+			freq[t]++
+		}
 	}
-	pr = make([]prepared, len(r))
-	for i := range r {
-		order(rt[i])
-		pr[i] = prepared{id: r[i].ID, toks: rt[i]}
+	for _, rec := range pr {
+		for _, t := range rec.toks {
+			freq[t]++
+		}
 	}
-	return pl, pr
+	remap := intern.FrequencyRemap(freq)
+	reorder := func(rs []intRec) {
+		for _, rec := range rs {
+			for k, t := range rec.toks {
+				rec.toks[k] = remap[t]
+			}
+			slices.Sort(rec.toks)
+		}
+	}
+	reorder(pl)
+	reorder(pr)
+	return pl, pr, len(freq)
 }
 
 // minOverlap returns the minimum token overlap a record of size n must
@@ -160,6 +212,28 @@ func minOverlap(m measure, t float64, n int) int {
 		o = t / (2 - t) * float64(n)
 	}
 	v := int(math.Ceil(o - 1e-9))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// pairMinOverlap returns the minimum |x∩y| two records of sizes n1 and n2
+// must share to clear the threshold — the bound behind the positional
+// filter and the bounded verify. Its slack (1e-6) is deliberately wider
+// than the verifier's 1e-12 so the filters never prune a pair the exact
+// float comparison would keep.
+func pairMinOverlap(m measure, t float64, n1, n2 int) int {
+	var o float64
+	switch m {
+	case measureJaccard:
+		o = t / (1 + t) * float64(n1+n2)
+	case measureCosine:
+		o = t * math.Sqrt(float64(n1)*float64(n2))
+	case measureDice:
+		o = t / 2 * float64(n1+n2)
+	}
+	v := int(math.Ceil(o - 1e-6))
 	if v < 1 {
 		v = 1
 	}
@@ -186,33 +260,82 @@ func sizeBounds(m measure, t float64, n int) (lo, hi int) {
 	return lo, hi
 }
 
-func verify(m measure, a, b []string) float64 {
+// simFromOverlap computes the exact similarity from a verified overlap and
+// the two set sizes, mirroring the formulas of package sim bit for bit.
+func simFromOverlap(m measure, inter, n1, n2 int) float64 {
 	switch m {
 	case measureJaccard:
-		return sim.Jaccard(a, b)
+		union := n1 + n2 - inter
+		if union == 0 {
+			return 1
+		}
+		return float64(inter) / float64(union)
 	case measureCosine:
-		return sim.CosineSet(a, b)
+		if n1 == 0 || n2 == 0 {
+			return 0
+		}
+		return float64(inter) / math.Sqrt(float64(n1)*float64(n2))
 	default:
-		return sim.Dice(a, b)
+		if n1+n2 == 0 {
+			return 1
+		}
+		return 2 * float64(inter) / float64(n1+n2)
 	}
 }
 
-// setJoin is the shared prefix-filter join driver.
-func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair, error) {
+// posting locates one indexed prefix token: which right-side record holds
+// it and at which position of that record's canonical order.
+type posting struct{ rec, pos int32 }
+
+// epochScratch is the probe-local candidate-dedup structure: stamp[j] ==
+// epoch marks right record j as already considered for the current probe.
+// Bumping the epoch clears the whole array in O(1), replacing the
+// per-probe map the join used to allocate and clear.
+type epochScratch struct {
+	stamp []uint32
+	epoch uint32
+}
+
+func newEpochScratch(n int) *epochScratch {
+	return &epochScratch{stamp: make([]uint32, n)}
+}
+
+// next starts a new probe, handling uint32 wraparound.
+func (e *epochScratch) next() {
+	e.epoch++
+	if e.epoch == 0 {
+		for k := range e.stamp {
+			e.stamp[k] = 0
+		}
+		e.epoch = 1
+	}
+}
+
+// mark reports whether j was already seen this probe, marking it if not.
+func (e *epochScratch) mark(j int32) bool {
+	if e.stamp[j] == e.epoch {
+		return true
+	}
+	e.stamp[j] = e.epoch
+	return false
+}
+
+// setJoin is the shared prefix-filter join driver over interned records.
+func setJoin(l, r []IDRecord, threshold float64, m measure, opts Options) ([]Pair, error) {
 	if threshold <= 0 || threshold > 1 {
 		return nil, fmt.Errorf("simjoin: threshold %v out of (0, 1]", threshold)
 	}
 	rec := obs.Or(opts.Metrics)
 	join := obs.L("join", m.String())
 	defer obs.StartTimer(rec, obs.SimjoinSeconds, join)()
-	pl, pr := prepare(l, r)
+	pl, pr, nids := prepare(l, r)
 
-	// Index the right side: token -> postings of right-record indices that
-	// contain the token within their prefix.
-	type posting struct{ rec, pos int }
-	index := make(map[string][]posting)
-	for j, rec := range pr {
-		n := len(rec.toks)
+	// Index the right side: token ID -> postings of right-record indices
+	// that contain the token within their prefix, as a dense array over the
+	// remapped ID space.
+	index := make([][]posting, nids)
+	for j, rrec := range pr {
+		n := len(rrec.toks)
 		if n == 0 {
 			continue
 		}
@@ -221,21 +344,22 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 			prefix = n
 		}
 		for p := 0; p < prefix; p++ {
-			index[rec.toks[p]] = append(index[rec.toks[p]], posting{j, p})
+			t := rrec.toks[p]
+			index[t] = append(index[t], posting{int32(j), int32(p)})
 		}
 	}
 
 	// Probe the index in contiguous shards through the shared pool.
-	// Candidates surviving the size filter (i.e. actually verified) are
-	// tallied shard-locally and recorded once — the no-op path never sees
-	// a per-pair recorder call.
+	// Candidates surviving the size and positional filters (i.e. actually
+	// verified) are tallied shard-locally and recorded once — the no-op
+	// path never sees a per-pair recorder call.
 	shards, err := parallel.MapChunks(opts.Workers, len(pl), func(clo, chi int) (joinShard, error) {
 		out := make([]Pair, 0, chi-clo)
 		nc := 0
-		seen := make(map[int]bool)
+		seen := newEpochScratch(len(pr))
 		for i := clo; i < chi; i++ {
-			rec := pl[i]
-			n := len(rec.toks)
+			probe := pl[i]
+			n := len(probe.toks)
 			if n == 0 {
 				continue
 			}
@@ -244,22 +368,32 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 			if prefix > n {
 				prefix = n
 			}
-			for k := range seen {
-				delete(seen, k)
-			}
+			seen.next()
 			for p := 0; p < prefix; p++ {
-				for _, post := range index[rec.toks[p]] {
-					if seen[post.rec] {
+				for _, post := range index[probe.toks[p]] {
+					if seen.mark(post.rec) {
 						continue
 					}
-					seen[post.rec] = true
 					cand := pr[post.rec]
-					if len(cand.toks) < lo || len(cand.toks) > hi {
+					cn := len(cand.toks)
+					if cn < lo || cn > hi {
+						continue
+					}
+					need := pairMinOverlap(m, threshold, n, cn)
+					// Positional filter: a qualifying pair is first met at
+					// its first common token, so everything before (p, pos)
+					// is disjoint and the overlap is bounded by the shorter
+					// remaining suffix (PPJoin's ubound).
+					if ub := min(n-p, cn-int(post.pos)); ub < need {
 						continue
 					}
 					nc++
-					if s := verify(m, rec.toks, cand.toks); s >= threshold-1e-12 {
-						out = append(out, Pair{LID: rec.id, RID: cand.id, Sim: s})
+					inter := sim.IntersectSortedU32Bounded(probe.toks, cand.toks, need)
+					if inter < 0 {
+						continue // suffix-length early exit: can't reach need
+					}
+					if s := simFromOverlap(m, inter, n, cn); s >= threshold-1e-12 {
+						out = append(out, Pair{LID: probe.id, RID: cand.id, Sim: s})
 					}
 				}
 			}
@@ -269,65 +403,83 @@ func setJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pair,
 	if err != nil {
 		return nil, err
 	}
-	var all []Pair
-	total := 0
-	for _, s := range shards {
-		all = append(all, s.pairs...)
-		total += s.cands
-	}
+	all, total := mergeShards(shards)
 	rec.Count(obs.SimjoinCandidates, float64(total), join)
 	rec.Count(obs.SimjoinPairs, float64(len(all)), join)
 	sortPairs(all)
 	return all, nil
 }
 
+// mergeShards concatenates shard outputs in chunk order into one slice
+// preallocated from the summed shard sizes, and totals the verified
+// candidate counts.
+func mergeShards(shards []joinShard) ([]Pair, int) {
+	npairs, total := 0, 0
+	for _, s := range shards {
+		npairs += len(s.pairs)
+		total += s.cands
+	}
+	all := make([]Pair, 0, npairs)
+	for _, s := range shards {
+		all = append(all, s.pairs...)
+	}
+	return all, total
+}
+
 // OverlapJoin returns all pairs sharing at least k tokens. Sim in the
 // output is the raw overlap count.
 func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
+	il, ir := internRecords(l, r)
+	return OverlapJoinIDs(il, ir, k, opts)
+}
+
+// OverlapJoinIDs is OverlapJoin over pre-interned records.
+func OverlapJoinIDs(l, r []IDRecord, k int, opts Options) ([]Pair, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("simjoin: overlap threshold %d must be >= 1", k)
 	}
 	rec := obs.Or(opts.Metrics)
 	join := obs.L("join", "overlap")
 	defer obs.StartTimer(rec, obs.SimjoinSeconds, join)()
-	pl, pr := prepare(l, r)
-	index := make(map[string][]int)
-	for j, rec := range pr {
-		n := len(rec.toks)
-		if n == 0 {
-			continue
-		}
+	pl, pr, nids := prepare(l, r)
+	index := make([][]posting, nids)
+	for j, rrec := range pr {
+		n := len(rrec.toks)
 		prefix := n - k + 1
 		if prefix < 1 {
 			continue // record too small to ever reach k overlaps
 		}
 		for p := 0; p < prefix; p++ {
-			index[rec.toks[p]] = append(index[rec.toks[p]], j)
+			t := rrec.toks[p]
+			index[t] = append(index[t], posting{int32(j), int32(p)})
 		}
 	}
 	shards, err := parallel.MapChunks(opts.Workers, len(pl), func(clo, chi int) (joinShard, error) {
 		out := make([]Pair, 0, chi-clo)
 		nc := 0
-		seen := make(map[int]bool)
+		seen := newEpochScratch(len(pr))
 		for i := clo; i < chi; i++ {
-			rec := pl[i]
-			n := len(rec.toks)
+			probe := pl[i]
+			n := len(probe.toks)
 			if n < k {
 				continue
 			}
 			prefix := n - k + 1
-			for key := range seen {
-				delete(seen, key)
-			}
+			seen.next()
 			for p := 0; p < prefix; p++ {
-				for _, j := range index[rec.toks[p]] {
-					if seen[j] {
+				for _, post := range index[probe.toks[p]] {
+					if seen.mark(post.rec) {
 						continue
 					}
-					seen[j] = true
+					cand := pr[post.rec]
+					cn := len(cand.toks)
+					// Positional filter with the fixed bound k.
+					if ub := min(n-p, cn-int(post.pos)); ub < k {
+						continue
+					}
 					nc++
-					if ov := sim.OverlapSize(rec.toks, pr[j].toks); ov >= k {
-						out = append(out, Pair{LID: rec.id, RID: pr[j].id, Sim: float64(ov)})
+					if ov := sim.IntersectSortedU32Bounded(probe.toks, cand.toks, k); ov >= k {
+						out = append(out, Pair{LID: probe.id, RID: cand.id, Sim: float64(ov)})
 					}
 				}
 			}
@@ -337,12 +489,7 @@ func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
 	if err != nil {
 		return nil, err
 	}
-	var all []Pair
-	total := 0
-	for _, s := range shards {
-		all = append(all, s.pairs...)
-		total += s.cands
-	}
+	all, total := mergeShards(shards)
 	rec.Count(obs.SimjoinCandidates, float64(total), join)
 	rec.Count(obs.SimjoinPairs, float64(len(all)), join)
 	sortPairs(all)

@@ -24,6 +24,15 @@ type Tokenizer interface {
 }
 
 // dedup removes duplicate tokens preserving first-occurrence order.
+//
+// It compacts IN PLACE: the returned slice aliases toks's backing array
+// (out := toks[:0]), so the caller's slice is clobbered up to the number of
+// distinct tokens. That is safe — and allocation-free — precisely because
+// every caller in this package passes a slice it just built and owns
+// (strings.Fields output, a fresh append-loop, or Tokenize's result inside
+// SortedSet) and never reads toks afterwards. Do not call it on a slice a
+// caller handed in or that anything else retains; pass a copy instead.
+// TestDedupAliasesInput pins this contract.
 func dedup(toks []string) []string {
 	seen := make(map[string]bool, len(toks))
 	out := toks[:0]

@@ -162,3 +162,51 @@ func TestTokenizeDeterministicProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDedupAliasesInput pins dedup's in-place contract: the result reuses
+// the input's backing array, clobbering the caller's slice. Every caller in
+// this package must therefore pass a freshly built slice it owns. If this
+// test starts failing because dedup copies, the doc comment on dedup (and
+// this test) can simply be deleted — but callers must never start passing
+// borrowed slices while it holds.
+func TestDedupAliasesInput(t *testing.T) {
+	in := []string{"b", "a", "b", "c"}
+	out := dedup(in)
+	if want := []string{"b", "a", "c"}; !reflect.DeepEqual(out, want) {
+		t.Fatalf("dedup = %v, want %v", out, want)
+	}
+	// Same backing array: the compaction overwrote in[2].
+	if &in[0] != &out[0] {
+		t.Fatal("dedup no longer aliases its input; update its doc contract")
+	}
+	if !reflect.DeepEqual(in, []string{"b", "a", "c", "c"}) {
+		t.Fatalf("input after dedup = %v; expected in-place compaction", in)
+	}
+}
+
+// TestTokenizersReturnFreshSlices: the public Tokenize methods must hand
+// out slices the caller may mutate freely — dedup's aliasing is an internal
+// affair and must never surface through the API (e.g. by a tokenizer
+// deduping a slice it doesn't own).
+func TestTokenizersReturnFreshSlices(t *testing.T) {
+	s := "foo bar foo baz"
+	for _, tok := range []Tokenizer{
+		Whitespace{ReturnSet: true},
+		Delimiter{Delims: " ", ReturnSet: true},
+		Alphanumeric{ReturnSet: true},
+		QGram{Q: 2, ReturnSet: true},
+	} {
+		a := tok.Tokenize(s)
+		b := tok.Tokenize(s)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: non-deterministic tokenization", tok.Name())
+		}
+		if len(a) == 0 {
+			continue
+		}
+		a[0] = "mutated"
+		if reflect.DeepEqual(a, b) || b[0] == "mutated" {
+			t.Fatalf("%s: Tokenize results share a backing array", tok.Name())
+		}
+	}
+}
