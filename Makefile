@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fix fuzz bench bench-tokens
+.PHONY: build test race vet lint fix fuzz bench bench-tokens bench-scaling
 
 build:
 	$(GO) build ./...
@@ -35,10 +35,21 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseRule -fuzztime=$(FUZZTIME) ./internal/rules
 	$(GO) test -run=^$$ -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/table
 
-# Regenerates BENCH_parallel.json (Workers=1 vs GOMAXPROCS on the
-# parallelized hot paths).
+# Regenerates BENCH_parallel.json: the workers x n scaling sweep over the
+# similarity join and forest training. Warns (cores_ok=false) on a 1-core
+# box; add -requirecores to refuse instead.
 bench:
 	$(GO) run ./cmd/benchem -exp parallel
+
+# Smoke-size scaling sweep: same workloads and gates as `bench`, sized for
+# CI. Fails on any output divergence from Workers=1, and on a runner with
+# >= 4 cores also fails when workers=4 speedup drops below MINSPEEDUP
+# (slightly under the 1.5x bar of the full bench to absorb shared-vCPU
+# noise).
+MINSPEEDUP ?= 1.3
+bench-scaling:
+	$(GO) run ./cmd/benchem -exp parallel -scalen 2000,20000 -scaleworkers 1,2,4 \
+		-minspeedup $(MINSPEEDUP) -benchout /tmp/BENCH_parallel_smoke.json
 
 # Regenerates BENCH_tokens.json (string kernels vs interned integer
 # kernels). Exits non-zero if the two paths ever disagree bit-for-bit.

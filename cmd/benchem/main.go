@@ -24,10 +24,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
+
+// parseIntList parses a comma-separated list of positive ints ("1,2,4,8").
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid list entry %q (want positive integers)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
 
 // writeMetricsSnapshot dumps a registry's per-stage timings as indented
 // JSON to path, or to stdout when path is "-".
@@ -53,6 +76,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker goroutines for parallelized stages; 0 means GOMAXPROCS")
 	benchout := flag.String("benchout", "BENCH_parallel.json", "output path for the parallel bench JSON")
+	scaleWorkers := flag.String("scaleworkers", "1,2,4,8", "comma-separated worker counts for the parallel scaling sweep")
+	scaleN := flag.String("scalen", "1000,10000,100000", "comma-separated input sizes for the parallel scaling sweep")
+	requireCores := flag.Bool("requirecores", false, "fail the parallel experiment when GOMAXPROCS < 2 instead of just warning")
+	minSpeedup := flag.Float64("minspeedup", 1.5, "fail the parallel experiment when speedup at workers=4 on the largest n falls below this (enforced only when GOMAXPROCS >= 4; 0 disables)")
 	obsout := flag.String("obsout", "BENCH_obs.json", "output path for the metrics-overhead bench JSON")
 	tokensout := flag.String("tokensout", "BENCH_tokens.json", "output path for the token-interning bench JSON")
 	tokensn := flag.Int("tokensn", 1000, "records per side (and candidate pairs) for the tokens bench workloads")
@@ -136,8 +163,26 @@ func main() {
 			}
 			fmt.Print(experiments.FormatBlockers(rows))
 		case "parallel":
-			fmt.Println("== parallel execution layer: Workers=1 vs multicore ==")
-			res, err := experiments.RunParallelBench(*seed, *workers)
+			fmt.Println("== parallel execution layer: workers x n scaling sweep ==")
+			// A 1-core box cannot show scaling: speedups recorded there are
+			// noise around 1.0, not evidence. Warn loudly, or refuse when the
+			// caller demands real cores (-requirecores, the CI setting).
+			if runtime.GOMAXPROCS(0) < 2 {
+				if *requireCores {
+					return fmt.Errorf("GOMAXPROCS=%d < 2 and -requirecores is set: this box cannot measure scaling", runtime.GOMAXPROCS(0))
+				}
+				fmt.Fprintf(os.Stderr, "benchem: warning: GOMAXPROCS=%d < 2 — speedup columns cannot show scaling on this box (cores_ok=false in %s)\n",
+					runtime.GOMAXPROCS(0), *benchout)
+			}
+			ws, err := parseIntList(*scaleWorkers)
+			if err != nil {
+				return fmt.Errorf("-scaleworkers: %w", err)
+			}
+			ns, err := parseIntList(*scaleN)
+			if err != nil {
+				return fmt.Errorf("-scalen: %w", err)
+			}
+			res, err := experiments.RunParallelBench(*seed, ws, ns)
 			if err != nil {
 				return err
 			}
@@ -150,6 +195,21 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchout)
+			// Divergence from the Workers=1 output is a correctness bug at
+			// any core count: fail the run so CI catches it.
+			if div := res.Diverged(); len(div) > 0 {
+				return fmt.Errorf("parallel outputs diverged from Workers=1 on: %v", div)
+			}
+			// The scaling gate only means something with real cores behind
+			// the workers; with fewer the sweep still pins determinism and
+			// allocs, but speedup is physically capped at ~1.0.
+			if *minSpeedup > 0 && runtime.GOMAXPROCS(0) >= 4 {
+				for _, name := range []string{"simjoin_jaccard", "forest_fit_32trees"} {
+					if s := res.SpeedupAt(name, 4); s > 0 && s < *minSpeedup {
+						return fmt.Errorf("%s speedup at workers=4 is %.2fx, below the %.2fx regression floor", name, s, *minSpeedup)
+					}
+				}
+			}
 		case "obsbench":
 			fmt.Println("== observability layer: no-op vs live recorder overhead ==")
 			res, err := experiments.RunObsBench(*seed, *workers, *benchout)

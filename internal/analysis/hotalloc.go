@@ -21,12 +21,18 @@ import (
 //   - fmt.Sprintf/fmt.Sprint in a loop nested two deep: per-pair
 //     formatting; hoist it or build keys with strconv/Builder.
 //   - non-constant string concatenation in a loop nested two deep.
+//   - make() inside a closure passed to parallel.ForEach, ForEachMin, or
+//     Map: those closures run once per task, so the scratch allocates per
+//     element. Per-worker scratch belongs outside the closure, indexed by
+//     parallel.ForEachShard's shard argument, or per chunk via
+//     parallel.MapChunks/MapChunksMin (whose closures run once per chunk
+//     and are therefore exempt).
 //
 // Cold paths (error formatting) and intentionally lazy slices opt out
 // with //emlint:allow hotalloc -- reason.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "per-pair inner-loop allocations: un-preallocated append (auto-fixable), fmt.Sprintf, string concatenation",
+	Doc:  "per-pair inner-loop allocations: un-preallocated append (auto-fixable), fmt.Sprintf, string concatenation, make() in per-task parallel closures",
 	Run: func(pass *Pass) {
 		for _, f := range pass.Files {
 			for _, unit := range funcUnits(f) {
@@ -39,6 +45,77 @@ var HotAlloc = &Analyzer{
 func checkHotAllocUnit(pass *Pass, unit funcUnit) {
 	checkPrealloc(pass, unit)
 	checkInnerLoopTransients(pass, unit)
+	checkParallelTaskAllocs(pass, unit)
+}
+
+// parallelPkg is the import path of the fan-out layer whose per-task entry
+// points checkParallelTaskAllocs watches.
+const parallelPkg = "repro/internal/parallel"
+
+// perTaskEntryPoints are the parallel entry points whose closure argument
+// executes once per task (per input element). MapChunks/MapChunksMin are
+// deliberately absent — their closures run once per chunk, which the cost
+// gate sizes to at most one per worker, so allocating there IS the
+// sanctioned per-worker-scratch pattern. ForEachShard is absent for the
+// same reason: its shard argument exists precisely so scratch can live
+// outside the closure.
+var perTaskEntryPoints = map[string]bool{
+	"ForEach":    true,
+	"ForEachMin": true,
+	"Map":        true,
+}
+
+// checkParallelTaskAllocs reports make() calls inside function literals
+// passed to the per-task parallel entry points. Anything made there is
+// remade n times; hoist it per worker (ForEachShard) or per chunk
+// (MapChunksMin).
+func checkParallelTaskAllocs(pass *Pass, unit funcUnit) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch v := n.(type) {
+		case nil, *ast.FuncLit:
+			// Nested literals are independent units; any parallel calls
+			// inside them are found when funcUnits yields that body.
+			return
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, v)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == parallelPkg &&
+				perTaskEntryPoints[fn.Name()] && len(v.Args) > 0 {
+				if lit, ok := v.Args[len(v.Args)-1].(*ast.FuncLit); ok {
+					reportTaskClosureMakes(pass, fn.Name(), lit)
+					// The literal was handled here; skip it in the outer
+					// walk but keep scanning the other arguments.
+					for _, a := range v.Args[:len(v.Args)-1] {
+						walk(a)
+					}
+					return
+				}
+			}
+		}
+		children(n, func(c ast.Node) { walk(c) })
+	}
+	walk(unit.body)
+}
+
+// reportTaskClosureMakes flags every make() under the per-task closure
+// body, including inside literals nested within it — those still execute
+// (and so allocate) per task when called.
+func reportTaskClosureMakes(pass *Pass, entry string, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		pass.Reportf(call.Pos(), "make inside a parallel.%s closure allocates once per task; keep scratch per worker via parallel.ForEachShard or per chunk via parallel.MapChunksMin (//emlint:allow hotalloc -- reason to keep)", entry)
+		return true
+	})
 }
 
 // checkInnerLoopTransients reports Sprintf/Sprint calls and string

@@ -3,7 +3,11 @@
 // trip count is derivable), fmt.Sprintf, and string concatenation.
 package fixture
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // crossCount grows a var-declared slice two loops deep.
 func crossCount(ls, rs []string) []int {
@@ -51,6 +55,41 @@ func keys(ls, rs []string) map[string]bool {
 		}
 	}
 	return seen
+}
+
+// perTaskScratch allocates its buffer inside a per-task closure: remade
+// once per element of rows.
+func perTaskScratch(rows [][]float64, sums []float64) error {
+	return parallel.ForEach(4, len(rows), func(i int) error {
+		buf := make([]float64, len(rows[i])) // want hotalloc
+		copy(buf, rows[i])
+		sums[i] = buf[0]
+		return nil
+	})
+}
+
+// perTaskMap does the same through the gated ForEachMin and a map.
+func perTaskMap(rows [][]int, out []int) error {
+	return parallel.ForEachMin(0, len(rows), 64, func(i int) error {
+		seen := make(map[int]bool, len(rows[i])) // want hotalloc
+		for _, v := range rows[i] {
+			seen[v] = true
+		}
+		out[i] = len(seen)
+		return nil
+	})
+}
+
+// perTaskMapped allocates per task under parallel.Map, one nesting down.
+func perTaskMapped(rows [][]int) ([][]int, error) {
+	return parallel.Map(2, len(rows), func(i int) ([]int, error) {
+		dup := func() []int {
+			c := make([]int, len(rows[i])) // want hotalloc
+			copy(c, rows[i])
+			return c
+		}
+		return dup(), nil
+	})
 }
 
 // concat builds a transient string per pair.

@@ -1,6 +1,10 @@
 package fixture
 
-import "strconv"
+import (
+	"strconv"
+
+	"repro/internal/parallel"
+)
 
 // crossCountOK preallocates with the outer loop's trip count.
 func crossCountOK(ls, rs []string) []int {
@@ -34,6 +38,36 @@ func ids(n, m int) []string {
 		}
 	}
 	return out
+}
+
+// shardScratch is the sanctioned pattern: scratch lives outside the
+// closure, one slot per worker, indexed by ForEachShard's shard argument.
+func shardScratch(rows [][]float64, sums []float64) error {
+	nw := parallel.Resolve(4)
+	scratch := make([][]float64, nw)
+	return parallel.ForEachShard(nw, len(rows), func(shard, i int) error {
+		if cap(scratch[shard]) < len(rows[i]) {
+			scratch[shard] = make([]float64, len(rows[i]))
+		}
+		buf := scratch[shard][:len(rows[i])]
+		copy(buf, rows[i])
+		sums[i] = buf[0]
+		return nil
+	})
+}
+
+// chunkScratch allocates per chunk, not per task: MapChunksMin closures
+// run at most once per worker under the cost gate, so this is exempt.
+func chunkScratch(rows [][]int) ([]int, error) {
+	return parallel.MapChunksMin(0, len(rows), 64, func(lo, hi int) (int, error) {
+		seen := make(map[int]bool)
+		for _, row := range rows[lo:hi] {
+			for _, v := range row {
+				seen[v] = true
+			}
+		}
+		return len(seen), nil
+	})
 }
 
 // allowed shows the escape hatch for unknowable growth.

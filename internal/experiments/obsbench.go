@@ -54,9 +54,11 @@ func (p *ObsBench) MarshalBenchJSON() ([]byte, error) {
 	return append(out, '\n'), nil
 }
 
-// loadParallelBaseline reads BENCH_parallel.json and indexes its parallel
-// ns/op by benchmark name; a missing or unreadable file yields an empty map
-// (the bench still runs, just without the PR-1 column).
+// loadParallelBaseline reads BENCH_parallel.json and indexes each
+// workload's Workers=1 ns/op at its largest swept n by workload name; a
+// missing or unreadable file (or one whose workloads don't overlap the obs
+// bench's) yields an empty map — the bench still runs, just without the
+// baseline column.
 func loadParallelBaseline(path string) map[string]int64 {
 	out := map[string]int64{}
 	data, err := os.ReadFile(path)
@@ -67,8 +69,14 @@ func loadParallelBaseline(path string) map[string]int64 {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return out
 	}
-	for _, r := range base.Rows {
-		out[r.Name] = r.ParallelNs
+	bestN := map[string]int{}
+	for _, wl := range base.Workloads {
+		for _, c := range wl.Cells {
+			if c.Workers == 1 && c.N >= bestN[wl.Name] {
+				bestN[wl.Name] = c.N
+				out[wl.Name] = c.NsPerOp
+			}
+		}
 	}
 	return out
 }

@@ -8,31 +8,45 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/block"
-	"repro/internal/datagen"
 	"repro/internal/ml"
 	"repro/internal/parallel"
-	"repro/internal/table"
+	"repro/internal/simjoin"
 )
 
-// ParallelBenchRow compares one hot path at Workers=1 against the tuned
-// worker count. Identical reports whether the two runs produced
-// bit-identical output — the determinism contract of internal/parallel.
-type ParallelBenchRow struct {
-	Name       string  `json:"name"`
-	SerialNs   int64   `json:"serial_ns_per_op"`
-	ParallelNs int64   `json:"parallel_ns_per_op"`
-	Speedup    float64 `json:"speedup"`
-	Identical  bool    `json:"identical"`
+// ParallelCell is one point of the workers x n scaling sweep: how fast one
+// workload ran at this worker count and input size, how much it allocated,
+// and whether its output stayed bit-identical to the Workers=1 run on the
+// same input — the determinism contract of internal/parallel.
+type ParallelCell struct {
+	Workers     int   `json:"workers"`
+	N           int   `json:"n"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Speedup is serial ns / this cell's ns at the same n; 1.0 by
+	// construction on the workers=1 cells.
+	Speedup   float64 `json:"speedup_vs_workers1"`
+	Identical bool    `json:"identical"`
+}
+
+// ParallelWorkload is one benchmarked hot path with its sweep cells in
+// (n, workers) order.
+type ParallelWorkload struct {
+	Name  string         `json:"name"`
+	Cells []ParallelCell `json:"cells"`
 }
 
 // ParallelBench is the machine-readable payload of BENCH_parallel.json:
-// the perf trajectory of the parallel execution layer, tracked from the
-// PR that introduced it onward.
+// the scaling surface of the parallel execution layer. CoresOK records
+// whether the box could show scaling at all (GOMAXPROCS >= 2) — cells
+// measured with CoresOK=false pin determinism and allocation counts, but
+// their speedups are meaningless and regression gates must skip them.
 type ParallelBench struct {
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Workers    int                `json:"workers"`
-	Rows       []ParallelBenchRow `json:"benchmarks"`
+	GOMAXPROCS      int                `json:"gomaxprocs"`
+	CoresOK         bool               `json:"cores_ok"`
+	WorkerSweep     []int              `json:"worker_sweep"`
+	NSweep          []int              `json:"n_sweep"`
+	SerialFallbacks int64              `json:"serial_fallbacks_total"`
+	Workloads       []ParallelWorkload `json:"workloads"`
 }
 
 // MarshalBenchJSON renders the payload for BENCH_parallel.json.
@@ -42,6 +56,41 @@ func (p *ParallelBench) MarshalBenchJSON() ([]byte, error) {
 		return nil, err
 	}
 	return append(out, '\n'), nil
+}
+
+// Diverged returns the workload/cell labels whose output differed from the
+// Workers=1 run — the failures CI must treat as hard errors regardless of
+// core count.
+//
+//emlint:allow hotalloc -- cold diagnostic path over a handful of cells, expected empty
+func (p *ParallelBench) Diverged() []string {
+	var out []string
+	for _, wl := range p.Workloads {
+		for _, c := range wl.Cells {
+			if !c.Identical {
+				out = append(out, fmt.Sprintf("%s[workers=%d,n=%d]", wl.Name, c.Workers, c.N))
+			}
+		}
+	}
+	return out
+}
+
+// SpeedupAt returns the speedup of the named workload at the given worker
+// count and the largest swept n, or 0 when no such cell exists.
+func (p *ParallelBench) SpeedupAt(name string, workers int) float64 {
+	best := 0.0
+	bestN := -1
+	for _, wl := range p.Workloads {
+		if wl.Name != name {
+			continue
+		}
+		for _, c := range wl.Cells {
+			if c.Workers == workers && c.N > bestN {
+				bestN, best = c.N, c.Speedup
+			}
+		}
+	}
+	return best
 }
 
 // benchIters times fn over iters runs after one warmup and returns the
@@ -67,6 +116,23 @@ func benchIters(iters int, fn func() error) (int64, error) {
 	return best, nil
 }
 
+// benchAllocs returns the heap allocation count of one fn run along with
+// its result (reused for the output-identity check, saving a run). The
+// warmup in benchIters has already happened, so steady-state lazily-built
+// state is in place.
+//
+//emlint:allow nondeterminism -- allocation counters are the measurement, not program logic
+func benchAllocs(fn func() (any, error)) (int64, any, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	out, err := fn()
+	if err != nil {
+		return 0, nil, err
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs - before.Mallocs), out, nil
+}
+
 // benchDataset builds the deterministic dense dataset the ML benches use.
 func benchDataset(n, d int, seed int64) (*ml.Dataset, error) {
 	rng := rand.New(rand.NewSource(seed))
@@ -85,164 +151,149 @@ func benchDataset(n, d int, seed int64) (*ml.Dataset, error) {
 	return ml.NewDataset(x, y, nil)
 }
 
-// samePairs reports whether two pair tables hold identical rows in
-// identical order.
-func samePairs(a, b *table.Table) bool {
-	if a.Len() != b.Len() {
-		return false
-	}
-	for i := 0; i < a.Len(); i++ {
-		ra, rb := a.Row(i), b.Row(i)
-		for j := range ra {
-			if ra[j].AsString() != rb[j].AsString() {
-				return false
-			}
-		}
-	}
-	return true
+// scalingWorkload is one swept hot path: build prepares the size-n input,
+// run executes it at a worker count and returns a comparable output.
+type scalingWorkload struct {
+	name  string
+	build func(n int, seed int64) error
+	run   func(workers int) (any, error)
 }
 
-// RunParallelBench measures the parallelized hot paths — random-forest
-// training, cross-validation, hash blocking, and the end-to-end Figure 2
-// workflow — at Workers=1 vs the requested worker count (0 means
-// GOMAXPROCS), verifying on every comparison that the parallel output is
-// bit-identical to the serial one.
-func RunParallelBench(seed int64, workers int) (*ParallelBench, error) {
-	w := parallel.Resolve(workers)
-	out := &ParallelBench{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: w}
-	const iters = 3
-
-	// Random-forest training: NumTrees >= 32 per the acceptance bar.
-	ds, err := benchDataset(800, 16, seed)
-	if err != nil {
-		return nil, err
+// benchJoinRecords generates one side of the simjoin scaling workload:
+// n records of 4-10 tokens over a vocabulary that grows with n, zipf-ish
+// skewed so high-frequency tokens (the bitmap-postings case) exist at
+// every size.
+func benchJoinRecords(n int, seed int64) []simjoin.IDRecord {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := n / 4
+	if vocab < 256 {
+		vocab = 256
 	}
-	fitForest := func(workers int) (*ml.RandomForest, error) {
-		f := &ml.RandomForest{NumTrees: 48, Seed: seed, Workers: workers}
-		if err := f.Fit(ds); err != nil {
-			return nil, err
+	out := make([]simjoin.IDRecord, n)
+	for i := range out {
+		k := 4 + rng.Intn(7)
+		toks := make([]uint32, k)
+		for j := range toks {
+			v := rng.Intn(vocab)
+			if rng.Intn(4) == 0 {
+				v = rng.Intn(vocab/16 + 1) // hot tokens
+			}
+			toks[j] = uint32(v)
 		}
-		return f, nil
+		out[i] = simjoin.IDRecord{ID: fmt.Sprintf("r%d", i), Tokens: toks}
 	}
-	serialNs, err := benchIters(iters, func() error { _, err := fitForest(1); return err })
-	if err != nil {
-		return nil, err
+	return out
+}
+
+// RunParallelBench sweeps the parallelized hot paths — the Jaccard
+// similarity join and random-forest training — over every (workers, n)
+// combination, recording ns/op, allocs/op, speedup against the Workers=1
+// run at the same n, and whether the output stayed bit-identical to it.
+func RunParallelBench(seed int64, workerSweep, nSweep []int) (*ParallelBench, error) {
+	if len(workerSweep) == 0 {
+		workerSweep = []int{1, 2, 4, 8}
 	}
-	parallelNs, err := benchIters(iters, func() error { _, err := fitForest(w); return err })
-	if err != nil {
-		return nil, err
+	if len(nSweep) == 0 {
+		nSweep = []int{1000, 10000, 100000}
 	}
-	fSerial, err := fitForest(1)
-	if err != nil {
-		return nil, err
+	out := &ParallelBench{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CoresOK:     runtime.GOMAXPROCS(0) >= 2,
+		WorkerSweep: workerSweep,
+		NSweep:      nSweep,
 	}
-	fParallel, err := fitForest(w)
-	if err != nil {
-		return nil, err
+	fallbacksBefore := parallel.SerialFallbacks()
+
+	var joinL, joinR []simjoin.IDRecord
+	var forestDS *ml.Dataset
+	workloads := []scalingWorkload{
+		{
+			name: "simjoin_jaccard",
+			build: func(n int, seed int64) error {
+				joinL = benchJoinRecords(n, seed)
+				joinR = benchJoinRecords(n, seed+1)
+				return nil
+			},
+			run: func(workers int) (any, error) {
+				return simjoin.JaccardJoinIDs(joinL, joinR, 0.5, simjoin.Options{Workers: workers})
+			},
+		},
+		{
+			name: "forest_fit_32trees",
+			build: func(n int, seed int64) error {
+				var err error
+				forestDS, err = benchDataset(n, 16, seed)
+				return err
+			},
+			run: func(workers int) (any, error) {
+				f := &ml.RandomForest{NumTrees: 32, Seed: seed, Workers: workers}
+				if err := f.Fit(forestDS); err != nil {
+					return nil, err
+				}
+				// Reduce the forest to a comparable fingerprint: vote
+				// fractions over a sample of the training rows.
+				votes := make([]float64, 0, 64)
+				step := forestDS.Len()/64 + 1
+				for i := 0; i < forestDS.Len(); i += step {
+					votes = append(votes, f.VoteFraction(forestDS.X[i]))
+				}
+				return votes, nil
+			},
+		},
 	}
-	identical := true
-	for i := 0; i < ds.Len(); i += 7 {
-		if fSerial.VoteFraction(ds.X[i]) != fParallel.VoteFraction(ds.X[i]) {
-			identical = false
-			break
+
+	for _, wl := range workloads {
+		work := ParallelWorkload{Name: wl.name}
+		for _, n := range nSweep {
+			if err := wl.build(n, seed); err != nil {
+				return nil, err
+			}
+			iters := 3
+			if n > 10000 {
+				iters = 1 // big inputs: one timed run after warmup
+			}
+			var serialNs int64
+			var serialOut any
+			for _, w := range workerSweep {
+				w := w
+				ns, err := benchIters(iters, func() error { _, err := wl.run(w); return err })
+				if err != nil {
+					return nil, err
+				}
+				allocs, got, err := benchAllocs(func() (any, error) { return wl.run(w) })
+				if err != nil {
+					return nil, err
+				}
+				cell := ParallelCell{Workers: w, N: n, NsPerOp: ns, AllocsPerOp: allocs}
+				if w == workerSweep[0] {
+					serialNs, serialOut = ns, got
+				}
+				if ns > 0 {
+					cell.Speedup = float64(serialNs) / float64(ns)
+				}
+				cell.Identical = reflect.DeepEqual(got, serialOut)
+				work.Cells = append(work.Cells, cell)
+			}
 		}
+		out.Workloads = append(out.Workloads, work)
 	}
-	out.Rows = append(out.Rows, benchRow("forest_fit_48trees", serialNs, parallelNs, identical))
-
-	// Cross-validation of the forest lineup member on the same dataset.
-	runCV := func(workers int) (ml.CVResult, error) {
-		rng := rand.New(rand.NewSource(seed))
-		return ml.CrossValidate(func() ml.Classifier {
-			return &ml.RandomForest{NumTrees: 16, Seed: seed, Workers: 1}
-		}, ds, 5, rng, ml.WithWorkers(workers))
-	}
-	serialNs, err = benchIters(iters, func() error { _, err := runCV(1); return err })
-	if err != nil {
-		return nil, err
-	}
-	parallelNs, err = benchIters(iters, func() error { _, err := runCV(w); return err })
-	if err != nil {
-		return nil, err
-	}
-	cvSerial, err := runCV(1)
-	if err != nil {
-		return nil, err
-	}
-	cvParallel, err := runCV(w)
-	if err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, benchRow("cross_validate_5fold", serialNs, parallelNs, cvSerial == cvParallel))
-
-	// Hash blocking on synthetic datagen person tables.
-	task, err := datagen.Generate(datagen.Spec{
-		Name: "parbench", Domain: datagen.PersonDomain(),
-		SizeA: 2000, SizeB: 2000, MatchFraction: 0.4, Typo: 0.2, Seed: seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	runHash := func(workers int) (*table.Table, error) {
-		cat := table.NewCatalog()
-		return block.HashBlocker{Attr: "city", Transform: block.LowerTransform, Workers: workers}.Block(task.A, task.B, cat)
-	}
-	serialNs, err = benchIters(iters, func() error { _, err := runHash(1); return err })
-	if err != nil {
-		return nil, err
-	}
-	parallelNs, err = benchIters(iters, func() error { _, err := runHash(w); return err })
-	if err != nil {
-		return nil, err
-	}
-	hSerial, err := runHash(1)
-	if err != nil {
-		return nil, err
-	}
-	hParallel, err := runHash(w)
-	if err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, benchRow("hash_blocking_2k", serialNs, parallelNs, samePairs(hSerial, hParallel)))
-
-	// End-to-end Figure 2 guide workflow.
-	runGuideAt := func(workers int) (*GuideResult, error) {
-		return RunGuideWorkers(800, 800, 400, 400, seed, workers)
-	}
-	serialNs, err = benchIters(1, func() error { _, err := runGuideAt(1); return err })
-	if err != nil {
-		return nil, err
-	}
-	parallelNs, err = benchIters(1, func() error { _, err := runGuideAt(w); return err })
-	if err != nil {
-		return nil, err
-	}
-	gSerial, err := runGuideAt(1)
-	if err != nil {
-		return nil, err
-	}
-	gParallel, err := runGuideAt(w)
-	if err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, benchRow("figure2_guide_workflow", serialNs, parallelNs, reflect.DeepEqual(gSerial, gParallel)))
-
+	out.SerialFallbacks = parallel.SerialFallbacks() - fallbacksBefore
 	return out, nil
 }
 
-func benchRow(name string, serialNs, parallelNs int64, identical bool) ParallelBenchRow {
-	speedup := 0.0
-	if parallelNs > 0 {
-		speedup = float64(serialNs) / float64(parallelNs)
-	}
-	return ParallelBenchRow{Name: name, SerialNs: serialNs, ParallelNs: parallelNs, Speedup: speedup, Identical: identical}
-}
-
-// FormatParallelBench renders the comparison for terminal output.
+// FormatParallelBench renders the scaling surface for terminal output.
+//
+//emlint:allow hotalloc -- terminal rendering runs once per bench invocation
 func FormatParallelBench(p *ParallelBench) string {
-	s := fmt.Sprintf("%-24s %14s %14s %8s %10s\n", "benchmark", "serial ns/op", "parallel ns/op", "speedup", "identical")
-	for _, r := range p.Rows {
-		s += fmt.Sprintf("%-24s %14d %14d %7.2fx %10v\n", r.Name, r.SerialNs, r.ParallelNs, r.Speedup, r.Identical)
+	s := fmt.Sprintf("%-20s %8s %8s %14s %14s %8s %10s\n",
+		"workload", "n", "workers", "ns/op", "allocs/op", "speedup", "identical")
+	for _, wl := range p.Workloads {
+		for _, c := range wl.Cells {
+			s += fmt.Sprintf("%-20s %8d %8d %14d %14d %7.2fx %10v\n",
+				wl.Name, c.N, c.Workers, c.NsPerOp, c.AllocsPerOp, c.Speedup, c.Identical)
+		}
 	}
-	s += fmt.Sprintf("(GOMAXPROCS=%d, workers=%d)\n", p.GOMAXPROCS, p.Workers)
+	s += fmt.Sprintf("(GOMAXPROCS=%d, cores_ok=%v, gated serial fallbacks=%d)\n",
+		p.GOMAXPROCS, p.CoresOK, p.SerialFallbacks)
 	return s
 }

@@ -116,6 +116,36 @@ func tokensRecords(n int, side string, rng *rand.Rand) []simjoin.Record {
 	return out
 }
 
+// denseIDRecords synthesizes the dense-workload join inputs: n record
+// pairs whose token sets are card IDs drawn from a vocab-sized space —
+// the shape of q-gram sets over long text attributes, where cardinality
+// per 64k block crosses bitvec.ArrayMaxCard and the sets become packed
+// bitmap containers. Each right record is its left partner with churn
+// tokens replaced, so the join finds real matches and verification runs
+// deep instead of early-exiting.
+func denseIDRecords(n, vocab, card, churn int, seed int64) (l, r []simjoin.IDRecord) {
+	rng := rand.New(rand.NewSource(seed))
+	draw := func(id string, k int) simjoin.IDRecord {
+		toks := make([]uint32, k)
+		for j := range toks {
+			toks[j] = uint32(rng.Intn(vocab))
+		}
+		return simjoin.IDRecord{ID: id, Tokens: toks}
+	}
+	l = make([]simjoin.IDRecord, n)
+	r = make([]simjoin.IDRecord, n)
+	for i := range l {
+		l[i] = draw("l"+strconv.Itoa(i), card)
+		perturbed := make([]uint32, len(l[i].Tokens))
+		copy(perturbed, l[i].Tokens)
+		for c := 0; c < churn; c++ {
+			perturbed[rng.Intn(len(perturbed))] = uint32(rng.Intn(vocab))
+		}
+		r[i] = simjoin.IDRecord{ID: "r" + strconv.Itoa(i), Tokens: perturbed}
+	}
+	return l, r
+}
+
 // tokensFeatureSetup builds the feature-extraction workload: two n-row
 // string tables with multi-token attributes and an n-pair candidate table.
 func tokensFeatureSetup(n int, seed int64) (*feature.Set, *table.Table, *table.Catalog, error) {
@@ -197,6 +227,34 @@ func RunTokensBench(seed int64, workers, n int, baselinePath string) (*TokensBen
 				return simjoin.ReferenceOverlapJoin(l, r, 2, simjoin.Options{Workers: w})
 			},
 			fast: func() ([]simjoin.Pair, error) { return simjoin.OverlapJoin(l, r, 2, simjoin.Options{Workers: w}) },
+		},
+	} {
+		row, err := tokensJoinRow(j.name, iters, j.str, j.fast)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	// Dense workloads: bitset kernels (default knobs) vs the PR-5 merge
+	// kernels (knobs disabled) on records big enough that their token sets
+	// become packed bitmap containers. Both paths run interned IDs — this
+	// pair of rows isolates the representation change, and Identical pins
+	// bit-identity between the two verifiers.
+	const denseN, denseVocab, denseCard, denseChurn = 192, 16384, 5000, 400
+	dl, dr := denseIDRecords(denseN, denseVocab, denseCard, denseChurn, seed)
+	mergeOpts := simjoin.Options{Workers: w, DenseMinTokens: -1, BitmapPostingMin: -1}
+	bitsetOpts := simjoin.Options{Workers: w}
+	for _, j := range []joinFns{
+		{
+			name: "dense_jaccard_bitset_vs_merge",
+			str:  func() ([]simjoin.Pair, error) { return simjoin.JaccardJoinIDs(dl, dr, 0.8, mergeOpts) },
+			fast: func() ([]simjoin.Pair, error) { return simjoin.JaccardJoinIDs(dl, dr, 0.8, bitsetOpts) },
+		},
+		{
+			name: "dense_overlap_bitset_vs_merge",
+			str:  func() ([]simjoin.Pair, error) { return simjoin.OverlapJoinIDs(dl, dr, denseCard/2, mergeOpts) },
+			fast: func() ([]simjoin.Pair, error) { return simjoin.OverlapJoinIDs(dl, dr, denseCard/2, bitsetOpts) },
 		},
 	} {
 		row, err := tokensJoinRow(j.name, iters, j.str, j.fast)

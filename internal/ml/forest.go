@@ -80,7 +80,16 @@ func (f *RandomForest) Fit(d *Dataset) error {
 		boots[i] = d.Bootstrap(d.Len(), rng)
 	}
 	f.trees = make([]*DecisionTree, n)
-	err := parallel.ForEach(f.Workers, n, func(i int) error {
+	// One fit scratch per worker, reused across the trees that worker
+	// trains: the partition/sort buffers are allocated once instead of per
+	// node and per split. ForEachShard clamps shards the same way, so
+	// every shard index stays inside the slice.
+	nw := parallel.Resolve(f.Workers)
+	if nw > n {
+		nw = n
+	}
+	scratch := make([]treeFitScratch, nw)
+	err := parallel.ForEachShard(f.Workers, n, func(shard, i int) error {
 		stop := obs.StartTimer(rec, obs.ForestTreeFitSeconds)
 		defer stop()
 		t := &DecisionTree{
@@ -89,7 +98,7 @@ func (f *RandomForest) Fit(d *Dataset) error {
 			MaxFeatures:    maxFeat,
 			Seed:           seeds[i],
 		}
-		if err := t.Fit(boots[i]); err != nil {
+		if err := t.fit(boots[i], &scratch[shard]); err != nil {
 			return err
 		}
 		f.trees[i] = t

@@ -168,3 +168,25 @@ type failFitClassifier struct{}
 func (f *failFitClassifier) Fit(*Dataset) error               { return errEmpty("fail") }
 func (f *failFitClassifier) PredictProba(x []float64) float64 { return 0 }
 func (f *failFitClassifier) Name() string                     { return "fail" }
+
+// TestTreeFitScratchReuse: fitting trees back to back through one shared
+// scratch (the forest's per-worker pattern) must produce the same trees as
+// fresh-scratch fits — stale buffer contents must never leak between fits.
+func TestTreeFitScratchReuse(t *testing.T) {
+	big := benchDataset(300, 9, 3)
+	small := benchDataset(40, 4, 5)
+	scr := &treeFitScratch{}
+	for trial, ds := range []*Dataset{big, small, big} {
+		shared := &DecisionTree{MaxFeatures: 2, Seed: int64(trial)}
+		if err := shared.fit(ds, scr); err != nil {
+			t.Fatal(err)
+		}
+		fresh := &DecisionTree{MaxFeatures: 2, Seed: int64(trial)}
+		if err := fresh.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := shared.String(nil), fresh.String(nil); got != want {
+			t.Fatalf("trial %d: shared-scratch tree differs from fresh fit:\n%s\nvs\n%s", trial, got, want)
+		}
+	}
+}

@@ -48,18 +48,62 @@ func (t *DecisionTree) Name() string { return "decision_tree" }
 // Root returns the fitted tree's root node (nil before Fit).
 func (t *DecisionTree) Root() *TreeNode { return t.root }
 
+// fv is one (feature value, label) pair — the unit bestSplit sorts per
+// candidate feature.
+type fv struct {
+	v float64
+	y int
+}
+
+// treeFitScratch holds the reusable working buffers of tree fitting. One
+// scratch serves any number of sequential fits (RandomForest.Fit keeps one
+// per worker), so the per-node left/right slices and per-split
+// feature/value slices the old code allocated are paid once per worker
+// instead of once per node/split.
+type treeFitScratch struct {
+	idxs  []int // row set of the tree, partitioned in place per node
+	part  []int // right-half staging area of the stable partition
+	feats []int // candidate feature indices per split
+	vals  []fv  // (value, label) pairs sorted per candidate feature
+}
+
+// reset sizes the buffers for a fit over n rows and d features.
+func (s *treeFitScratch) reset(n, d int) {
+	if cap(s.idxs) < n {
+		s.idxs = make([]int, n)
+	}
+	s.idxs = s.idxs[:n]
+	if cap(s.part) < n {
+		s.part = make([]int, n)
+	}
+	s.part = s.part[:n]
+	if cap(s.feats) < d {
+		s.feats = make([]int, d)
+	}
+	s.feats = s.feats[:d]
+	if cap(s.vals) < n {
+		s.vals = make([]fv, 0, n)
+	}
+}
+
 // Fit implements Classifier.
 func (t *DecisionTree) Fit(d *Dataset) error {
+	return t.fit(d, &treeFitScratch{})
+}
+
+// fit is Fit with caller-owned scratch, the entry point for callers that
+// train many trees (the forest reuses one scratch per worker).
+func (t *DecisionTree) fit(d *Dataset, scr *treeFitScratch) error {
 	if d.Len() == 0 {
 		return errEmpty(t.Name())
 	}
 	t.d = d.NumFeatures()
 	t.rng = rand.New(rand.NewSource(t.Seed))
-	idxs := make([]int, d.Len())
-	for i := range idxs {
-		idxs[i] = i
+	scr.reset(d.Len(), t.d)
+	for i := range scr.idxs {
+		scr.idxs[i] = i
 	}
-	t.root = t.build(d, idxs, 0)
+	t.root = t.build(d, scr, scr.idxs, 0)
 	return nil
 }
 
@@ -84,8 +128,9 @@ func (t *DecisionTree) minLeaf() int {
 	return t.MinSamplesLeaf
 }
 
-// build grows the subtree over the rows idxs of d.
-func (t *DecisionTree) build(d *Dataset, idxs []int, depth int) *TreeNode {
+// build grows the subtree over the rows idxs (a subslice of scr.idxs that
+// build is free to reorder).
+func (t *DecisionTree) build(d *Dataset, scr *treeFitScratch, idxs []int, depth int) *TreeNode {
 	pos := 0
 	for _, i := range idxs {
 		pos += d.Y[i]
@@ -95,34 +140,42 @@ func (t *DecisionTree) build(d *Dataset, idxs []int, depth int) *TreeNode {
 		node.Leaf = true
 		return node
 	}
-	feat, thresh, ok := t.bestSplit(d, idxs)
+	feat, thresh, ok := t.bestSplit(d, scr, idxs)
 	if !ok {
 		node.Leaf = true
 		return node
 	}
-	var left, right []int
+	// Stable in-place partition: compact the left half down while staging
+	// the right half in scr.part, then copy it back after the left half.
+	// Both halves keep their relative order, so the recursion sees the
+	// same row sequences the old append-built slices held — with zero
+	// per-node allocation. scr.part is free again before the recursion.
+	nl, nr := 0, 0
 	for _, i := range idxs {
 		if d.X[i][feat] <= thresh {
-			left = append(left, i)
+			idxs[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			scr.part[nr] = i
+			nr++
 		}
 	}
-	if len(left) < t.minLeaf() || len(right) < t.minLeaf() {
+	copy(idxs[nl:], scr.part[:nr])
+	if nl < t.minLeaf() || nr < t.minLeaf() {
 		node.Leaf = true
 		return node
 	}
 	node.Feature = feat
 	node.Threshold = thresh
-	node.Left = t.build(d, left, depth+1)
-	node.Right = t.build(d, right, depth+1)
+	node.Left = t.build(d, scr, idxs[:nl], depth+1)
+	node.Right = t.build(d, scr, idxs[nl:], depth+1)
 	return node
 }
 
 // bestSplit finds the (feature, threshold) pair minimizing weighted Gini
 // impurity over a (possibly subsampled) feature set.
-func (t *DecisionTree) bestSplit(d *Dataset, idxs []int) (feat int, thresh float64, ok bool) {
-	features := make([]int, t.d)
+func (t *DecisionTree) bestSplit(d *Dataset, scr *treeFitScratch, idxs []int) (feat int, thresh float64, ok bool) {
+	features := scr.feats
 	for j := range features {
 		features[j] = j
 	}
@@ -132,11 +185,7 @@ func (t *DecisionTree) bestSplit(d *Dataset, idxs []int) (feat int, thresh float
 	}
 
 	bestGini := 2.0
-	type fv struct {
-		v float64
-		y int
-	}
-	vals := make([]fv, 0, len(idxs))
+	vals := scr.vals
 	for _, j := range features {
 		vals = vals[:0]
 		for _, i := range idxs {

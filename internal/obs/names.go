@@ -45,6 +45,11 @@ const (
 	// FeatureVectors counts feature vectors extracted.
 	FeatureVectors = "em_feature_vectors_total"
 
+	// ParallelSerialFallbacks counts fan-outs the parallel cost gate sent
+	// down the serial path because the input was below its MinWork
+	// threshold (parallel.Gate / ForEachMin / MapChunksMin).
+	ParallelSerialFallbacks = "em_parallel_serial_fallbacks_total"
+
 	// CloudQueueDepth gauges fragments waiting for an engine worker:
 	// labels {engine}.
 	CloudQueueDepth = "cloud_engine_queue_depth"
@@ -82,6 +87,7 @@ func DescribeStandard(g *Registry) {
 		{SimjoinPairs, "Pairs emitted by a similarity join."},
 		{FeatureExtractSeconds, "Duration of one feature-vector extraction pass."},
 		{FeatureVectors, "Feature vectors extracted."},
+		{ParallelSerialFallbacks, "Fan-outs the parallel cost gate kept serial (input below MinWork)."},
 		{CloudQueueDepth, "Fragments waiting for an engine worker."},
 		{CloudStepsInFlight, "Fragments currently executing on an engine."},
 		{CloudJobsInFlight, "Jobs between Submit entry and return."},

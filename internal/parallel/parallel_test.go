@@ -3,9 +3,12 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestResolve(t *testing.T) {
@@ -170,5 +173,176 @@ func TestMapChunksConcatenationMatchesSerial(t *testing.T) {
 				t.Fatalf("workers=%d: position %d holds %d", workers, i, v)
 			}
 		}
+	}
+}
+
+func TestGateKeepsTinyInputsSerial(t *testing.T) {
+	before := SerialFallbacks()
+	if got := Gate(8, 10, 100); got != 1 {
+		t.Fatalf("Gate(8, 10, 100) = %d, want 1 (below MinWork)", got)
+	}
+	if SerialFallbacks() != before+1 {
+		t.Fatalf("gated fallback not counted: %d -> %d", before, SerialFallbacks())
+	}
+	if got := Gate(8, 1000, 100); got != 8 {
+		t.Fatalf("Gate(8, 1000, 100) = %d, want 8", got)
+	}
+	// An explicit workers=1 knob is a caller choice, not a gate decision.
+	before = SerialFallbacks()
+	if got := Gate(1, 10, 100); got != 1 {
+		t.Fatalf("Gate(1, ...) = %d, want 1", got)
+	}
+	if SerialFallbacks() != before {
+		t.Fatal("explicit workers=1 must not count as a gated fallback")
+	}
+}
+
+func TestForEachMinMatchesForEach(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 300} {
+		var hits atomic.Int64
+		if err := ForEachMin(4, n, 64, func(i int) error {
+			hits.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if int(hits.Load()) != n {
+			t.Fatalf("n=%d: fn ran %d times", n, hits.Load())
+		}
+	}
+}
+
+func TestForEachShardIdentity(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		n := 500
+		seen := make([]atomic.Int32, n)
+		var badShard atomic.Bool
+		if err := ForEachShard(workers, n, func(shard, i int) error {
+			if shard < 0 || shard >= workers {
+				badShard.Store(true)
+			}
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if badShard.Load() {
+			t.Fatalf("workers=%d: shard index out of [0,%d)", workers, workers)
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+// TestForEachShardScratchIsolation exercises the per-worker scratch
+// pattern: one buffer per shard, never shared across concurrently running
+// tasks.
+func TestForEachShardScratchIsolation(t *testing.T) {
+	workers := 4
+	scratch := make([][]int, workers)
+	for w := range scratch {
+		scratch[w] = make([]int, 1)
+	}
+	var total atomic.Int64
+	if err := ForEachShard(workers, 1000, func(shard, i int) error {
+		scratch[shard][0] = i // would race if shards shared scratch
+		total.Add(int64(scratch[shard][0]))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 1000*999/2 {
+		t.Fatalf("scratch-mediated sum = %d, want %d", total.Load(), 1000*999/2)
+	}
+}
+
+func TestMapChunksMinBoundsChunkCount(t *testing.T) {
+	countChunks := func(workers, n, minWork int) int {
+		parts, err := MapChunksMin(workers, n, minWork, func(lo, hi int) (int, error) {
+			if hi-lo <= 0 {
+				t.Fatalf("empty chunk [%d,%d)", lo, hi)
+			}
+			return hi - lo, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := 0
+		for _, c := range parts {
+			covered += c
+		}
+		if covered != n {
+			t.Fatalf("chunks cover %d of %d", covered, n)
+		}
+		return len(parts)
+	}
+	if got := countChunks(8, 1000, 100); got > 8 {
+		t.Fatalf("big input made %d chunks, want <= 8", got)
+	}
+	if got := countChunks(8, 250, 100); got > 2 {
+		t.Fatalf("n=250 minWork=100 made %d chunks, want <= 2", got)
+	}
+	before := SerialFallbacks()
+	if got := countChunks(8, 50, 100); got != 1 {
+		t.Fatalf("tiny input made %d chunks, want 1", got)
+	}
+	if SerialFallbacks() != before+1 {
+		t.Fatal("single-chunk collapse not counted as gated fallback")
+	}
+}
+
+func TestConcatMatchesAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ parts, maxLen int }{
+		{0, 0}, {1, 5}, {3, 7}, {17, 4000}, {64, 1200},
+	} {
+		parts := make([][]int, tc.parts)
+		var want []int
+		for p := range parts {
+			m := rng.Intn(tc.maxLen + 1)
+			parts[p] = make([]int, m)
+			for k := range parts[p] {
+				parts[p][k] = rng.Int()
+			}
+			want = append(want, parts[p]...)
+		}
+		for _, workers := range []int{1, 4} {
+			got := Concat(workers, parts)
+			if len(got) != len(want) {
+				t.Fatalf("parts=%d workers=%d: len %d want %d", tc.parts, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("parts=%d workers=%d: position %d differs", tc.parts, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSetRecorderMirrorsFallbacks checks the obs hook: gated fallbacks
+// reach an installed recorder and stop when uninstalled.
+func TestSetRecorderMirrorsFallbacks(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetRecorder(reg)
+	defer SetRecorder(nil)
+	Gate(4, 2, 1000)
+	SetRecorder(nil)
+	Gate(4, 2, 1000) // must not reach the uninstalled recorder
+	snap := reg.Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == obs.ParallelSerialFallbacks {
+			found = true
+			if c.Value != 1 {
+				t.Fatalf("recorded %v fallbacks, want 1", c.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fallback counter never reached the recorder")
 	}
 }

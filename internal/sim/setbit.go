@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/bitvec"
+)
+
+// This file holds the dense-set similarity kernels: the same measures as
+// setint.go, but over bitvec.Set compressed bitsets instead of sorted
+// []uint32 slices. The intersection runs bitvec's hybrid container kernels
+// (word-level AND + popcount on dense 64k blocks), which beat the sorted
+// merge once sets grow past a few thousand tokens clustered into shared
+// blocks — the dense half of the representation split simjoin's verifier
+// chooses between per record.
+//
+// Every similarity formula is written with the identical operations, in
+// the identical order, as its U32 counterpart, so the two paths agree bit
+// for bit (pinned by the testing/quick properties in setbit_test.go).
+
+// JaccardBits is Jaccard over compressed ID sets, bit-identical to
+// JaccardU32 on the same members.
+func JaccardBits(a, b *bitvec.Set) float64 {
+	inter := bitvec.AndCount(a, b)
+	union := a.Len() + b.Len() - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// DiceBits is Dice over compressed ID sets, bit-identical to DiceU32.
+func DiceBits(a, b *bitvec.Set) float64 {
+	inter := bitvec.AndCount(a, b)
+	if a.Len()+b.Len() == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(a.Len()+b.Len())
+}
+
+// OverlapCoefficientBits is the overlap coefficient over compressed ID
+// sets, bit-identical to OverlapCoefficientU32.
+func OverlapCoefficientBits(a, b *bitvec.Set) float64 {
+	inter := bitvec.AndCount(a, b)
+	m := a.Len()
+	if b.Len() < m {
+		m = b.Len()
+	}
+	if m == 0 {
+		if a.Len() == 0 && b.Len() == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(inter) / float64(m)
+}
+
+// OverlapSizeBits is the raw overlap |a ∩ b| over compressed ID sets.
+func OverlapSizeBits(a, b *bitvec.Set) int { return bitvec.AndCount(a, b) }
+
+// CosineSetBits is set cosine over compressed ID sets, bit-identical to
+// CosineSetU32.
+func CosineSetBits(a, b *bitvec.Set) float64 {
+	inter := bitvec.AndCount(a, b)
+	if a.Len() == 0 && b.Len() == 0 {
+		return 1
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	return float64(inter) / math.Sqrt(float64(a.Len())*float64(b.Len()))
+}
+
+// TverskyBits is the Tversky index over compressed ID sets, bit-identical
+// to TverskyU32.
+func TverskyBits(a, b *bitvec.Set, alpha, beta float64) float64 {
+	inter := bitvec.AndCount(a, b)
+	onlyA := float64(a.Len() - inter)
+	onlyB := float64(b.Len() - inter)
+	den := float64(inter) + alpha*onlyA + beta*onlyB
+	if den == 0 {
+		return 1
+	}
+	return float64(inter) / den
+}

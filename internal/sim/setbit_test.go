@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/intern"
+)
+
+// genIDSet draws a sorted duplicate-free ID set that exercises both
+// container shapes: sparse array blocks and (occasionally) dense bitmap
+// blocks past the 64k boundary.
+func genIDSet(rng *rand.Rand) []uint32 {
+	var ids []uint32
+	n := rng.Intn(60)
+	if rng.Intn(8) == 0 {
+		n = bitvec.ArrayMaxCard + 1 + rng.Intn(500) // force a bitmap container
+	}
+	for k := 0; k < n; k++ {
+		ids = append(ids, uint32(rng.Intn(3<<16)))
+	}
+	return intern.SortedDedup(ids)
+}
+
+// TestQuickBitsKernelsMatchU32 is the equivalence oracle of the dense-set
+// kernels: every *Bits measure must agree bit for bit with its merge-based
+// *U32 counterpart on the same members, including empty sets and sets
+// spanning the 64k container boundary.
+func TestQuickBitsKernelsMatchU32(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	prop := func() bool {
+		a, b := genIDSet(rng), genIDSet(rng)
+		sa, sb := bitvec.FromSorted(a), bitvec.FromSorted(b)
+		for _, tc := range []struct {
+			name      string
+			want, got float64
+		}{
+			{"jaccard", JaccardU32(a, b), JaccardBits(sa, sb)},
+			{"dice", DiceU32(a, b), DiceBits(sa, sb)},
+			{"cosine", CosineSetU32(a, b), CosineSetBits(sa, sb)},
+			{"overlap_coefficient", OverlapCoefficientU32(a, b), OverlapCoefficientBits(sa, sb)},
+			{"overlap_size", float64(OverlapSizeU32(a, b)), float64(OverlapSizeBits(sa, sb))},
+			{"tversky", TverskyU32(a, b, 0.3, 0.9), TverskyBits(sa, sb, 0.3, 0.9)},
+		} {
+			if tc.got != tc.want {
+				t.Errorf("%s: bits %v != u32 %v (|a|=%d |b|=%d)", tc.name, tc.got, tc.want, len(a), len(b))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitsKernelsEmpty pins the degenerate-input conventions shared with
+// the U32 kernels.
+func TestBitsKernelsEmpty(t *testing.T) {
+	e := bitvec.FromSorted(nil)
+	x := bitvec.FromSorted([]uint32{1, 2, 3})
+	if got := JaccardBits(e, e); got != 1 {
+		t.Errorf("JaccardBits(∅,∅) = %v, want 1", got)
+	}
+	if got := CosineSetBits(e, x); got != 0 {
+		t.Errorf("CosineSetBits(∅,x) = %v, want 0", got)
+	}
+	if got := OverlapCoefficientBits(e, x); got != 0 {
+		t.Errorf("OverlapCoefficientBits(∅,x) = %v, want 0", got)
+	}
+}
+
+// TestBitsKernelsZeroAlloc guards the dense-set kernels' allocation-free
+// contract, mirroring the U32 guards.
+func TestBitsKernelsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a, b := genIDSet(rng), genIDSet(rng)
+	sa, sb := bitvec.FromSorted(a), bitvec.FromSorted(b)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"JaccardBits", func() { JaccardBits(sa, sb) }},
+		{"DiceBits", func() { DiceBits(sa, sb) }},
+		{"CosineSetBits", func() { CosineSetBits(sa, sb) }},
+		{"OverlapCoefficientBits", func() { OverlapCoefficientBits(sa, sb) }},
+		{"OverlapSizeBits", func() { OverlapSizeBits(sa, sb) }},
+		{"TverskyBits", func() { TverskyBits(sa, sb, 0.5, 0.5) }},
+	} {
+		if allocs := testing.AllocsPerRun(20, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per run, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -171,7 +171,7 @@ func refSetJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pa
 	if err != nil {
 		return nil, err
 	}
-	all, _ := mergeShards(shards)
+	all, _ := mergeShards(opts.Workers, shards)
 	sortPairs(all)
 	return all, nil
 }
@@ -226,7 +226,7 @@ func ReferenceOverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
 	if err != nil {
 		return nil, err
 	}
-	all, _ := mergeShards(shards)
+	all, _ := mergeShards(opts.Workers, shards)
 	sortPairs(all)
 	return all, nil
 }

@@ -29,6 +29,7 @@ import (
 	"slices"
 	"sort"
 
+	"repro/internal/bitvec"
 	"repro/internal/intern"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -64,12 +65,66 @@ type Pair struct {
 type Options struct {
 	// Workers is the number of goroutines probing the index; 0 means
 	// GOMAXPROCS (parallel.Resolve). The paper scales PyMatcher commands
-	// with Dask on multicore machines; this is the equivalent knob.
+	// with Dask on multicore machines; this is the equivalent knob. Probe
+	// scans below probeMinWork records stay serial regardless (the
+	// parallel cost gate).
 	Workers int
 	// Metrics receives join timings and candidate/output counters
 	// (obs.SimjoinSeconds/Candidates/Pairs, labeled by join name); nil
 	// means off.
 	Metrics obs.Recorder
+	// DenseMinTokens is the token-set size at which a record additionally
+	// carries a compressed bitset (bitvec.Set), switching its
+	// verifications from the sorted merge to the word-level AND/popcount
+	// kernels. 0 means the default (64); negative disables bitset
+	// verification entirely.
+	DenseMinTokens int
+	// BitmapPostingMin is the postings-list length at which a token's
+	// postings flip from an array of (record, position) entries to a
+	// compressed bitmap over right-record positions — the high-frequency
+	// tokens every dense record shares. 0 means the default (512);
+	// negative disables bitmap postings.
+	BitmapPostingMin int
+}
+
+// Join tuning defaults. The GUIDE.md tuning section documents when to
+// override them through Options.
+const (
+	// defaultDenseMinTokens: below ~64 tokens the zero-alloc bounded merge
+	// wins; above it the container kernels start to pay, and the 8 KiB
+	// worst-case bitmap cost amortizes.
+	defaultDenseMinTokens = 64
+	// defaultBitmapPostingMin: a postings list this long costs more to
+	// re-scan per probe than a bitmap walk of the same members.
+	defaultBitmapPostingMin = 512
+	// bitsetVerifyRatio gates the asymmetric contains-probe verify: the
+	// small side must be at least this many times smaller than the dense
+	// side before per-ID probing beats the linear merge.
+	bitsetVerifyRatio = 4
+	// probeMinWork is the smallest probe scan worth fanning out: each
+	// chunk allocates an epoch-stamp array over the whole right side, so
+	// tiny scans lose to serial execution.
+	probeMinWork = 128
+)
+
+func (o Options) denseMinTokens() int {
+	if o.DenseMinTokens == 0 {
+		return defaultDenseMinTokens
+	}
+	if o.DenseMinTokens < 0 {
+		return math.MaxInt
+	}
+	return o.DenseMinTokens
+}
+
+func (o Options) bitmapPostingMin() int {
+	if o.BitmapPostingMin == 0 {
+		return defaultBitmapPostingMin
+	}
+	if o.BitmapPostingMin < 0 {
+		return math.MaxInt
+	}
+	return o.BitmapPostingMin
 }
 
 // joinShard is one worker's contiguous share of a join probe scan: the
@@ -284,8 +339,124 @@ func simFromOverlap(m measure, inter, n1, n2 int) float64 {
 }
 
 // posting locates one indexed prefix token: which right-side record holds
-// it and at which position of that record's canonical order.
+// it (its position in the size-sorted order) and at which position of that
+// record's canonical token order.
 type posting struct{ rec, pos int32 }
+
+// joinIndex is the probe-side view of the indexed right collection.
+//
+// Records are sorted by ascending token-set size (stable, so equal sizes
+// keep their input order — the output is sorted at the end either way),
+// which buys length-bucketed candidate generation: a probe's size window
+// [lo, hi] becomes one contiguous record-index range found by two binary
+// searches, postings lists are size-sorted for free (they are built in
+// record order), and the per-candidate size check disappears.
+//
+// Each indexed token holds either an array postings list (posts[t]) or,
+// once the list passes Options.BitmapPostingMin, a compressed bitmap over
+// record positions (bitmaps[t]) — high-frequency tokens stop costing 8
+// bytes per occurrence and intersect by whole 64-record words. Records at
+// or above Options.DenseMinTokens also carry their token set as a
+// bitvec.Set (dense[j]) for the bitset verifier.
+type joinIndex struct {
+	pr    []intRec
+	sizes []int         // sizes[j] = len(pr[j].toks), ascending
+	posts [][]posting   // array postings, nil where bitmaps[t] != nil
+	bits  []*bitvec.Set // bitmap postings for high-frequency tokens
+	dense []*bitvec.Set // token bitsets of dense records, else nil
+}
+
+// buildIndex size-sorts the right collection and indexes each record's
+// prefix (per prefixFor) under its tokens. nids is the remapped ID-space
+// size from prepare.
+func buildIndex(pr []intRec, nids int, prefixFor func(n int) int, opts Options) *joinIndex {
+	idx := &joinIndex{pr: pr}
+	sort.SliceStable(idx.pr, func(a, b int) bool { return len(idx.pr[a].toks) < len(idx.pr[b].toks) })
+	idx.sizes = make([]int, len(idx.pr))
+	for j, rec := range idx.pr {
+		idx.sizes[j] = len(rec.toks)
+	}
+	idx.posts = make([][]posting, nids)
+	denseMin := opts.denseMinTokens()
+	idx.dense = make([]*bitvec.Set, len(idx.pr))
+	for j, rec := range idx.pr {
+		n := len(rec.toks)
+		if n >= denseMin {
+			idx.dense[j] = bitvec.FromSorted(rec.toks)
+		}
+		prefix := prefixFor(n)
+		for p := 0; p < prefix; p++ {
+			t := rec.toks[p]
+			idx.posts[t] = append(idx.posts[t], posting{int32(j), int32(p)})
+		}
+	}
+	// Flip high-frequency postings lists to bitmaps. Record positions are
+	// ascending within each list (built in record order), so they feed
+	// bitvec.FromSorted directly.
+	bitmapMin := opts.bitmapPostingMin()
+	var scratch []uint32
+	for t, list := range idx.posts {
+		if len(list) < bitmapMin {
+			continue
+		}
+		if cap(scratch) < len(list) {
+			scratch = make([]uint32, len(list))
+		}
+		scratch = scratch[:len(list)]
+		for i, post := range list {
+			scratch[i] = uint32(post.rec)
+		}
+		if idx.bits == nil {
+			idx.bits = make([]*bitvec.Set, nids)
+		}
+		idx.bits[t] = bitvec.FromSorted(scratch)
+		idx.posts[t] = nil
+	}
+	return idx
+}
+
+// sizeWindow returns the contiguous record-index range [jlo, jhi) whose
+// token-set sizes fall in [lo, hi] — the length bucket a probe scans.
+func (idx *joinIndex) sizeWindow(lo, hi int) (jlo, jhi int) {
+	return sort.SearchInts(idx.sizes, lo), sort.SearchInts(idx.sizes, hi+1)
+}
+
+// probeSets builds the probe-side dense bitsets (the left counterpart of
+// joinIndex.dense), nil when bitset verification is disabled or no record
+// qualifies.
+func probeSets(pl []intRec, opts Options) []*bitvec.Set {
+	denseMin := opts.denseMinTokens()
+	var sets []*bitvec.Set
+	for i, rec := range pl {
+		if len(rec.toks) >= denseMin {
+			if sets == nil {
+				sets = make([]*bitvec.Set, len(pl))
+			}
+			sets[i] = bitvec.FromSorted(rec.toks)
+		}
+	}
+	return sets
+}
+
+// verifyOverlap returns the exact overlap of probe and cand when it can
+// still reach need (else -1, the shared early-exit convention), choosing
+// the cheapest kernel the representations allow: word-level AND/popcount
+// when both sides carry bitsets, per-ID contains-probing when exactly one
+// side is dense and the other is enough smaller (bitsetVerifyRatio), and
+// the zero-alloc bounded merge otherwise.
+func verifyOverlap(probe []uint32, probeSet *bitvec.Set, cand []uint32, candSet *bitvec.Set, need int) int {
+	if candSet != nil {
+		if probeSet != nil {
+			return bitvec.AndCountBounded(probeSet, candSet, need)
+		}
+		if len(probe)*bitsetVerifyRatio <= len(cand) {
+			return bitvec.AndCountArrayBounded(candSet, probe, need)
+		}
+	} else if probeSet != nil && len(cand)*bitsetVerifyRatio <= len(probe) {
+		return bitvec.AndCountArrayBounded(probeSet, cand, need)
+	}
+	return sim.IntersectSortedU32Bounded(probe, cand, need)
+}
 
 // epochScratch is the probe-local candidate-dedup structure: stamp[j] ==
 // epoch marks right record j as already considered for the current probe.
@@ -330,71 +501,107 @@ func setJoin(l, r []IDRecord, threshold float64, m measure, opts Options) ([]Pai
 	defer obs.StartTimer(rec, obs.SimjoinSeconds, join)()
 	pl, pr, nids := prepare(l, r)
 
-	// Index the right side: token ID -> postings of right-record indices
-	// that contain the token within their prefix, as a dense array over the
-	// remapped ID space.
-	index := make([][]posting, nids)
-	for j, rrec := range pr {
-		n := len(rrec.toks)
+	// Index the right side: token ID -> postings of the records holding
+	// the token within their prefix, size-sorted with bitmap postings for
+	// high-frequency tokens and bitsets on dense records.
+	idx := buildIndex(pr, nids, func(n int) int {
 		if n == 0 {
-			continue
+			return 0
 		}
 		prefix := n - minOverlap(m, threshold, n) + 1
 		if prefix > n {
 			prefix = n
 		}
-		for p := 0; p < prefix; p++ {
-			t := rrec.toks[p]
-			index[t] = append(index[t], posting{int32(j), int32(p)})
-		}
-	}
+		return prefix
+	}, opts)
+	plSets := probeSets(pl, opts)
 
-	// Probe the index in contiguous shards through the shared pool.
-	// Candidates surviving the size and positional filters (i.e. actually
-	// verified) are tallied shard-locally and recorded once — the no-op
-	// path never sees a per-pair recorder call.
-	shards, err := parallel.MapChunks(opts.Workers, len(pl), func(clo, chi int) (joinShard, error) {
+	// Probe the index in contiguous shards through the shared pool (kept
+	// serial below probeMinWork probes — the cost gate). Candidates
+	// surviving the size and positional filters (i.e. actually verified)
+	// are tallied shard-locally and recorded once — the no-op path never
+	// sees a per-pair recorder call.
+	shards, err := parallel.MapChunksMin(opts.Workers, len(pl), probeMinWork, func(clo, chi int) (joinShard, error) {
+		// Shard-local probe state, hoisted so the verify/visit closures
+		// are allocated once per shard (per worker), not once per probe.
 		out := make([]Pair, 0, chi-clo)
 		nc := 0
-		seen := newEpochScratch(len(pr))
+		seen := newEpochScratch(len(idx.pr))
+		var (
+			probe intRec
+			pset  *bitvec.Set
+			n, p  int
+		)
+		// verify checks one candidate j first met at probe prefix position
+		// p and candidate position pos; pos < 0 means "unknown" (bitmap
+		// postings drop it), which weakens the positional filter to the
+		// candidate's full length but never changes the verified result.
+		verify := func(j, pos int) {
+			cand := idx.pr[j]
+			cn := len(cand.toks)
+			need := pairMinOverlap(m, threshold, n, cn)
+			// Positional filter: a qualifying pair is first met at its
+			// first common token, so everything before (p, pos) is
+			// disjoint and the overlap is bounded by the shorter
+			// remaining suffix (PPJoin's ubound).
+			rem := cn
+			if pos >= 0 {
+				rem = cn - pos
+			}
+			if ub := min(n-p, rem); ub < need {
+				return
+			}
+			nc++
+			inter := verifyOverlap(probe.toks, pset, cand.toks, idx.dense[j], need)
+			if inter < 0 {
+				return // suffix-length early exit: can't reach need
+			}
+			if s := simFromOverlap(m, inter, n, cn); s >= threshold-1e-12 {
+				out = append(out, Pair{LID: probe.id, RID: cand.id, Sim: s})
+			}
+		}
+		bmVisit := func(recPos uint32) bool {
+			if j := int32(recPos); !seen.mark(j) {
+				verify(int(j), -1)
+			}
+			return true
+		}
 		for i := clo; i < chi; i++ {
-			probe := pl[i]
-			n := len(probe.toks)
+			probe = pl[i]
+			n = len(probe.toks)
 			if n == 0 {
 				continue
 			}
+			pset = nil
+			if plSets != nil {
+				pset = plSets[i]
+			}
 			lo, hi := sizeBounds(m, threshold, n)
+			jlo, jhi := idx.sizeWindow(lo, hi)
+			if jlo >= jhi {
+				continue
+			}
 			prefix := n - minOverlap(m, threshold, n) + 1
 			if prefix > n {
 				prefix = n
 			}
 			seen.next()
-			for p := 0; p < prefix; p++ {
-				for _, post := range index[probe.toks[p]] {
+			for p = 0; p < prefix; p++ {
+				t := probe.toks[p]
+				if idx.bits != nil && idx.bits[t] != nil {
+					idx.bits[t].ForEachIn(uint32(jlo), uint32(jhi), bmVisit)
+					continue
+				}
+				list := idx.posts[t]
+				// The size window is a contiguous rec range: postings are
+				// rec-sorted, so binary search skips both tails wholesale.
+				k := sort.Search(len(list), func(k int) bool { return int(list[k].rec) >= jlo })
+				for ; k < len(list) && int(list[k].rec) < jhi; k++ {
+					post := list[k]
 					if seen.mark(post.rec) {
 						continue
 					}
-					cand := pr[post.rec]
-					cn := len(cand.toks)
-					if cn < lo || cn > hi {
-						continue
-					}
-					need := pairMinOverlap(m, threshold, n, cn)
-					// Positional filter: a qualifying pair is first met at
-					// its first common token, so everything before (p, pos)
-					// is disjoint and the overlap is bounded by the shorter
-					// remaining suffix (PPJoin's ubound).
-					if ub := min(n-p, cn-int(post.pos)); ub < need {
-						continue
-					}
-					nc++
-					inter := sim.IntersectSortedU32Bounded(probe.toks, cand.toks, need)
-					if inter < 0 {
-						continue // suffix-length early exit: can't reach need
-					}
-					if s := simFromOverlap(m, inter, n, cn); s >= threshold-1e-12 {
-						out = append(out, Pair{LID: probe.id, RID: cand.id, Sim: s})
-					}
+					verify(int(post.rec), int(post.pos))
 				}
 			}
 		}
@@ -403,7 +610,7 @@ func setJoin(l, r []IDRecord, threshold float64, m measure, opts Options) ([]Pai
 	if err != nil {
 		return nil, err
 	}
-	all, total := mergeShards(shards)
+	all, total := mergeShards(opts.Workers, shards)
 	rec.Count(obs.SimjoinCandidates, float64(total), join)
 	rec.Count(obs.SimjoinPairs, float64(len(all)), join)
 	sortPairs(all)
@@ -411,19 +618,17 @@ func setJoin(l, r []IDRecord, threshold float64, m measure, opts Options) ([]Pai
 }
 
 // mergeShards concatenates shard outputs in chunk order into one slice
-// preallocated from the summed shard sizes, and totals the verified
-// candidate counts.
-func mergeShards(shards []joinShard) ([]Pair, int) {
-	npairs, total := 0, 0
-	for _, s := range shards {
-		npairs += len(s.pairs)
+// preallocated from the summed shard sizes (parallel.Concat — the copy
+// itself fans out on large outputs), and totals the verified candidate
+// counts.
+func mergeShards(workers int, shards []joinShard) ([]Pair, int) {
+	total := 0
+	parts := make([][]Pair, len(shards))
+	for i, s := range shards {
+		parts[i] = s.pairs
 		total += s.cands
 	}
-	all := make([]Pair, 0, npairs)
-	for _, s := range shards {
-		all = append(all, s.pairs...)
-	}
-	return all, total
+	return parallel.Concat(workers, parts), total
 }
 
 // OverlapJoin returns all pairs sharing at least k tokens. Sim in the
@@ -442,45 +647,79 @@ func OverlapJoinIDs(l, r []IDRecord, k int, opts Options) ([]Pair, error) {
 	join := obs.L("join", "overlap")
 	defer obs.StartTimer(rec, obs.SimjoinSeconds, join)()
 	pl, pr, nids := prepare(l, r)
-	index := make([][]posting, nids)
-	for j, rrec := range pr {
-		n := len(rrec.toks)
+	// Records with fewer than k tokens can never reach k overlaps; the
+	// prefix length n-k+1 bottoms out at 0 for them, so they are simply
+	// never indexed, and the probe side's size window starts at k.
+	idx := buildIndex(pr, nids, func(n int) int {
 		prefix := n - k + 1
-		if prefix < 1 {
-			continue // record too small to ever reach k overlaps
+		if prefix < 0 {
+			return 0
 		}
-		for p := 0; p < prefix; p++ {
-			t := rrec.toks[p]
-			index[t] = append(index[t], posting{int32(j), int32(p)})
-		}
-	}
-	shards, err := parallel.MapChunks(opts.Workers, len(pl), func(clo, chi int) (joinShard, error) {
+		return prefix
+	}, opts)
+	plSets := probeSets(pl, opts)
+	shards, err := parallel.MapChunksMin(opts.Workers, len(pl), probeMinWork, func(clo, chi int) (joinShard, error) {
 		out := make([]Pair, 0, chi-clo)
 		nc := 0
-		seen := newEpochScratch(len(pr))
+		seen := newEpochScratch(len(idx.pr))
+		var (
+			probe intRec
+			pset  *bitvec.Set
+			n, p  int
+		)
+		verify := func(j, pos int) {
+			cand := idx.pr[j]
+			cn := len(cand.toks)
+			// Positional filter with the fixed bound k; pos < 0 (bitmap
+			// postings) falls back to the candidate's full length.
+			rem := cn
+			if pos >= 0 {
+				rem = cn - pos
+			}
+			if ub := min(n-p, rem); ub < k {
+				return
+			}
+			nc++
+			if ov := verifyOverlap(probe.toks, pset, cand.toks, idx.dense[j], k); ov >= k {
+				out = append(out, Pair{LID: probe.id, RID: cand.id, Sim: float64(ov)})
+			}
+		}
+		bmVisit := func(recPos uint32) bool {
+			if j := int32(recPos); !seen.mark(j) {
+				verify(int(j), -1)
+			}
+			return true
+		}
+		// The overlap window is probe-independent: any record of size >= k
+		// can qualify, so the length bucket is the suffix starting at the
+		// first record with k tokens.
+		jlo, jhi := idx.sizeWindow(k, math.MaxInt-1)
 		for i := clo; i < chi; i++ {
-			probe := pl[i]
-			n := len(probe.toks)
-			if n < k {
+			probe = pl[i]
+			n = len(probe.toks)
+			if n < k || jlo >= jhi {
 				continue
+			}
+			pset = nil
+			if plSets != nil {
+				pset = plSets[i]
 			}
 			prefix := n - k + 1
 			seen.next()
-			for p := 0; p < prefix; p++ {
-				for _, post := range index[probe.toks[p]] {
+			for p = 0; p < prefix; p++ {
+				t := probe.toks[p]
+				if idx.bits != nil && idx.bits[t] != nil {
+					idx.bits[t].ForEachIn(uint32(jlo), uint32(jhi), bmVisit)
+					continue
+				}
+				list := idx.posts[t]
+				kk := sort.Search(len(list), func(kk int) bool { return int(list[kk].rec) >= jlo })
+				for ; kk < len(list) && int(list[kk].rec) < jhi; kk++ {
+					post := list[kk]
 					if seen.mark(post.rec) {
 						continue
 					}
-					cand := pr[post.rec]
-					cn := len(cand.toks)
-					// Positional filter with the fixed bound k.
-					if ub := min(n-p, cn-int(post.pos)); ub < k {
-						continue
-					}
-					nc++
-					if ov := sim.IntersectSortedU32Bounded(probe.toks, cand.toks, k); ov >= k {
-						out = append(out, Pair{LID: probe.id, RID: cand.id, Sim: float64(ov)})
-					}
+					verify(int(post.rec), int(post.pos))
 				}
 			}
 		}
@@ -489,7 +728,7 @@ func OverlapJoinIDs(l, r []IDRecord, k int, opts Options) ([]Pair, error) {
 	if err != nil {
 		return nil, err
 	}
-	all, total := mergeShards(shards)
+	all, total := mergeShards(opts.Workers, shards)
 	rec.Count(obs.SimjoinCandidates, float64(total), join)
 	rec.Count(obs.SimjoinPairs, float64(len(all)), join)
 	sortPairs(all)
