@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fix fuzz bench bench-tokens bench-scaling
+.PHONY: build test race vet lint fix fuzz bench bench-tokens bench-scaling bench-serve
 
 build:
 	$(GO) build ./...
@@ -55,3 +55,10 @@ bench-scaling:
 # kernels). Exits non-zero if the two paths ever disagree bit-for-bit.
 bench-tokens:
 	$(GO) run ./cmd/benchem -exp tokens
+
+# Regenerates BENCH_serve.json: sustained QPS and tail latency of the
+# incremental serving core across the ingest-interference sweep, plus the
+# overload burst. Exits non-zero when the incrementally-maintained corpus
+# diverges from a from-scratch rebuild or backpressure never engages.
+bench-serve:
+	$(GO) run ./cmd/benchem -exp serve

@@ -13,6 +13,7 @@
 //	benchem -exp parallel      Workers=1 vs multicore regression bench (BENCH_parallel.json)
 //	benchem -exp obsbench      no-op vs live metrics overhead bench (BENCH_obs.json)
 //	benchem -exp tokens        string vs interned similarity kernels (BENCH_tokens.json)
+//	benchem -exp serve         incremental serving core QPS/latency bench (BENCH_serve.json)
 //	benchem -exp all           everything above
 //
 // With -metrics PATH the guide experiment records per-stage timings into a
@@ -72,7 +73,7 @@ func writeMetricsSnapshot(reg *obs.Registry, path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|parallel|obsbench|tokens|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|table4|guide|concurrency|smurf|mlrules|blockers|parallel|obsbench|tokens|serve|all)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker goroutines for parallelized stages; 0 means GOMAXPROCS")
 	benchout := flag.String("benchout", "BENCH_parallel.json", "output path for the parallel bench JSON")
@@ -83,6 +84,9 @@ func main() {
 	obsout := flag.String("obsout", "BENCH_obs.json", "output path for the metrics-overhead bench JSON")
 	tokensout := flag.String("tokensout", "BENCH_tokens.json", "output path for the token-interning bench JSON")
 	tokensn := flag.Int("tokensn", 1000, "records per side (and candidate pairs) for the tokens bench workloads")
+	serveout := flag.String("serveout", "BENCH_serve.json", "output path for the serving-core bench JSON")
+	serven := flag.Int("serven", 5000, "corpus size for the serve bench")
+	servequeries := flag.Int("servequeries", 2000, "query count per phase for the serve bench")
 	metricsPath := flag.String("metrics", "", "write the guide run's per-stage metrics snapshot as JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
@@ -245,6 +249,29 @@ func main() {
 			if div := res.Diverged(); len(div) > 0 {
 				return fmt.Errorf("interned kernels diverged from string path on: %v", div)
 			}
+		case "serve":
+			fmt.Println("== serving core: sustained QPS, tail latency, and backpressure ==")
+			res, err := experiments.RunServeBench(*seed, *workers, *serven, *servequeries)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatServeBench(res))
+			data, err := res.MarshalBenchJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*serveout, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *serveout)
+			// Divergence between the incrementally-maintained corpus and a
+			// from-scratch rebuild is a correctness bug: fail the run.
+			if !res.Identical {
+				return fmt.Errorf("incremental corpus diverged from from-scratch rebuild after the ingest phases")
+			}
+			if res.Overload.Rejected == 0 {
+				return fmt.Errorf("overload burst of %d was fully absorbed — backpressure never engaged", res.Overload.Submitted)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -254,7 +281,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "parallel", "obsbench", "tokens", "concurrency", "table2"}
+		names = []string{"table3", "table4", "guide", "table1", "smurf", "mlrules", "blockers", "parallel", "obsbench", "tokens", "serve", "concurrency", "table2"}
 	} else {
 		names = []string{*exp}
 	}

@@ -1,16 +1,21 @@
 // Command cloudmatcher serves the CloudMatcher microservice catalog over
 // HTTP — the cloud-native shape of the envisioned Magellan ecosystem
-// (Figure 6). Endpoints:
+// (Figure 6). The API is versioned under /v1 (legacy unversioned paths
+// answer 308 Permanent Redirect):
 //
-//	GET  /services      list the 18 basic + 2 composite services (Table 4)
-//	POST /jobs          submit a workflow DAG; returns step-by-step results
-//	GET  /healthz       liveness plus per-engine queue/worker state
-//	GET  /metrics       Prometheus text exposition (pipeline + engine series)
-//	GET  /debug/pprof/  Go profiler endpoints
+//	GET  /v1/services      list the 18 basic + 2 composite services (Table 4)
+//	POST /v1/jobs          submit a workflow DAG; returns step-by-step results
+//	GET  /v1/healthz       liveness plus per-engine queue/worker state
+//	GET  /v1/metrics       Prometheus text exposition (pipeline + engine series)
+//	GET  /v1/corpus        serving corpora and their stats
+//	POST /v1/corpus/add    add/update records in a serving corpus
+//	POST /v1/corpus/delete delete records from a serving corpus
+//	POST /v1/match         match one record against a serving corpus
+//	GET  /debug/pprof/     Go profiler endpoints (unversioned)
 //
 // Example job (self-service Falcon over inline CSVs):
 //
-//	curl -s localhost:8080/jobs -d '{
+//	curl -s localhost:8080/v1/jobs -d '{
 //	  "name": "demo", "seed": 1,
 //	  "gold": [["a1","b1"]],
 //	  "steps": [
@@ -20,6 +25,15 @@
 //	    {"id":"kb","service":"set_key","args":{"table":"b","key":"id"},"after":["ub"]},
 //	    {"id":"f","service":"falcon","args":{"a":"a","b":"b"},"after":["ka","kb"]}
 //	  ]}'
+//
+// Example incremental serving session against the default corpus:
+//
+//	curl -s localhost:8080/v1/corpus/add -d '{
+//	  "corpus": "default",
+//	  "records": [{"id":"a1","attrs":{"name":"acme corp"}}]}'
+//	curl -s localhost:8080/v1/match -d '{
+//	  "corpus": "default",
+//	  "record": {"id":"q","attrs":{"name":"acme corporation"}}}'
 package main
 
 import (
@@ -30,6 +44,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -38,7 +53,10 @@ func main() {
 	users := flag.Int("user-workers", 16, "user-interaction engine worker count")
 	crowd := flag.Int("crowd-workers", 16, "crowd engine worker count")
 	timeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
-	maxBody := flag.Int64("max-body", 8<<20, "POST /jobs body cap in bytes")
+	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes")
+	corpus := flag.String("corpus", "default", "name of the built-in serving corpus (empty disables /v1/corpus and /v1/match)")
+	matchWorkers := flag.Int("match-workers", 0, "match pool worker count (0 = GOMAXPROCS)")
+	matchQueue := flag.Int("match-queue", 0, "match queue capacity before 429s (0 = 4x workers)")
 	flag.Parse()
 
 	// One registry shared by the HTTP server, the metamanager, and (via
@@ -53,11 +71,23 @@ func main() {
 	})
 	defer mm.Close()
 
-	srv := cloud.NewServer(mm,
+	opts := []cloud.ServerOption{
 		cloud.WithMetrics(reg),
 		cloud.WithRequestTimeout(*timeout),
 		cloud.WithMaxBodySize(*maxBody),
-	)
+	}
+	if *corpus != "" {
+		c := serve.NewCorpus(serve.WithMetrics(reg))
+		corpora := serve.NewRegistry()
+		if err := corpora.Register(*corpus, c, serve.NewPool(c, *matchWorkers, *matchQueue)); err != nil {
+			fmt.Fprintln(os.Stderr, "cloudmatcher:", err)
+			os.Exit(1)
+		}
+		defer corpora.Close()
+		opts = append(opts, cloud.WithCorpora(corpora))
+	}
+
+	srv := cloud.NewServer(mm, opts...)
 	basic, composite := mm.Registry().Counts()
 	fmt.Printf("cloudmatcher: %d basic + %d composite services on %s\n", basic, composite, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {

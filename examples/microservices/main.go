@@ -27,7 +27,7 @@ func main() {
 	fmt.Println("cloudmatcher listening at", srv.URL)
 
 	// 1. Discover the service catalog.
-	resp, err := http.Get(srv.URL + "/services")
+	resp, err := http.Get(srv.URL + "/v1/services")
 	must(err)
 	var services []map[string]any
 	must(json.NewDecoder(resp.Body).Decode(&services))
@@ -64,7 +64,7 @@ func main() {
 	}
 	body, err := json.Marshal(job)
 	must(err)
-	resp, err = http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	must(err)
 	defer resp.Body.Close()
 

@@ -3,14 +3,13 @@ package analysis
 import "go/ast"
 
 // deprecatedFuncs lists the retired entry points by module-relative
-// package path. PR 2 redesigned cross-validation and matcher selection
-// around variadic functional options; the struct-options wrappers stay
-// exported for external compatibility but in-repo code must use the new
-// forms. Grow this table as future redesigns deprecate more surface.
+// package path. The ml struct-options wrappers deprecated in PR 2 were
+// deleted in PR 7; the current entry is the simjoin Options-struct bridge
+// kept for one release while callers migrate to individual JoinOption
+// values. Grow this table as future redesigns deprecate more surface.
 var deprecatedFuncs = map[string]map[string]string{
-	"/internal/ml": {
-		"CrossValidateOpt": "call CrossValidate(factory, d, k, rng, ml.WithWorkers(n), ...)",
-		"SelectMatcherOpt": "call SelectMatcher(factories, d, k, rng, ml.WithWorkers(n), ...)",
+	"/internal/simjoin": {
+		"WithOptions": "pass simjoin.WithWorkers/WithMetrics/WithDenseMinTokens/WithBitmapPostingMin directly",
 	},
 }
 

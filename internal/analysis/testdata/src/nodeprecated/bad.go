@@ -1,19 +1,16 @@
 // Package fixture exercises the nodeprecated analyzer: calls to the
-// retired struct-options wrappers must be flagged.
+// retired struct-options bridge must be flagged.
 package fixture
 
 import (
-	"math/rand"
-
-	"repro/internal/ml"
+	"repro/internal/simjoin"
 )
 
-func cvOld(d *ml.Dataset) error {
-	factory := func() ml.Classifier { return &ml.GaussianNB{} }
-	_, err := ml.CrossValidateOpt(factory, d, 2, rand.New(rand.NewSource(1)), ml.CVOptions{Workers: 2}) // want nodeprecated
+func joinOld(l, r []simjoin.Record) error {
+	_, err := simjoin.JaccardJoin(l, r, 0.5, simjoin.WithOptions(simjoin.Options{Workers: 2})) // want nodeprecated
 	if err != nil {
 		return err
 	}
-	_, err = ml.SelectMatcherOpt(ml.DefaultMatcherFactories(1), d, 2, rand.New(rand.NewSource(1)), ml.CVOptions{}) // want nodeprecated
+	_, err = simjoin.OverlapJoin(l, r, 2, simjoin.WithOptions(simjoin.Options{DenseMinTokens: -1})) // want nodeprecated
 	return err
 }

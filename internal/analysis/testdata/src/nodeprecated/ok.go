@@ -1,22 +1,18 @@
 package fixture
 
 import (
-	"math/rand"
-
-	"repro/internal/ml"
+	"repro/internal/simjoin"
 )
 
-// cvNew uses the variadic functional-options API — the sanctioned form.
-func cvNew(d *ml.Dataset) error {
-	factory := func() ml.Classifier { return &ml.GaussianNB{} }
-	_, err := ml.CrossValidate(factory, d, 2, rand.New(rand.NewSource(1)), ml.WithWorkers(2))
+// joinNew spells each knob as its own option — the sanctioned form.
+func joinNew(l, r []simjoin.Record) error {
+	_, err := simjoin.JaccardJoin(l, r, 0.5, simjoin.WithWorkers(2), simjoin.WithDenseMinTokens(-1))
 	return err
 }
 
 // allowed shows the escape hatch compatibility shims use.
-func allowed(d *ml.Dataset) error {
-	factory := func() ml.Classifier { return &ml.GaussianNB{} }
+func allowed(l, r []simjoin.Record) error {
 	//emlint:allow nodeprecated -- fixture equivalence check against the old API
-	_, err := ml.CrossValidateOpt(factory, d, 2, rand.New(rand.NewSource(1)), ml.CVOptions{})
+	_, err := simjoin.JaccardJoin(l, r, 0.5, simjoin.WithOptions(simjoin.Options{Workers: 2}))
 	return err
 }

@@ -1,0 +1,68 @@
+package bitvec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestAddMatchesFromSorted pins the incremental-build contract the serving
+// core relies on: a Set grown one Add at a time — in arbitrary insertion
+// order, with duplicates — must be indistinguishable from FromSorted over
+// the final membership, including the array/bitmap container layout.
+func TestAddMatchesFromSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		ids := genSet(rng)
+		shuffled := append([]uint32(nil), ids...)
+		// Duplicate a slice of the members to exercise the no-op path.
+		shuffled = append(shuffled, shuffled[:len(shuffled)/3]...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		grown := &Set{}
+		for _, id := range shuffled {
+			grown.Add(id)
+		}
+		want := FromSorted(ids)
+		if grown.Len() != want.Len() {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, grown.Len(), want.Len())
+		}
+		if !reflect.DeepEqual(grown.AppendTo(nil), want.AppendTo(nil)) {
+			t.Fatalf("trial %d: membership diverged from FromSorted", trial)
+		}
+		if len(grown.cons) != len(want.cons) {
+			t.Fatalf("trial %d: %d containers, want %d", trial, len(grown.cons), len(want.cons))
+		}
+		for ci := range want.cons {
+			g, w := &grown.cons[ci], &want.cons[ci]
+			if g.key != w.key || g.card != w.card || (g.bits != nil) != (w.bits != nil) {
+				t.Fatalf("trial %d container %d: key/card/layout (%d,%d,bitmap=%v) != (%d,%d,bitmap=%v)",
+					trial, ci, g.key, g.card, g.bits != nil, w.key, w.card, w.bits != nil)
+			}
+		}
+	}
+}
+
+// TestAddFlipsContainerAtThreshold pins the exact roaring flip point under
+// incremental growth: ArrayMaxCard members stay an array, one more flips
+// the container to a bitmap — and intersections keep working across the
+// flip.
+func TestAddFlipsContainerAtThreshold(t *testing.T) {
+	s := &Set{}
+	for i := 0; i < ArrayMaxCard; i++ {
+		s.Add(uint32(i))
+	}
+	if s.cons[0].bits != nil {
+		t.Fatalf("container flipped to bitmap at %d members, flip point is %d+1", ArrayMaxCard, ArrayMaxCard)
+	}
+	s.Add(uint32(ArrayMaxCard))
+	if s.cons[0].bits == nil || s.cons[0].arr != nil {
+		t.Fatal("container still an array past ArrayMaxCard members")
+	}
+	if s.Len() != ArrayMaxCard+1 {
+		t.Fatalf("Len = %d, want %d", s.Len(), ArrayMaxCard+1)
+	}
+	probe := FromSorted([]uint32{0, uint32(ArrayMaxCard), 1 << 20})
+	if got := AndCount(s, probe); got != 2 {
+		t.Fatalf("AndCount across flip = %d, want 2", got)
+	}
+}

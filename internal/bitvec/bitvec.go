@@ -46,10 +46,13 @@ type container struct {
 	bits []uint64 // packed bitmap of low-16-bit members, len == wordsPerBlock
 }
 
-// Set is an immutable compressed set of uint32 IDs. Build one with
-// FromSorted; the zero value is the empty set. A built Set is read-only
-// and therefore safe to share across goroutines (the DESIGN.md §5
-// convention: construct, then share).
+// Set is a compressed set of uint32 IDs. Build one with FromSorted (or
+// grow one incrementally with Add); the zero value is the empty set. A
+// Set is not safe for concurrent mutation: construct — or mutate under
+// the owner's lock — then share read-only across goroutines (the
+// DESIGN.md §5 convention). The serving core (package serve) is the one
+// mutating owner: it patches bitmap postings in place under the corpus
+// write lock.
 type Set struct {
 	cons []container
 	n    int
@@ -86,6 +89,58 @@ func FromSorted(ids []uint32) *Set {
 
 // Len returns the number of members.
 func (s *Set) Len() int { return s.n }
+
+// Add inserts id, keeping the container layout canonical: array
+// containers stay sorted and flip to bitmaps once they exceed
+// ArrayMaxCard, exactly as FromSorted would have built them — so a Set
+// grown by Add is indistinguishable from one built from the final
+// membership (pinned by TestAddMatchesFromSorted). Adding a present
+// member is a no-op.
+func (s *Set) Add(id uint32) {
+	key := uint16(id >> blockShift)
+	low := uint16(id & blockMask)
+	ci := sort.Search(len(s.cons), func(k int) bool { return s.cons[k].key >= key })
+	if ci == len(s.cons) || s.cons[ci].key != key {
+		s.cons = append(s.cons, container{})
+		copy(s.cons[ci+1:], s.cons[ci:])
+		s.cons[ci] = container{key: key, card: 1, arr: []uint16{low}}
+		s.n++
+		return
+	}
+	c := &s.cons[ci]
+	if c.bits != nil {
+		w, bit := low>>6, uint64(1)<<(low&63)
+		if c.bits[w]&bit != 0 {
+			return
+		}
+		c.bits[w] |= bit
+		c.card++
+		s.n++
+		return
+	}
+	i := sort.Search(len(c.arr), func(k int) bool { return c.arr[k] >= low })
+	if i < len(c.arr) && c.arr[i] == low {
+		return
+	}
+	if len(c.arr) >= ArrayMaxCard {
+		// Flip to a bitmap before inserting the member that would push
+		// the array past the roaring threshold.
+		bm := make([]uint64, wordsPerBlock)
+		for _, m := range c.arr {
+			bm[m>>6] |= 1 << (m & 63)
+		}
+		bm[low>>6] |= 1 << (low & 63)
+		c.arr, c.bits = nil, bm
+		c.card++
+		s.n++
+		return
+	}
+	c.arr = append(c.arr, 0)
+	copy(c.arr[i+1:], c.arr[i:])
+	c.arr[i] = low
+	c.card++
+	s.n++
+}
 
 // Contains reports membership of id.
 func (s *Set) Contains(id uint32) bool {

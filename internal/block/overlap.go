@@ -63,7 +63,7 @@ func (b OverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if err != nil {
 		return nil, err
 	}
-	joined, err := simjoin.OverlapJoinIDs(lrecs, rrecs, b.minOverlap(), simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
+	joined, err := simjoin.OverlapJoinIDs(lrecs, rrecs, b.minOverlap(), simjoin.WithWorkers(b.Workers), simjoin.WithMetrics(b.Metrics))
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func (b JaccardBlocker) Block(lt, rt *table.Table, cat *table.Catalog) (*table.T
 	if err != nil {
 		return nil, err
 	}
-	joined, err := simjoin.JaccardJoinIDs(lrecs, rrecs, b.Threshold, simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
+	joined, err := simjoin.JaccardJoinIDs(lrecs, rrecs, b.Threshold, simjoin.WithWorkers(b.Workers), simjoin.WithMetrics(b.Metrics))
 	if err != nil {
 		return nil, err
 	}

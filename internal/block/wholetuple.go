@@ -49,7 +49,7 @@ func (b WholeTupleOverlapBlocker) Block(lt, rt *table.Table, cat *table.Catalog)
 	tok := tokenize.Alphanumeric{ReturnSet: true}
 	lrecs := wholeTupleRecords(lt, tok)
 	rrecs := wholeTupleRecords(rt, tok)
-	joined, err := simjoin.OverlapJoin(lrecs, rrecs, k, simjoin.Options{Workers: b.Workers, Metrics: b.Metrics})
+	joined, err := simjoin.OverlapJoin(lrecs, rrecs, k, simjoin.WithWorkers(b.Workers), simjoin.WithMetrics(b.Metrics))
 	if err != nil {
 		return nil, err
 	}

@@ -11,33 +11,44 @@ import (
 
 	"repro/internal/label"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // Server is the HTTP façade over a Metamanager: the shape the envisioned
 // cloud-native Magellan ecosystem (Figure 6) exposes its microservices in.
-// It serves:
+// The API is versioned under /v1:
 //
-//	GET  /services      — the service catalog (Table 4)
-//	POST /jobs          — submit a workflow DAG and block for its result
-//	GET  /healthz       — liveness plus per-engine queue/worker state
-//	GET  /metrics       — Prometheus text exposition of the obs registry
-//	GET  /debug/pprof/* — the standard Go profiler endpoints
+//	GET  /v1/services      — the service catalog (Table 4)
+//	POST /v1/jobs          — submit a workflow DAG and block for its result
+//	GET  /v1/healthz       — liveness plus per-engine queue/worker state
+//	GET  /v1/metrics       — Prometheus text exposition of the obs registry
+//	GET  /v1/corpus        — serving corpora and their stats (WithCorpora)
+//	POST /v1/corpus/add    — add/update records in a serving corpus
+//	POST /v1/corpus/delete — delete records from a serving corpus
+//	POST /v1/match         — match one record against a serving corpus
+//	GET  /debug/pprof/*    — the standard Go profiler endpoints (unversioned)
+//
+// The legacy unversioned routes (/services, /jobs, /healthz, /metrics)
+// answer with 308 Permanent Redirect to their /v1 twins — 308 preserves
+// the method and body, so redirect-following clients keep POSTing.
 //
 // Interactive labeling cannot ride a synchronous HTTP call, so job
 // payloads carry the gold matches ("gold": [["a1","b1"], ...]) from which
 // a simulated labeler is built — the same substitution the rest of the
 // reproduction uses for humans.
 //
-// Request-level failures return a structured JSON error:
+// Request-level failures return a structured JSON error envelope:
 //
-//	{"error": {"code": "bad_json", "message": "..."}}
+//	{"error": {"code": "bad_json", "message": "...", "detail": "..."}}
 //
-// with codes bad_json (400), invalid_dag (400), and payload_too_large
-// (413); a job that executed but failed returns 422 with the per-step
-// results.
+// with codes bad_json (400), invalid_dag (400), payload_too_large (413),
+// unknown_corpus (404), conflict (409), overloaded (429), and
+// encode_failed (500); detail is optional operator-facing context. A job
+// that executed but failed returns 422 with the per-step results.
 type Server struct {
 	mm       *Metamanager
 	registry *obs.Registry
+	corpora  *serve.Registry
 	timeout  time.Duration
 	maxBody  int64
 }
@@ -58,6 +69,12 @@ func WithRequestTimeout(d time.Duration) ServerOption {
 // get a 413. The default is 8 MiB.
 func WithMaxBodySize(n int64) ServerOption {
 	return func(s *Server) { s.maxBody = n }
+}
+
+// WithCorpora attaches a serving-corpus registry, enabling the /v1/corpus
+// and /v1/match routes. Without it those routes answer 404 unknown_corpus.
+func WithCorpora(reg *serve.Registry) ServerOption {
+	return func(s *Server) { s.corpora = reg }
 }
 
 // WithMetrics replaces the server's own registry, so the process can share
@@ -86,10 +103,27 @@ func NewServer(mm *Metamanager, opts ...ServerOption) *Server {
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /services", s.handleServices)
-	mux.HandleFunc("POST /jobs", s.handleJobs)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/services", s.handleServices)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/corpus", s.handleCorpusList)
+	mux.HandleFunc("POST /v1/corpus/add", s.handleCorpusAdd)
+	mux.HandleFunc("POST /v1/corpus/delete", s.handleCorpusDelete)
+	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	// Legacy unversioned routes: 308 keeps method and body intact, so
+	// old clients that follow redirects continue to work.
+	for _, route := range []struct{ pattern, target string }{
+		{"GET /services", "/v1/services"},
+		{"POST /jobs", "/v1/jobs"},
+		{"GET /healthz", "/v1/healthz"},
+		{"GET /metrics", "/v1/metrics"},
+	} {
+		target := route.target
+		mux.HandleFunc(route.pattern, func(w http.ResponseWriter, r *http.Request) {
+			http.Redirect(w, r, target, http.StatusPermanentRedirect)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -179,10 +213,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
-				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), "raise the server's -maxbody or shrink the payload")
 			return
 		}
-		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		writeError(w, http.StatusBadRequest, "bad_json", err.Error(), "")
 		return
 	}
 	gold := label.NewGold(req.Gold)
@@ -201,7 +235,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// Validate up front so a malformed DAG is a client error, not a job
 	// failure.
 	if err := validateDAG(job); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_dag", err.Error())
+		writeError(w, http.StatusBadRequest, "invalid_dag", err.Error(), "")
 		return
 	}
 	res := s.mm.Submit(ctx, job)
@@ -236,14 +270,17 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// errorBody is the structured request-level error payload.
+// errorBody is the structured request-level error envelope: a stable
+// machine-readable code, a human-readable message, and optional
+// operator-facing detail.
 type errorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
 }
 
-func writeError(w http.ResponseWriter, status int, code, message string) {
-	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: message}})
+func writeError(w http.ResponseWriter, status int, code, message, detail string) {
+	writeJSON(w, status, map[string]errorBody{"error": {Code: code, Message: message, Detail: detail}})
 }
 
 // writeJSON encodes v before touching the response so an encoding failure

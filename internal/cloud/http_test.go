@@ -22,7 +22,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *Metamanager) {
 
 func TestHTTPHealthz(t *testing.T) {
 	srv, _ := newTestServer(t)
-	resp, err := http.Get(srv.URL + "/healthz")
+	resp, err := http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestHTTPHealthz(t *testing.T) {
 
 func TestHTTPServices(t *testing.T) {
 	srv, _ := newTestServer(t)
-	resp, err := http.Get(srv.URL + "/services")
+	resp, err := http.Get(srv.URL + "/v1/services")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestHTTPSubmitJob(t *testing.T) {
 		},
 	}
 	body := mustJSON(t, payload)
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestHTTPSubmitJob(t *testing.T) {
 
 func TestHTTPSubmitBadJSON(t *testing.T) {
 	srv, _ := newTestServer(t)
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{nope"))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestHTTPSubmitFailingJob(t *testing.T) {
 		},
 	}
 	body := mustJSON(t, payload)
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestHTTPNoisyLabeler(t *testing.T) {
 		},
 	}
 	body := mustJSON(t, payload)
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -192,7 +192,7 @@ func TestHTTPInvalidDAG(t *testing.T) {
 		"no steps": {},
 	} {
 		body := mustJSON(t, map[string]any{"name": "bad", "steps": steps})
-		resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +209,7 @@ func TestHTTPInvalidDAG(t *testing.T) {
 // TestHTTPBadJSONStructuredError checks the 400 carries the bad_json code.
 func TestHTTPBadJSONStructuredError(t *testing.T) {
 	srv, _ := newTestServer(t)
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{nope"))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestHTTPPayloadTooLarge(t *testing.T) {
 				"args": map[string]any{"csv": strings.Repeat("x,", 500), "out": "t"}},
 		},
 	})
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(big))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(big))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestHTTPUnknownService(t *testing.T) {
 			{"id": "y", "service": "profile_dataset", "args": map[string]any{"table": "t"}, "after": []string{"x"}},
 		},
 	})
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ func TestHTTPCancelledRequestStopsDAG(t *testing.T) {
 	reqCtx := make(chan context.Context, 1)
 	inner := NewServer(mm).Handler()
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/jobs" {
+		if r.URL.Path == "/v1/jobs" {
 			reqCtx <- r.Context()
 		}
 		inner.ServeHTTP(w, r)
@@ -337,7 +337,7 @@ func TestHTTPCancelledRequestStopsDAG(t *testing.T) {
 		},
 	})
 	ctx, cancel := context.WithCancel(context.Background())
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/jobs", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +407,7 @@ func TestHTTPRequestTimeout(t *testing.T) {
 			{"id": "s2", "service": "must_not_run", "args": map[string]any{}, "after": []string{"s1"}},
 		},
 	})
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestHTTPRequestTimeout(t *testing.T) {
 // TestHTTPHealthzJSON checks the enriched liveness payload.
 func TestHTTPHealthzJSON(t *testing.T) {
 	srv, _ := newTestServer(t)
-	resp, err := http.Get(srv.URL + "/healthz")
+	resp, err := http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestHTTPMetricsExposition(t *testing.T) {
 				"args": map[string]any{"csv": "id\n1\n", "out": "t"}},
 		},
 	})
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,7 +480,7 @@ func TestHTTPMetricsExposition(t *testing.T) {
 		t.Fatalf("job status = %d", resp.StatusCode)
 	}
 
-	mresp, err := http.Get(srv.URL + "/metrics")
+	mresp, err := http.Get(srv.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

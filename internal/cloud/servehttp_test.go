@@ -1,0 +1,292 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// newServeTestServer wires a Server with a one-corpus serve.Registry.
+func newServeTestServer(t *testing.T, opts ...serve.CorpusOption) (*httptest.Server, *serve.Corpus, *serve.Pool) {
+	t.Helper()
+	c := serve.NewCorpus(opts...)
+	for i, name := range []string{"acme corp", "acme inc", "globex llc"} {
+		err := c.Add(serve.Record{
+			ID:    fmt.Sprintf("r%d", i),
+			Attrs: map[string]string{"name": name},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := serve.NewRegistry()
+	p := serve.NewPool(c, 1, 2)
+	if err := reg.Register("products", c, p); err != nil {
+		t.Fatal(err)
+	}
+	mm := NewMetamanager(NewRegistry(), EngineConfig{})
+	srv := httptest.NewServer(NewServer(mm, WithCorpora(reg)).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		reg.Close()
+		mm.Close()
+	})
+	return srv, c, p
+}
+
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(mustJSON(t, v)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHTTPLegacyRedirects: the unversioned routes answer 308 with the /v1
+// twin in Location, and a redirect-following client still reaches the
+// handler through them.
+func TestHTTPLegacyRedirects(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Observe the redirect itself rather than following it.
+	noFollow := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	for _, tc := range []struct{ method, path, target string }{
+		{http.MethodGet, "/services", "/v1/services"},
+		{http.MethodPost, "/jobs", "/v1/jobs"},
+		{http.MethodGet, "/healthz", "/v1/healthz"},
+		{http.MethodGet, "/metrics", "/v1/metrics"},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := noFollow.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s %s = %d, want 308", tc.method, tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.target {
+			t.Errorf("%s %s Location = %q, want %q", tc.method, tc.path, loc, tc.target)
+		}
+	}
+	// A default client follows the 308 transparently, method and body
+	// preserved — the legacy-compatibility contract.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("followed /healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPCorpusLifecycle drives add, list, match, and delete through the
+// /v1 surface and checks the JSON shapes round-trip.
+func TestHTTPCorpusLifecycle(t *testing.T) {
+	srv, _, _ := newServeTestServer(t)
+
+	resp := postJSON(t, srv.URL+"/v1/corpus/add", corpusAddRequest{
+		Corpus: "products",
+		Records: []serve.Record{
+			{ID: "n1", Attrs: map[string]string{"name": "initech corp"}},
+			{ID: "n2", Attrs: map[string]string{"name": "hooli inc"}},
+		},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("corpus/add = %d", resp.StatusCode)
+	}
+	var mut corpusMutationResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mut); err != nil {
+		t.Fatal(err)
+	}
+	if mut.Applied != 2 || mut.Stats.Records != 5 {
+		t.Fatalf("add applied %d / %d records, want 2 / 5", mut.Applied, mut.Stats.Records)
+	}
+
+	lresp, err := http.Get(srv.URL + "/v1/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list []corpusInfo
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "products" || list[0].Records != 5 {
+		t.Fatalf("corpus list = %+v, want one products entry with 5 records", list)
+	}
+
+	mresp := postJSON(t, srv.URL+"/v1/match", matchRequest{
+		Corpus: "products",
+		Record: serve.Record{ID: "q", Attrs: map[string]string{"name": "acme corp"}},
+	})
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("match = %d", mresp.StatusCode)
+	}
+	var match matchResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&match); err != nil {
+		t.Fatal(err)
+	}
+	if len(match.Pairs) == 0 || match.Pairs[0].ID != "r0" || match.Pairs[0].Score != 1 {
+		t.Fatalf("match pairs = %+v, want r0 scored 1.0 first", match.Pairs)
+	}
+
+	dresp := postJSON(t, srv.URL+"/v1/corpus/delete", corpusDeleteRequest{
+		Corpus: "products", IDs: []string{"n1", "n2"},
+	})
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("corpus/delete = %d", dresp.StatusCode)
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&mut); err != nil {
+		t.Fatal(err)
+	}
+	if mut.Applied != 2 || mut.Stats.Records != 3 {
+		t.Fatalf("delete applied %d / %d records, want 2 / 3", mut.Applied, mut.Stats.Records)
+	}
+}
+
+// TestHTTPCorpusUpsert: a duplicate add fails with 409 conflict and a
+// progress detail, and succeeds as an update when upsert is set.
+func TestHTTPCorpusUpsert(t *testing.T) {
+	srv, c, _ := newServeTestServer(t)
+
+	resp := postJSON(t, srv.URL+"/v1/corpus/add", corpusAddRequest{
+		Corpus:  "products",
+		Records: []serve.Record{{ID: "r0", Attrs: map[string]string{"name": "acme corp intl"}}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate add = %d, want 409", resp.StatusCode)
+	}
+	eb := decodeError(t, resp.Body)
+	if eb.Code != "conflict" || !strings.Contains(eb.Detail, "0 of 1") {
+		t.Fatalf("conflict envelope = %+v", eb)
+	}
+
+	uresp := postJSON(t, srv.URL+"/v1/corpus/add", corpusAddRequest{
+		Corpus:  "products",
+		Records: []serve.Record{{ID: "r0", Attrs: map[string]string{"name": "acme corp intl"}}},
+		Upsert:  true,
+	})
+	defer uresp.Body.Close()
+	if uresp.StatusCode != http.StatusOK {
+		t.Fatalf("upsert add = %d, want 200", uresp.StatusCode)
+	}
+	if got := c.Stats().Records; got != 3 {
+		t.Fatalf("records after upsert = %d, want 3", got)
+	}
+}
+
+// TestHTTPServeErrors covers the structured envelope on the serving
+// routes: unknown corpus, unconfigured registry, and bad JSON.
+func TestHTTPServeErrors(t *testing.T) {
+	srv, _, _ := newServeTestServer(t)
+
+	resp := postJSON(t, srv.URL+"/v1/match", matchRequest{
+		Corpus: "ghosts",
+		Record: serve.Record{ID: "q", Attrs: map[string]string{"name": "x"}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown corpus = %d, want 404", resp.StatusCode)
+	}
+	eb := decodeError(t, resp.Body)
+	if eb.Code != "unknown_corpus" || !strings.Contains(eb.Detail, "products") {
+		t.Fatalf("unknown_corpus envelope = %+v", eb)
+	}
+
+	// A server without WithCorpora 404s every serving route.
+	bare, _ := newTestServer(t)
+	bresp := postJSON(t, bare.URL+"/v1/match", matchRequest{Corpus: "products"})
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unconfigured match = %d, want 404", bresp.StatusCode)
+	}
+	if eb := decodeError(t, bresp.Body); eb.Code != "unknown_corpus" || !strings.Contains(eb.Detail, "WithCorpora") {
+		t.Fatalf("unconfigured envelope = %+v", eb)
+	}
+
+	jresp, err := http.Post(srv.URL+"/v1/corpus/add", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if jresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json = %d, want 400", jresp.StatusCode)
+	}
+	if eb := decodeError(t, jresp.Body); eb.Code != "bad_json" {
+		t.Fatalf("bad_json envelope = %+v", eb)
+	}
+}
+
+// TestHTTPMatchOverloaded: when the pool refuses, the route answers 429
+// with Retry-After and the overloaded code — HTTP backpressure end to end.
+// The queue is filled out-of-band with expensive queries (Pool.Submit is
+// non-blocking), so the HTTP request arrives at a provably full queue.
+func TestHTTPMatchOverloaded(t *testing.T) {
+	srv, _, p := newServeTestServer(t)
+	// A query with many distinct tokens keeps the single worker busy long
+	// enough that the tasks queued behind it cannot be dequeued before the
+	// HTTP round trip below completes.
+	// Known tokens first so the query has candidates and cannot take the
+	// zero-candidate early exit; the distinct tail makes ephemeral
+	// interning the dominant cost.
+	var sb strings.Builder
+	sb.WriteString("acme corp inc globex llc ")
+	for i := 0; i < 250000; i++ {
+		fmt.Fprintf(&sb, "t%d ", i)
+	}
+	heavy := serve.Record{ID: "heavy", Attrs: map[string]string{"name": sb.String()}}
+	got429 := false
+	for attempt := 0; attempt < 20 && !got429; attempt++ {
+		// Fill the queue: the worker slot plus every queue slot.
+		for {
+			if _, err := p.Submit(context.Background(), heavy); err != nil {
+				if !errors.Is(err, serve.ErrOverloaded) {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		resp := postJSON(t, srv.URL+"/v1/match", matchRequest{
+			Corpus: "products",
+			Record: serve.Record{ID: "q", Attrs: map[string]string{"name": "acme"}},
+		})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = true
+			if got := resp.Header.Get("Retry-After"); got != "1" {
+				t.Errorf("Retry-After = %q, want 1", got)
+			}
+			if eb := decodeError(t, resp.Body); eb.Code != "overloaded" {
+				t.Errorf("overloaded envelope = %+v", eb)
+			}
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !got429 {
+		t.Fatal("full queue never surfaced a 429")
+	}
+}

@@ -215,7 +215,7 @@ func RunParallelBench(seed int64, workerSweep, nSweep []int) (*ParallelBench, er
 				return nil
 			},
 			run: func(workers int) (any, error) {
-				return simjoin.JaccardJoinIDs(joinL, joinR, 0.5, simjoin.Options{Workers: workers})
+				return simjoin.JaccardJoinIDs(joinL, joinR, 0.5, simjoin.WithWorkers(workers))
 			},
 		},
 		{

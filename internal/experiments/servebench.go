@@ -1,0 +1,424 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/ml"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// ServePhase is one point of the ingest-while-querying interference sweep:
+// a fixed query load measured against a corpus that is idle, trickling
+// mutations, or ingesting as fast as the write lock allows.
+type ServePhase struct {
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	// Rejected counts ErrOverloaded refusals; the closed-loop phases keep
+	// it at zero, the overload phase exists to drive it up.
+	Rejected   int     `json:"rejected"`
+	Mutations  int     `json:"mutations"`
+	WallMillis int64   `json:"wall_millis"`
+	QPS        float64 `json:"qps"`
+	MutPerSec  float64 `json:"mutations_per_sec"`
+	P50Micros  int64   `json:"p50_micros"`
+	P99Micros  int64   `json:"p99_micros"`
+	P999Micros int64   `json:"p999_micros"`
+}
+
+// ServeOverload is the admission-control run: a burst of non-blocking
+// submissions against a deliberately tiny pool, proving the queue refuses
+// with ErrOverloaded instead of buffering without bound.
+type ServeOverload struct {
+	Workers   int     `json:"workers"`
+	QueueCap  int     `json:"queue_cap"`
+	Submitted int     `json:"submitted"`
+	Completed int     `json:"completed"`
+	Rejected  int     `json:"rejected"`
+	RejFrac   float64 `json:"rejected_frac"`
+}
+
+// ServeBench is the machine-readable payload of BENCH_serve.json: the
+// serving core's sustained throughput, tail latency under concurrent
+// ingest, backpressure behavior, and the incremental-vs-rebuild identity
+// check that gates it all.
+type ServeBench struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	N          int           `json:"n"`
+	Queries    int           `json:"queries"`
+	Workers    int           `json:"workers"`
+	Phases     []ServePhase  `json:"phases"`
+	Overload   ServeOverload `json:"overload"`
+	// Identical reports whether, after every phase's mutations, MatchOne
+	// on the incrementally-maintained corpus returned bit-identical scored
+	// pairs to a from-scratch rebuild on a fresh probe set.
+	Identical bool `json:"identical_to_rebuild"`
+}
+
+// MarshalBenchJSON renders the payload for BENCH_serve.json.
+func (p *ServeBench) MarshalBenchJSON() ([]byte, error) {
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// serveVocab and serveRandomRecord generate a workload whose token overlap
+// is dense enough that queries surface real candidate sets.
+func serveVocab(n int) []string {
+	size := n / 4
+	if size < 200 {
+		size = 200
+	}
+	out := make([]string, size)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%d", i)
+	}
+	return out
+}
+
+func serveRandomRecord(id string, vocab []string, rng *rand.Rand) serve.Record {
+	pick := func(k int) string {
+		toks := make([]string, k)
+		for i := range toks {
+			toks[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return strings.Join(toks, " ")
+	}
+	return serve.Record{ID: id, Attrs: map[string]string{
+		"name": pick(2 + rng.Intn(3)),
+		"desc": pick(4 + rng.Intn(5)),
+	}}
+}
+
+// serveMatcher builds the resident feature battery and classifier the
+// bench corpus scores with: two token-set features riding the interned
+// fast path plus one pure string feature exercising the fallback.
+func serveMatcher(seed int64) (*feature.Set, ml.Classifier, error) {
+	ws := tokenize.Whitespace{ReturnSet: true}
+	jacc := func(l, r string) float64 {
+		return sim.Jaccard(ws.Tokenize(strings.ToLower(l)), ws.Tokenize(strings.ToLower(r)))
+	}
+	fs := &feature.Set{Features: []feature.Feature{
+		{Name: "jaccard_ws_name", LAttr: "name", RAttr: "name", Fn: jacc, Tok: ws, SetFn: sim.JaccardU32},
+		{Name: "jaccard_ws_desc", LAttr: "desc", RAttr: "desc", Fn: jacc, Tok: ws, SetFn: sim.JaccardU32},
+		{Name: "lev_name", LAttr: "name", RAttr: "name", Fn: sim.Levenshtein},
+	}}
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 256; i++ {
+		v := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		label := 0
+		if v[0]+v[1] > 1 {
+			label = 1
+		}
+		x = append(x, v)
+		y = append(y, label)
+	}
+	ds, err := ml.NewDataset(x, y, []string{"jaccard_ws_name", "jaccard_ws_desc", "lev_name"})
+	if err != nil {
+		return nil, nil, err
+	}
+	clf := &ml.RandomForest{NumTrees: 16, Seed: seed, Workers: 1}
+	if err := clf.Fit(ds); err != nil {
+		return nil, nil, err
+	}
+	return fs, clf, nil
+}
+
+// serveMutate applies one weighted add/update/delete against the corpus,
+// keeping the live-ID list in sync.
+func serveMutate(c *serve.Corpus, ids *[]string, next *int, vocab []string, rng *rand.Rand) error {
+	op := rng.Intn(10)
+	switch {
+	case op < 5 || len(*ids) == 0:
+		id := fmt.Sprintf("m%d", *next)
+		*next++
+		if err := c.Add(serveRandomRecord(id, vocab, rng)); err != nil {
+			return err
+		}
+		*ids = append(*ids, id)
+	case op < 8:
+		id := (*ids)[rng.Intn(len(*ids))]
+		if err := c.Update(serveRandomRecord(id, vocab, rng)); err != nil {
+			return err
+		}
+	default:
+		k := rng.Intn(len(*ids))
+		if err := c.Delete((*ids)[k]); err != nil {
+			return err
+		}
+		(*ids)[k] = (*ids)[len(*ids)-1]
+		*ids = (*ids)[:len(*ids)-1]
+	}
+	return nil
+}
+
+func percentileMicros(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Microseconds()
+}
+
+// runServePhase drives `queries` closed-loop matches through the pool from
+// 2x GOMAXPROCS submitters while mutations interleave: mutEvery = 0 means
+// no ingest, 1 floods from a dedicated writer (tight loop), and k > 1 has
+// the submitters themselves apply one mutation per k queries — paced by
+// query progress, so the trickle rate holds on any core count.
+//
+//emlint:allow nondeterminism -- this is the benchmark harness's stopwatch
+func runServePhase(name string, p *serve.Pool, c *serve.Corpus, queries []serve.Record,
+	ids *[]string, next *int, vocab []string, mutEvery int, seed int64) (ServePhase, error) {
+
+	durs := make([]time.Duration, len(queries))
+	var idx, completed, rejected atomic.Int64
+	var wg sync.WaitGroup
+	workers := 2 * runtime.GOMAXPROCS(0)
+	errc := make(chan error, workers+1)
+	var mutations atomic.Int64
+	// Mutators share one guarded rng + ID list; serveMutate itself is not
+	// concurrency-safe.
+	var mutMu sync.Mutex
+	mrng := rand.New(rand.NewSource(seed))
+	mutate := func() error {
+		mutMu.Lock()
+		defer mutMu.Unlock()
+		if err := serveMutate(c, ids, next, vocab, mrng); err != nil {
+			return err
+		}
+		mutations.Add(1)
+		return nil
+	}
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//emlint:allow nogoroutine -- closed-loop load generator measuring the pool's own concurrency, not a fan-out computation
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				t0 := time.Now()
+				_, err := p.Match(context.Background(), queries[i])
+				if errors.Is(err, serve.ErrOverloaded) {
+					rejected.Add(1)
+					completed.Add(1)
+					continue
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+				durs[i] = time.Since(t0)
+				completed.Add(1)
+				if mutEvery > 1 && i%mutEvery == 0 {
+					if err := mutate(); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	if mutEvery == 1 {
+		wg.Add(1)
+		//emlint:allow nogoroutine -- the concurrent-ingest writer the flood phase exists to measure
+		go func() {
+			defer wg.Done()
+			for completed.Load() < int64(len(queries)) {
+				if err := mutate(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errc:
+		return ServePhase{}, fmt.Errorf("phase %s: %w", name, err)
+	default:
+	}
+	ok := durs[:0:0]
+	for _, d := range durs {
+		if d > 0 {
+			ok = append(ok, d)
+		}
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+	ph := ServePhase{
+		Name:       name,
+		Requests:   len(queries),
+		Rejected:   int(rejected.Load()),
+		Mutations:  int(mutations.Load()),
+		WallMillis: wall.Milliseconds(),
+		QPS:        float64(len(queries)) / wall.Seconds(),
+		MutPerSec:  float64(mutations.Load()) / wall.Seconds(),
+		P50Micros:  percentileMicros(ok, 0.50),
+		P99Micros:  percentileMicros(ok, 0.99),
+		P999Micros: percentileMicros(ok, 0.999),
+	}
+	return ph, nil
+}
+
+// runServeOverload bursts non-blocking submissions at a one-worker pool
+// with a tiny queue and counts the ErrOverloaded refusals — the typed
+// backpressure contract under load the pool cannot absorb.
+func runServeOverload(c *serve.Corpus, queries []serve.Record) (ServeOverload, error) {
+	const queueCap = 2
+	p := serve.NewPool(c, 1, queueCap)
+	defer p.Close()
+	ov := ServeOverload{Workers: 1, QueueCap: queueCap}
+	var tickets []*serve.Ticket
+	n := len(queries)
+	if n > 500 {
+		n = 500
+	}
+	for i := 0; i < n; i++ {
+		ov.Submitted++
+		tk, err := p.Submit(context.Background(), queries[i])
+		switch {
+		case err == nil:
+			tickets = append(tickets, tk)
+		case errors.Is(err, serve.ErrOverloaded):
+			ov.Rejected++
+		default:
+			return ov, err
+		}
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			return ov, err
+		}
+	}
+	ov.Completed = len(tickets)
+	ov.RejFrac = float64(ov.Rejected) / float64(ov.Submitted)
+	return ov, nil
+}
+
+// RunServeBench measures the incremental serving core end to end: build an
+// n-record corpus with a resident matcher, sweep a fixed query load across
+// increasing concurrent-ingest pressure, burst a tiny pool into overload,
+// and finish with the scored-output identity check against a from-scratch
+// rebuild.
+func RunServeBench(seed int64, workers, n, queries int) (*ServeBench, error) {
+	if n <= 0 {
+		n = 5000
+	}
+	if queries <= 0 {
+		queries = 2000
+	}
+	vocab := serveVocab(n)
+	rng := rand.New(rand.NewSource(seed))
+	c := serve.NewCorpus(serve.WithMinOverlap(2), serve.WithLimit(10))
+	ids := make([]string, 0, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("m%d", next)
+		next++
+		if err := c.Add(serveRandomRecord(id, vocab, rng)); err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	fs, clf, err := serveMatcher(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetMatcher(fs, clf); err != nil {
+		return nil, err
+	}
+	qs := make([]serve.Record, queries)
+	for i := range qs {
+		qs[i] = serveRandomRecord(fmt.Sprintf("q%d", i), vocab, rng)
+	}
+
+	res := &ServeBench{GOMAXPROCS: runtime.GOMAXPROCS(0), N: n, Queries: queries, Workers: workers}
+	p := serve.NewPool(c, workers, 0)
+	defer p.Close()
+	// The interference sweep: same query load, rising mutation pressure.
+	for _, sw := range []struct {
+		name     string
+		mutEvery int
+	}{
+		{"query_only", 0},
+		{"ingest_per_16_queries", 16},
+		{"ingest_flood", 1},
+	} {
+		ph, err := runServePhase(sw.name, p, c, qs, &ids, &next, vocab, sw.mutEvery, seed+int64(sw.mutEvery))
+		if err != nil {
+			return nil, err
+		}
+		res.Phases = append(res.Phases, ph)
+	}
+
+	ov, err := runServeOverload(c, qs)
+	if err != nil {
+		return nil, err
+	}
+	res.Overload = ov
+
+	// The gate: after every phase's concurrent mutations, the incremental
+	// corpus must score probes bit-identically to a from-scratch rebuild.
+	oracle := c.Rebuilt()
+	if err := oracle.SetMatcher(fs, clf); err != nil {
+		return nil, err
+	}
+	res.Identical = true
+	for i := 0; i < 25; i++ {
+		q := serveRandomRecord(fmt.Sprintf("probe%d", i), vocab, rng)
+		got, err := c.MatchOne(context.Background(), q)
+		if err != nil {
+			return nil, err
+		}
+		want, err := oracle.MatchOne(context.Background(), q)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(got, want) {
+			res.Identical = false
+		}
+	}
+	return res, nil
+}
+
+// FormatServeBench renders the human-readable table benchem prints.
+func FormatServeBench(p *ServeBench) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving core: n=%d queries=%d workers=%d GOMAXPROCS=%d\n",
+		p.N, p.Queries, p.Workers, p.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s %10s\n",
+		"phase", "qps", "p50(us)", "p99(us)", "p999(us)", "mut/s")
+	for _, ph := range p.Phases {
+		fmt.Fprintf(&b, "%-22s %10.0f %10d %10d %10d %10.0f\n",
+			ph.Name, ph.QPS, ph.P50Micros, ph.P99Micros, ph.P999Micros, ph.MutPerSec)
+	}
+	fmt.Fprintf(&b, "overload: %d submitted to a %d-worker/%d-slot pool -> %d completed, %d rejected (%.0f%%)\n",
+		p.Overload.Submitted, p.Overload.Workers, p.Overload.QueueCap,
+		p.Overload.Completed, p.Overload.Rejected, 100*p.Overload.RejFrac)
+	fmt.Fprintf(&b, "identical to from-scratch rebuild: %v\n", p.Identical)
+	return b.String()
+}

@@ -217,16 +217,16 @@ func RunTokensBench(seed int64, workers, n int, baselinePath string) (*TokensBen
 		{
 			name: fmt.Sprintf("jaccard_join_%dk", (n+999)/1000),
 			str: func() ([]simjoin.Pair, error) {
-				return simjoin.ReferenceJaccardJoin(l, r, 0.5, simjoin.Options{Workers: w})
+				return simjoin.ReferenceJaccardJoin(l, r, 0.5, simjoin.WithWorkers(w))
 			},
-			fast: func() ([]simjoin.Pair, error) { return simjoin.JaccardJoin(l, r, 0.5, simjoin.Options{Workers: w}) },
+			fast: func() ([]simjoin.Pair, error) { return simjoin.JaccardJoin(l, r, 0.5, simjoin.WithWorkers(w)) },
 		},
 		{
 			name: fmt.Sprintf("overlap_join_%dk", (n+999)/1000),
 			str: func() ([]simjoin.Pair, error) {
-				return simjoin.ReferenceOverlapJoin(l, r, 2, simjoin.Options{Workers: w})
+				return simjoin.ReferenceOverlapJoin(l, r, 2, simjoin.WithWorkers(w))
 			},
-			fast: func() ([]simjoin.Pair, error) { return simjoin.OverlapJoin(l, r, 2, simjoin.Options{Workers: w}) },
+			fast: func() ([]simjoin.Pair, error) { return simjoin.OverlapJoin(l, r, 2, simjoin.WithWorkers(w)) },
 		},
 	} {
 		row, err := tokensJoinRow(j.name, iters, j.str, j.fast)
@@ -243,18 +243,18 @@ func RunTokensBench(seed int64, workers, n int, baselinePath string) (*TokensBen
 	// bit-identity between the two verifiers.
 	const denseN, denseVocab, denseCard, denseChurn = 192, 16384, 5000, 400
 	dl, dr := denseIDRecords(denseN, denseVocab, denseCard, denseChurn, seed)
-	mergeOpts := simjoin.Options{Workers: w, DenseMinTokens: -1, BitmapPostingMin: -1}
-	bitsetOpts := simjoin.Options{Workers: w}
+	mergeOpts := []simjoin.JoinOption{simjoin.WithWorkers(w), simjoin.WithDenseMinTokens(-1), simjoin.WithBitmapPostingMin(-1)}
+	bitsetOpts := []simjoin.JoinOption{simjoin.WithWorkers(w)}
 	for _, j := range []joinFns{
 		{
 			name: "dense_jaccard_bitset_vs_merge",
-			str:  func() ([]simjoin.Pair, error) { return simjoin.JaccardJoinIDs(dl, dr, 0.8, mergeOpts) },
-			fast: func() ([]simjoin.Pair, error) { return simjoin.JaccardJoinIDs(dl, dr, 0.8, bitsetOpts) },
+			str:  func() ([]simjoin.Pair, error) { return simjoin.JaccardJoinIDs(dl, dr, 0.8, mergeOpts...) },
+			fast: func() ([]simjoin.Pair, error) { return simjoin.JaccardJoinIDs(dl, dr, 0.8, bitsetOpts...) },
 		},
 		{
 			name: "dense_overlap_bitset_vs_merge",
-			str:  func() ([]simjoin.Pair, error) { return simjoin.OverlapJoinIDs(dl, dr, denseCard/2, mergeOpts) },
-			fast: func() ([]simjoin.Pair, error) { return simjoin.OverlapJoinIDs(dl, dr, denseCard/2, bitsetOpts) },
+			str:  func() ([]simjoin.Pair, error) { return simjoin.OverlapJoinIDs(dl, dr, denseCard/2, mergeOpts...) },
+			fast: func() ([]simjoin.Pair, error) { return simjoin.OverlapJoinIDs(dl, dr, denseCard/2, bitsetOpts...) },
 		},
 	} {
 		row, err := tokensJoinRow(j.name, iters, j.str, j.fast)

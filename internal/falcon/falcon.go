@@ -252,7 +252,7 @@ func samplePairs(a, b *table.Table, cat *table.Catalog, n int, rng *rand.Rand) (
 		}
 	}
 
-	joined, err := simjoin.OverlapJoin(wholeTupleRecords(a), wholeTupleRecords(b), 1, simjoin.Options{})
+	joined, err := simjoin.OverlapJoin(wholeTupleRecords(a), wholeTupleRecords(b), 1)
 	if err != nil {
 		return nil, err
 	}

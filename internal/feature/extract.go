@@ -132,6 +132,69 @@ func (c *tokenCache) vector(s *Set, lrow, rrow table.Row, li, ri int) []float64 
 	return x
 }
 
+// RecordSets computes, for every feature in s carrying a token-set fast
+// path, the sorted interned set of one record's relevant attribute — the
+// per-record half of serving-side feature extraction (package serve caches
+// these for every resident record and computes them once per query).
+// attrs maps attribute name to rendered value; an absent key is a null.
+// right selects the RAttr column (corpus side) instead of LAttr (query
+// side). interner turns a lower-cased token slice into a sorted
+// duplicate-free ID set and must never return nil (intern.Dict.SortedSet
+// and SortedSetEphemeral both qualify); it runs once per distinct
+// (attribute, tokenizer) column, exactly like the bulk cache. The result
+// is indexed by feature; nil entries mark features without a set path or
+// with a null attribute.
+func (s *Set) RecordSets(attrs map[string]string, right bool, interner func(toks []string) []uint32) [][]uint32 {
+	out := make([][]uint32, len(s.Features))
+	built := make(map[cacheColKey][]uint32)
+	for k, f := range s.Features {
+		if f.SetFn == nil || f.Tok == nil {
+			continue
+		}
+		attr := f.LAttr
+		if right {
+			attr = f.RAttr
+		}
+		v, ok := attrs[attr]
+		if !ok {
+			continue
+		}
+		ck := cacheColKey{attr, f.Tok.Name()}
+		set, seen := built[ck]
+		if !seen {
+			set = interner(f.Tok.Tokenize(strings.ToLower(v)))
+			built[ck] = set
+		}
+		out[k] = set
+	}
+	return out
+}
+
+// VectorWith computes one pair's feature vector from attribute maps plus
+// per-record sets previously computed by RecordSets, reproducing Vector
+// bit for bit on equivalent rows (pinned by TestVectorWithMatchesVector):
+// features with both cached sets score SetFn over them, everything else
+// falls back to the string PairFunc, and a null on either side scores the
+// missing policy. Either sets argument may be nil to force the string
+// path for every feature.
+func (s *Set) VectorWith(lattrs, rattrs map[string]string, lsets, rsets [][]uint32) []float64 {
+	x := make([]float64, len(s.Features))
+	for k, f := range s.Features {
+		lv, lok := lattrs[f.LAttr]
+		rv, rok := rattrs[f.RAttr]
+		if !lok || !rok {
+			x[k] = s.missingScore()
+			continue
+		}
+		if lsets != nil && rsets != nil && lsets[k] != nil && rsets[k] != nil {
+			x[k] = f.SetFn(lsets[k], rsets[k])
+			continue
+		}
+		x[k] = f.Fn(lv, rv)
+	}
+	return x
+}
+
 // Vectors computes the feature matrix for every pair of a candidate-set
 // table. The pair table must be registered in cat (so its base tables and
 // id columns are known); per the paper's self-containment principle the FK

@@ -1,0 +1,107 @@
+package feature
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/intern"
+	"repro/internal/table"
+)
+
+// rowAttrs renders a table row as the attribute map the serving path
+// consumes: nulls become absent keys.
+func rowAttrs(t *table.Table, row table.Row) map[string]string {
+	out := make(map[string]string)
+	for j, col := range t.Schema().Columns() {
+		if row[j].IsNull() {
+			continue
+		}
+		out[col.Name] = row[j].AsString()
+	}
+	return out
+}
+
+// TestVectorWithMatchesVector pins the serving-side extraction contract:
+// VectorWith over attribute maps plus RecordSets-cached interned sets must
+// reproduce Set.Vector over the equivalent table rows bit for bit — across
+// set-path features, string fallbacks, nulls, and both missing policies.
+// The query side interns ephemerally (never-seen tokens included), the
+// corpus side through the shared dictionary, exactly as serve.MatchOne
+// does.
+func TestVectorWithMatchesVector(t *testing.T) {
+	a, b, _, _ := cacheTables(t, 40, 53)
+	s, err := AutoGenerate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []MissingPolicy{MissingZero, MissingNeutral} {
+		s.Missing = policy
+		d := intern.NewDict()
+		// Corpus side: every right row's sets through the shared dict.
+		rsets := make([][][]uint32, b.Len())
+		rattrs := make([]map[string]string, b.Len())
+		for ri := 0; ri < b.Len(); ri++ {
+			rattrs[ri] = rowAttrs(b, b.Row(ri))
+			rsets[ri] = s.RecordSets(rattrs[ri], true, d.SortedSet)
+		}
+		for li := 0; li < a.Len(); li++ {
+			lattrs := rowAttrs(a, a.Row(li))
+			lsets := s.RecordSets(lattrs, false, d.SortedSetEphemeral)
+			for ri := 0; ri < b.Len(); ri += 7 {
+				got := s.VectorWith(lattrs, rattrs[ri], lsets, rsets[ri])
+				want := s.Vector(a, b, a.Row(li), b.Row(ri))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("policy %d pair (%d,%d): VectorWith %v != Vector %v", policy, li, ri, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestVectorWithEphemeralTokens: a query carrying tokens the dictionary
+// has never seen must still score set-path features exactly — ephemeral
+// IDs are disjoint from interned IDs, so Jaccard/cosine denominators stay
+// right. The string path (nil caches) is the ground truth.
+func TestVectorWithEphemeralTokens(t *testing.T) {
+	a, b, _, _ := cacheTables(t, 20, 57)
+	s, err := AutoGenerate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := intern.NewDict()
+	for ri := 0; ri < b.Len(); ri++ {
+		s.RecordSets(rowAttrs(b, b.Row(ri)), true, d.SortedSet)
+	}
+	lattrs := map[string]string{
+		"name": "acme xylophone quark quark",
+		"desc": "widget store zeppelin umlaut acme zeppelin north quark",
+		"age":  "30",
+	}
+	lsets := s.RecordSets(lattrs, false, d.SortedSetEphemeral)
+	for ri := 0; ri < b.Len(); ri++ {
+		rattrs := rowAttrs(b, b.Row(ri))
+		rsets := s.RecordSets(rattrs, true, d.SortedSet)
+		got := s.VectorWith(lattrs, rattrs, lsets, rsets)
+		want := s.VectorWith(lattrs, rattrs, nil, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("corpus row %d: ephemeral-set vector %v != string-path vector %v", ri, got, want)
+		}
+	}
+}
+
+// TestVectorWithNilSetsFallsBack: passing nil set caches forces every
+// feature through the string path and still agrees with Vector.
+func TestVectorWithNilSetsFallsBack(t *testing.T) {
+	a, b, _, _ := cacheTables(t, 10, 59)
+	s, err := AutoGenerate(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 0; li < a.Len(); li++ {
+		got := s.VectorWith(rowAttrs(a, a.Row(li)), rowAttrs(b, b.Row(li)), nil, nil)
+		want := s.Vector(a, b, a.Row(li), b.Row(li))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("row %d: nil-cache VectorWith %v != Vector %v", li, got, want)
+		}
+	}
+}

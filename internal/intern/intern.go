@@ -69,6 +69,36 @@ func (d *Dict) SortedSet(toks []string) []uint32 {
 	return SortedDedup(d.InternTokens(toks))
 }
 
+// SortedSetEphemeral returns the ascending, duplicate-free ID set of toks
+// without mutating the dictionary: known tokens map to their interned IDs,
+// and each distinct unknown token is assigned an ephemeral ID Len()+k in
+// first-appearance order. Ephemeral IDs are disjoint from every interned
+// ID, so set-size arithmetic (Jaccard/Dice denominators) over a mix of
+// corpus and query sets stays exact — which is what lets a read-locked
+// MatchOne featurize a query record that carries never-before-seen tokens.
+// The result is never nil.
+func (d *Dict) SortedSetEphemeral(toks []string) []uint32 {
+	out := make([]uint32, 0, len(toks))
+	var eph map[string]uint32
+	for _, t := range toks {
+		if id, ok := d.ids[t]; ok {
+			out = append(out, id)
+			continue
+		}
+		if id, ok := eph[t]; ok {
+			out = append(out, id)
+			continue
+		}
+		if eph == nil {
+			eph = make(map[string]uint32)
+		}
+		id := uint32(len(d.toks) + len(eph))
+		eph[t] = id
+		out = append(out, id)
+	}
+	return SortedDedup(out)
+}
+
 // SortedDedup sorts ids in place and drops duplicates, returning the
 // shortened slice (which aliases ids). The result is never nil.
 func SortedDedup(ids []uint32) []uint32 {

@@ -68,3 +68,33 @@ func TestFrequencyRemap(t *testing.T) {
 		t.Errorf("FrequencyRemap = %v, want %v", remap, want)
 	}
 }
+
+// TestSortedSetEphemeral: known tokens map to their interned IDs, unknown
+// tokens get stable per-call ephemeral IDs past Len() — and the dictionary
+// itself never changes (the read-locked MatchOne contract).
+func TestSortedSetEphemeral(t *testing.T) {
+	d := NewDict()
+	d.Intern("acme") // 0
+	d.Intern("corp") // 1
+	before := d.Len()
+	got := d.SortedSetEphemeral([]string{"zeta", "acme", "zeta", "omega", "corp"})
+	// acme=0 corp=1, zeta=ephemeral 2 (first unknown), omega=ephemeral 3.
+	want := []uint32{0, 1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedSetEphemeral = %v, want %v", got, want)
+	}
+	if d.Len() != before {
+		t.Fatalf("dictionary grew from %d to %d tokens — ephemeral interning must not mutate", before, d.Len())
+	}
+	if _, ok := d.Lookup("zeta"); ok {
+		t.Fatal("ephemeral token leaked into the dictionary")
+	}
+	// All-known inputs agree with SortedSet exactly.
+	if got := d.SortedSetEphemeral([]string{"corp", "acme", "corp"}); !reflect.DeepEqual(got, []uint32{0, 1}) {
+		t.Fatalf("all-known ephemeral set = %v, want [0 1]", got)
+	}
+	// Never nil, even for empty input.
+	if got := d.SortedSetEphemeral(nil); got == nil || len(got) != 0 {
+		t.Fatalf("empty input = %#v, want non-nil empty set", got)
+	}
+}

@@ -171,29 +171,6 @@ func SelectMatcher(factories []func() Classifier, d *Dataset, k int, rng *rand.R
 	return results, nil
 }
 
-// CVOptions tunes cross-validation execution.
-//
-// Deprecated: pass CVOption values (WithWorkers, WithMetrics) to
-// CrossValidate/SelectMatcher instead.
-type CVOptions struct {
-	// Workers parallelizes fold evaluation; 0 means GOMAXPROCS.
-	Workers int
-}
-
-// CrossValidateOpt is CrossValidate with a CVOptions struct.
-//
-// Deprecated: call CrossValidate(factory, d, k, rng, WithWorkers(n)).
-func CrossValidateOpt(factory func() Classifier, d *Dataset, k int, rng *rand.Rand, opts CVOptions) (CVResult, error) {
-	return CrossValidate(factory, d, k, rng, WithWorkers(opts.Workers))
-}
-
-// SelectMatcherOpt is SelectMatcher with a CVOptions struct.
-//
-// Deprecated: call SelectMatcher(factories, d, k, rng, WithWorkers(n)).
-func SelectMatcherOpt(factories []func() Classifier, d *Dataset, k int, rng *rand.Rand, opts CVOptions) ([]CVResult, error) {
-	return SelectMatcher(factories, d, k, rng, WithWorkers(opts.Workers))
-}
-
 // DefaultMatcherFactories returns the standard PyMatcher matcher lineup:
 // decision tree, random forest, logistic regression, naive Bayes, linear
 // SVM, and kNN, all seeded deterministically.

@@ -127,39 +127,26 @@ func TestCrossValidateFoldErrorPropagates(t *testing.T) {
 	}
 }
 
-// TestDeprecatedOptWrappers: the pre-redesign struct-options entry points
-// must keep returning results identical to the variadic API. This is the
-// wrappers' contract test — the one sanctioned place left that calls them
-// (everything else migrated to the CVOption forms, enforced by emlint's
-// nodeprecated check).
-func TestDeprecatedOptWrappers(t *testing.T) {
-	ds := benchDataset(200, 6, 9)
+// TestCVOptionOrdering: options apply in order, so a later WithWorkers
+// overrides an earlier one — the contract callers of the variadic API rely
+// on when layering defaults under caller-supplied options.
+func TestCVOptionOrdering(t *testing.T) {
+	cfg := applyCVOptions([]CVOption{WithWorkers(3), WithWorkers(7)})
+	if cfg.workers != 7 {
+		t.Fatalf("workers = %d, want the later option (7) to win", cfg.workers)
+	}
+	ds := benchDataset(120, 4, 3)
 	factory := func() Classifier { return &DecisionTree{Seed: 3} }
-	//emlint:allow nodeprecated -- the wrapper's own equivalence test
-	oldCV, err := CrossValidateOpt(factory, ds, 4, rand.New(rand.NewSource(8)), CVOptions{Workers: 2})
+	a, err := CrossValidate(factory, ds, 4, rand.New(rand.NewSource(8)), WithWorkers(1), WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	newCV, err := CrossValidate(factory, ds, 4, rand.New(rand.NewSource(8)), WithWorkers(2))
+	b, err := CrossValidate(factory, ds, 4, rand.New(rand.NewSource(8)), WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if oldCV != newCV {
-		t.Errorf("CrossValidateOpt %+v != CrossValidate %+v", oldCV, newCV)
-	}
-	//emlint:allow nodeprecated -- the wrapper's own equivalence test
-	oldSel, err := SelectMatcherOpt(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(8)), CVOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	newSel, err := SelectMatcher(DefaultMatcherFactories(1), ds, 4, rand.New(rand.NewSource(8)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range oldSel {
-		if oldSel[i] != newSel[i] {
-			t.Errorf("rank %d: SelectMatcherOpt %+v != SelectMatcher %+v", i, oldSel[i], newSel[i])
-		}
+	if a != b {
+		t.Errorf("layered options %+v != direct options %+v", a, b)
 	}
 }
 

@@ -50,6 +50,29 @@ const (
 	// threshold (parallel.Gate / ForEachMin / MapChunksMin).
 	ParallelSerialFallbacks = "em_parallel_serial_fallbacks_total"
 
+	// ServeIngestTotal counts corpus mutations: labels {op}
+	// (add|update|delete).
+	ServeIngestTotal = "em_serve_ingest_total"
+	// ServeCorpusRecords gauges live records resident in a corpus.
+	ServeCorpusRecords = "em_serve_corpus_records"
+	// ServeCorpusTombstones gauges tombstoned slots awaiting compaction.
+	ServeCorpusTombstones = "em_serve_corpus_tombstones"
+	// ServeCompactionsTotal counts postings compaction passes.
+	ServeCompactionsTotal = "em_serve_compactions_total"
+	// ServeMatchSeconds times one whole MatchOne call.
+	ServeMatchSeconds = "em_serve_match_seconds"
+	// ServeStageSeconds times one MatchOne stage: labels {stage}
+	// (candidates|features|score).
+	ServeStageSeconds = "em_serve_stage_seconds"
+	// ServeQueueDepth gauges match requests waiting in a pool queue.
+	ServeQueueDepth = "em_serve_queue_depth"
+	// ServeQueueWaitSeconds times one request's wait between Submit and
+	// a worker picking it up.
+	ServeQueueWaitSeconds = "em_serve_queue_wait_seconds"
+	// ServeRequestsTotal counts settled match submissions:
+	// labels {status} (ok|error|overloaded).
+	ServeRequestsTotal = "em_serve_requests_total"
+
 	// CloudQueueDepth gauges fragments waiting for an engine worker:
 	// labels {engine}.
 	CloudQueueDepth = "cloud_engine_queue_depth"
@@ -88,6 +111,15 @@ func DescribeStandard(g *Registry) {
 		{FeatureExtractSeconds, "Duration of one feature-vector extraction pass."},
 		{FeatureVectors, "Feature vectors extracted."},
 		{ParallelSerialFallbacks, "Fan-outs the parallel cost gate kept serial (input below MinWork)."},
+		{ServeIngestTotal, "Corpus mutations by op (add|update|delete)."},
+		{ServeCorpusRecords, "Live records resident in a serving corpus."},
+		{ServeCorpusTombstones, "Tombstoned corpus slots awaiting compaction."},
+		{ServeCompactionsTotal, "Postings compaction passes."},
+		{ServeMatchSeconds, "Duration of one MatchOne call."},
+		{ServeStageSeconds, "Duration of one MatchOne stage (candidates|features|score)."},
+		{ServeQueueDepth, "Match requests waiting in a serve pool queue."},
+		{ServeQueueWaitSeconds, "Wait between pool Submit and worker pickup."},
+		{ServeRequestsTotal, "Settled match submissions by status (ok|error|overloaded)."},
 		{CloudQueueDepth, "Fragments waiting for an engine worker."},
 		{CloudStepsInFlight, "Fragments currently executing on an engine."},
 		{CloudJobsInFlight, "Jobs between Submit entry and return."},

@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/feature"
+	"repro/internal/intern"
+	"repro/internal/ml"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// slot is one corpus record's resident state. Slots are append-only
+// between compactions: Update tombstones the old slot and appends a fresh
+// one, so every posting list stays sorted by construction.
+type slot struct {
+	rec  Record
+	toks []uint32 // sorted duplicate-free blocking token IDs
+	// fsets caches the record's per-feature interned sets
+	// (feature.Set.RecordSets, corpus side); nil until a matcher is set.
+	fsets [][]uint32
+	// deadEpoch is the mutation epoch that tombstoned this slot; 0 = live.
+	deadEpoch uint64
+}
+
+// postings is one token's slot list: exactly one of slots and bits is
+// non-nil. Array postings flip to bitmaps once they reach the configured
+// threshold; both enumerate slots in ascending order.
+type postings struct {
+	slots []uint32
+	bits  *bitvec.Set
+}
+
+// Corpus is a long-lived, incrementally maintained match target. All
+// methods are safe for concurrent use: mutations take the write lock,
+// MatchOne and the other readers run under the read lock (queries proceed
+// concurrently with each other, serialized against ingest).
+type Corpus struct {
+	mu  sync.RWMutex
+	cfg corpusConfig
+
+	dict  *intern.Dict
+	slots []slot
+	byID  map[string]uint32 // live records only
+	posts map[uint32]*postings
+	dead  int    // tombstoned slots awaiting compaction
+	epoch uint64 // bumps on every mutation
+	comps uint64 // compaction passes run
+
+	fs  *feature.Set
+	clf ml.Classifier
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus(opts ...CorpusOption) *Corpus {
+	return &Corpus{
+		cfg:   applyCorpusOptions(opts),
+		dict:  intern.NewDict(),
+		byID:  make(map[string]uint32),
+		posts: make(map[uint32]*postings),
+	}
+}
+
+// Stats is a point-in-time snapshot of corpus state.
+type Stats struct {
+	Records     int    `json:"records"`
+	Tombstones  int    `json:"tombstones"`
+	Epoch       uint64 `json:"epoch"`
+	Compactions uint64 `json:"compactions"`
+}
+
+// Stats returns the current counters.
+func (c *Corpus) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Records:     len(c.byID),
+		Tombstones:  c.dead,
+		Epoch:       c.epoch,
+		Compactions: c.comps,
+	}
+}
+
+// Len returns the number of live records.
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byID)
+}
+
+// Add inserts a new record; it is an error if the ID is already live.
+func (c *Corpus) Add(rec Record) error {
+	if err := rec.validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byID[rec.ID]; ok {
+		return fmt.Errorf("serve: record %q already in corpus", rec.ID)
+	}
+	c.ingest(rec, "add")
+	return nil
+}
+
+// Update replaces the record with rec.ID: the old slot is tombstoned and
+// a fresh slot appended (so postings stay sorted by construction). It is
+// an error if the ID is not live.
+func (c *Corpus) Update(rec Record) error {
+	if err := rec.validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	si, ok := c.byID[rec.ID]
+	if !ok {
+		return fmt.Errorf("serve: record %q not in corpus", rec.ID)
+	}
+	c.epoch++
+	c.slots[si].deadEpoch = c.epoch
+	c.dead++
+	c.ingest(rec, "update")
+	c.maybeCompact()
+	return nil
+}
+
+// Delete tombstones the record with the given ID; it is an error if the
+// ID is not live. The slot is excised from the postings lazily, at the
+// next compaction pass.
+func (c *Corpus) Delete(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	si, ok := c.byID[id]
+	if !ok {
+		return fmt.Errorf("serve: record %q not in corpus", id)
+	}
+	c.epoch++
+	c.slots[si].deadEpoch = c.epoch
+	c.dead++
+	delete(c.byID, id)
+	rec := obs.Or(c.cfg.metrics)
+	rec.Count(obs.ServeIngestTotal, 1, obs.L("op", "delete"))
+	c.gauges(rec)
+	c.maybeCompact()
+	return nil
+}
+
+// ingest appends rec as a fresh slot and patches the postings in place.
+// Caller holds the write lock and has bumped byID/tombstones as needed.
+func (c *Corpus) ingest(rec Record, op string) {
+	c.epoch++
+	si := uint32(len(c.slots))
+	s := slot{
+		rec:  rec,
+		toks: c.dict.SortedSet(blockTokens(c.cfg.tok, rec.Attrs)),
+	}
+	if c.fs != nil {
+		s.fsets = c.fs.RecordSets(rec.Attrs, true, c.dict.SortedSet)
+	}
+	c.slots = append(c.slots, s)
+	c.byID[rec.ID] = si
+	for _, t := range s.toks {
+		p := c.posts[t]
+		if p == nil {
+			p = &postings{}
+			c.posts[t] = p
+		}
+		if p.bits != nil {
+			p.bits.Add(si)
+			continue
+		}
+		// si exceeds every slot already present (slots are append-only),
+		// so the array stays sorted without a search.
+		p.slots = append(p.slots, si)
+		if c.cfg.bitmapMin > 0 && len(p.slots) >= c.cfg.bitmapMin {
+			p.bits = bitvec.FromSorted(p.slots)
+			p.slots = nil
+		}
+	}
+	mrec := obs.Or(c.cfg.metrics)
+	mrec.Count(obs.ServeIngestTotal, 1, obs.L("op", op))
+	c.gauges(mrec)
+}
+
+// gauges refreshes the corpus-size gauges. Caller holds a lock.
+func (c *Corpus) gauges(rec obs.Recorder) {
+	rec.SetGauge(obs.ServeCorpusRecords, float64(len(c.byID)))
+	rec.SetGauge(obs.ServeCorpusTombstones, float64(c.dead))
+}
+
+// maybeCompact runs a compaction pass when tombstones have crossed the
+// configured bar. Caller holds the write lock.
+func (c *Corpus) maybeCompact() {
+	if c.cfg.compactAfter > 0 && c.dead >= c.cfg.compactAfter {
+		c.compactLocked()
+	}
+}
+
+// Compact rewrites the slot space without the tombstoned slots and
+// rebuilds the postings over the renumbered live slots (in ascending old
+// slot order, so relative record order — and every candidate set — is
+// unchanged). Safe to call at any time; also invoked automatically once
+// WithCompactAfter tombstones accumulate.
+func (c *Corpus) Compact() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.compactLocked()
+}
+
+// compactLocked is the compaction body. Caller holds the write lock.
+func (c *Corpus) compactLocked() {
+	if c.dead == 0 {
+		return
+	}
+	live := make([]slot, 0, len(c.byID))
+	for _, s := range c.slots {
+		if s.deadEpoch == 0 {
+			live = append(live, s)
+		}
+	}
+	c.slots = live
+	c.byID = make(map[string]uint32, len(live))
+	c.posts = make(map[uint32]*postings)
+	for i := range c.slots {
+		si := uint32(i)
+		c.byID[c.slots[i].rec.ID] = si
+		for _, t := range c.slots[i].toks {
+			p := c.posts[t]
+			if p == nil {
+				p = &postings{}
+				c.posts[t] = p
+			}
+			p.slots = append(p.slots, si)
+		}
+	}
+	if c.cfg.bitmapMin > 0 {
+		for _, p := range c.posts {
+			if len(p.slots) >= c.cfg.bitmapMin {
+				p.bits = bitvec.FromSorted(p.slots)
+				p.slots = nil
+			}
+		}
+	}
+	c.dead = 0
+	c.comps++
+	rec := obs.Or(c.cfg.metrics)
+	rec.Count(obs.ServeCompactionsTotal, 1)
+	c.gauges(rec)
+}
+
+// SetMatcher installs the resident scorer: MatchOne extracts fs's feature
+// vector for each candidate pair and scores it with clf.PredictProba.
+// Every resident record's per-feature sets are (re)computed and cached so
+// queries only featurize their own side. Pass (nil, nil) to revert to the
+// blocking-token Jaccard fallback.
+func (c *Corpus) SetMatcher(fs *feature.Set, clf ml.Classifier) error {
+	if (fs == nil) != (clf == nil) {
+		return fmt.Errorf("serve: feature set and classifier must be set together")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fs, c.clf = fs, clf
+	for i := range c.slots {
+		if fs == nil {
+			c.slots[i].fsets = nil
+			continue
+		}
+		c.slots[i].fsets = fs.RecordSets(c.slots[i].rec.Attrs, true, c.dict.SortedSet)
+	}
+	return nil
+}
+
+// candidateSlots returns the live slots sharing at least minOverlap
+// distinct blocking tokens with the query token set, in ascending slot
+// order. Caller holds at least the read lock.
+func (c *Corpus) candidateSlots(qtoks []uint32) []uint32 {
+	counts := make(map[uint32]int)
+	hi := uint32(len(c.slots))
+	for _, t := range qtoks {
+		p := c.posts[t]
+		if p == nil {
+			continue
+		}
+		if p.bits != nil {
+			p.bits.ForEachIn(0, hi, func(si uint32) bool {
+				counts[si]++
+				return true
+			})
+			continue
+		}
+		for _, si := range p.slots {
+			counts[si]++
+		}
+	}
+	var out []uint32
+	for si, n := range counts {
+		if n >= c.cfg.minOverlap && c.slots[si].deadEpoch == 0 {
+			out = append(out, si)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// queryTokens maps the query's blocking tokens to corpus IDs without
+// mutating the dictionary (unknown tokens have no postings and are
+// dropped). Caller holds at least the read lock.
+func (c *Corpus) queryTokens(attrs map[string]string) []uint32 {
+	toks := blockTokens(c.cfg.tok, attrs)
+	ids := make([]uint32, 0, len(toks))
+	for _, t := range toks {
+		if id, ok := c.dict.Lookup(t); ok {
+			ids = append(ids, id)
+		}
+	}
+	return intern.SortedDedup(ids)
+}
+
+// CandidateIDs returns the record IDs blocking surfaces for the query, in
+// ascending ID order — the unit the batch-rebuild equivalence oracle
+// compares.
+func (c *Corpus) CandidateIDs(q Record) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slots := c.candidateSlots(c.queryTokens(q.Attrs))
+	out := make([]string, len(slots))
+	for i, si := range slots {
+		out[i] = c.slots[si].rec.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MatchOne runs the serving query path for one record: candidate
+// generation over the resident postings, cached feature extraction, and
+// scoring through the resident matcher (or, with no matcher installed,
+// Jaccard over the blocking token sets). Results are sorted by descending
+// score, ties broken by ascending record ID, truncated to WithLimit.
+func (c *Corpus) MatchOne(ctx context.Context, q Record) ([]ScoredPair, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	rec := obs.Or(c.cfg.metrics)
+	defer obs.StartTimer(rec, obs.ServeMatchSeconds)()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	stopCand := obs.StartTimer(rec, obs.ServeStageSeconds, obs.L("stage", "candidates"))
+	cands := c.candidateSlots(c.queryTokens(q.Attrs))
+	stopCand()
+	if len(cands) == 0 {
+		return []ScoredPair{}, nil
+	}
+
+	// Featurize the query side once; candidates reuse their cached sets.
+	stopFeat := obs.StartTimer(rec, obs.ServeStageSeconds, obs.L("stage", "features"))
+	var qsets [][]uint32
+	var qset []uint32
+	if c.fs != nil {
+		qsets = c.fs.RecordSets(q.Attrs, false, c.dict.SortedSetEphemeral)
+	} else {
+		qset = c.dict.SortedSetEphemeral(blockTokens(c.cfg.tok, q.Attrs))
+	}
+	stopFeat()
+
+	stopScore := obs.StartTimer(rec, obs.ServeStageSeconds, obs.L("stage", "score"))
+	defer stopScore()
+	out := make([]ScoredPair, 0, len(cands))
+	for i, si := range cands {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		s := &c.slots[si]
+		var score float64
+		if c.fs != nil {
+			x := c.fs.VectorWith(q.Attrs, s.rec.Attrs, qsets, s.fsets)
+			score = c.clf.PredictProba(x)
+		} else {
+			score = sim.JaccardU32(qset, s.toks)
+		}
+		out = append(out, ScoredPair{QueryID: q.ID, ID: s.rec.ID, Score: score})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	if c.cfg.limit > 0 && len(out) > c.cfg.limit {
+		out = out[:c.cfg.limit]
+	}
+	return out, nil
+}
+
+// Rebuilt returns a from-scratch batch build of the live records (in
+// resident slot order) under the same configuration — the equivalence
+// oracle: its candidates must be bit-identical to the incrementally
+// maintained corpus's for every query.
+func (c *Corpus) Rebuilt() *Corpus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fresh := &Corpus{
+		cfg:   c.cfg,
+		dict:  intern.NewDict(),
+		byID:  make(map[string]uint32),
+		posts: make(map[uint32]*postings),
+	}
+	fresh.cfg.metrics = nil // the oracle build is not traffic
+	for _, s := range c.slots {
+		if s.deadEpoch != 0 {
+			continue
+		}
+		fresh.ingest(s.rec, "add")
+	}
+	return fresh
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/ml"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// testFeatureSet builds a small hand-rolled battery over the name/desc
+// attributes: one token-set fast path and one pure string feature, so the
+// cached and fallback extraction paths both run.
+func testFeatureSet() *feature.Set {
+	ws := tokenize.Whitespace{ReturnSet: true}
+	jacc := func(l, r string) float64 {
+		return sim.Jaccard(ws.Tokenize(strings.ToLower(l)), ws.Tokenize(strings.ToLower(r)))
+	}
+	return &feature.Set{Features: []feature.Feature{
+		{Name: "jaccard_ws_name", LAttr: "name", RAttr: "name", Fn: jacc, Tok: ws, SetFn: sim.JaccardU32},
+		{Name: "jaccard_ws_desc", LAttr: "desc", RAttr: "desc", Fn: jacc, Tok: ws, SetFn: sim.JaccardU32},
+		{Name: "lev_name", LAttr: "name", RAttr: "name", Fn: sim.Levenshtein},
+	}}
+}
+
+// testMatcher fits a tiny forest labeling pairs with high name overlap as
+// matches.
+func testMatcher(t *testing.T) ml.Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 120; i++ {
+		v := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		label := 0
+		if v[0] > 0.5 {
+			label = 1
+		}
+		x = append(x, v)
+		y = append(y, label)
+	}
+	ds, err := ml.NewDataset(x, y, []string{"jaccard_ws_name", "jaccard_ws_desc", "lev_name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := &ml.RandomForest{NumTrees: 8, Seed: 4, Workers: 1}
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// TestMatchOneWithMatcher: scores come from the resident classifier over
+// cached feature sets, and agree exactly with scoring the same pairs by
+// hand through the public feature path.
+func TestMatchOneWithMatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := NewCorpus()
+	recs := make(map[string]Record)
+	for i := 0; i < 25; i++ {
+		r := randomRecord(fmt.Sprintf("r%d", i), rng)
+		recs[r.ID] = r
+		if err := c.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, clf := testFeatureSet(), testMatcher(t)
+	if err := c.SetMatcher(fs, clf); err != nil {
+		t.Fatal(err)
+	}
+	q := randomRecord("q", rng)
+	got, err := c.MatchOne(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("matcher run surfaced no candidates — workload too sparse")
+	}
+	for _, p := range got {
+		// Ground truth: the pure string path, no caches at all.
+		want := clf.PredictProba(fs.VectorWith(q.Attrs, recs[p.ID].Attrs, nil, nil))
+		if p.Score != want {
+			t.Fatalf("pair %s: cached-path score %v != string-path score %v", p.ID, p.Score, want)
+		}
+	}
+}
+
+// TestMatchOneMatcherRebuildEquivalence: after an interleaving of
+// mutations, the full scored MatchOne output of the incremental corpus —
+// scores included, bit for bit — matches a from-scratch rebuild with the
+// same matcher installed.
+func TestMatchOneMatcherRebuildEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c := NewCorpus(WithCompactAfter(5))
+	fs, clf := testFeatureSet(), testMatcher(t)
+	if err := c.SetMatcher(fs, clf); err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]bool)
+	next := 0
+	for i := 0; i < 80; i++ {
+		mutate(t, c, ids, &next, rng)
+	}
+	oracle := c.Rebuilt()
+	if err := oracle.SetMatcher(fs, clf); err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 10; probe++ {
+		q := randomRecord("q", rng)
+		got, err := c.MatchOne(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.MatchOne(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("probe %d: incremental MatchOne %v != rebuilt %v", probe, got, want)
+		}
+	}
+}
+
+// TestSetMatcherValidation: feature set and classifier come as a pair.
+func TestSetMatcherValidation(t *testing.T) {
+	c := NewCorpus()
+	if err := c.SetMatcher(testFeatureSet(), nil); err == nil {
+		t.Error("feature set without classifier accepted")
+	}
+	if err := c.SetMatcher(nil, nil); err != nil {
+		t.Errorf("clearing the matcher: %v", err)
+	}
+}
+
+// TestConcurrentMatchDuringIngest hammers MatchOne from reader goroutines
+// while a writer interleaves add/update/delete/compact — the -race target
+// for the serving core. Results are not asserted against an oracle here
+// (the corpus is moving); the invariant is freedom from races and
+// torn reads, plus every returned candidate being internally consistent.
+func TestConcurrentMatchDuringIngest(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := NewCorpus(WithCompactAfter(8))
+	fs, clf := testFeatureSet(), testMatcher(t)
+	if err := c.SetMatcher(fs, clf); err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]bool)
+	next := 0
+	for i := 0; i < 30; i++ {
+		mutate(t, c, ids, &next, rng)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := randomRecord("q", qrng)
+				if _, err := c.MatchOne(context.Background(), q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	for i := 0; i < 300; i++ {
+		mutate(t, c, ids, &next, rng)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// After the dust settles the incremental state still matches a
+	// rebuild.
+	q := randomRecord("final", rng)
+	if got, want := c.CandidateIDs(q), c.Rebuilt().CandidateIDs(q); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-ingest candidates %v != rebuilt %v", got, want)
+	}
+}

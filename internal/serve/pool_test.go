@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func poolCorpus(t *testing.T, n int, opts ...CorpusOption) *Corpus {
+	t.Helper()
+	rng := rand.New(rand.NewSource(29))
+	c := NewCorpus(opts...)
+	for i := 0; i < n; i++ {
+		if err := c.Add(randomRecord(fmt.Sprintf("r%d", i), rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestPoolMatchesSync: a pooled match returns exactly what a direct
+// MatchOne returns.
+func TestPoolMatchesSync(t *testing.T) {
+	c := poolCorpus(t, 20)
+	p := NewPool(c, 2, 8)
+	defer p.Close()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 10; i++ {
+		q := randomRecord("q", rng)
+		want, err := c.MatchOne(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Match(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pooled match %d pairs, direct %d", len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("pair %d: pooled %+v != direct %+v", k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestPoolOverload: once the queue is full Submit returns ErrOverloaded
+// immediately instead of buffering — the typed backpressure contract.
+// A gate blocks the single worker inside a query's read section so the
+// queue genuinely fills.
+func TestPoolOverload(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := poolCorpus(t, 10, WithMetrics(reg))
+	// Jam ingest: hold the write lock so the worker parks inside
+	// MatchOne's RLock and queued tasks stay queued.
+	c.mu.Lock()
+	const queueCap = 3
+	p := NewPool(c, 1, queueCap)
+	rng := rand.New(rand.NewSource(37))
+	var tickets []*Ticket
+	overloaded := 0
+	// One task occupies the worker; queueCap more fill the queue. Submit
+	// until refusal, with slack for the scheduler's pickup race.
+	for i := 0; i < queueCap+4; i++ {
+		tk, err := p.Submit(context.Background(), randomRecord("q", rng))
+		switch {
+		case err == nil:
+			tickets = append(tickets, tk)
+		case errors.Is(err, ErrOverloaded):
+			overloaded++
+		default:
+			c.mu.Unlock()
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if overloaded == 0 {
+		c.mu.Unlock()
+		t.Fatalf("queue of %d absorbed %d submissions without refusing", queueCap, queueCap+4)
+	}
+	c.mu.Unlock() // release the worker; queued tickets drain
+	for _, tk := range tickets {
+		if _, err := tk.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if got := reg.CounterValue(obs.ServeRequestsTotal, obs.L("status", "overloaded")); got != float64(overloaded) {
+		t.Errorf("overloaded counter = %v, want %d", got, overloaded)
+	}
+	if got := reg.CounterValue(obs.ServeRequestsTotal, obs.L("status", "ok")); got != float64(len(tickets)) {
+		t.Errorf("ok counter = %v, want %d", got, len(tickets))
+	}
+	if got := reg.GaugeValue(obs.ServeQueueDepth); got != 0 {
+		t.Errorf("queue depth after drain = %v, want 0", got)
+	}
+}
+
+// TestPoolClose: Close is idempotent, drains queued work, and later
+// Submits return ErrClosed.
+func TestPoolClose(t *testing.T) {
+	c := poolCorpus(t, 10)
+	p := NewPool(c, 2, 4)
+	rng := rand.New(rand.NewSource(41))
+	tk, err := p.Submit(context.Background(), randomRecord("q", rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatalf("queued ticket abandoned at Close: %v", err)
+	}
+	if _, err := p.Submit(context.Background(), randomRecord("q", rng)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestTicketWaitCancel: Wait respects its own context independently of
+// the match's.
+func TestTicketWaitCancel(t *testing.T) {
+	c := poolCorpus(t, 5)
+	c.mu.Lock() // park the worker
+	p := NewPool(c, 1, 2)
+	//emlint:allow locksafety -- Submit's send is non-blocking by construction; the held lock parks the worker, not the submitter
+	tk, err := p.Submit(context.Background(), Record{ID: "q", Attrs: map[string]string{"name": "acme"}})
+	if err != nil {
+		c.mu.Unlock()
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tk.Wait(ctx); !errors.Is(err, context.Canceled) {
+		c.mu.Unlock()
+		t.Fatalf("Wait under cancelled context: %v", err)
+	}
+	c.mu.Unlock()
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatalf("second Wait after completion: %v", err)
+	}
+	p.Close()
+}
+
+// TestPoolConcurrentSubmitters: many goroutines submitting against a
+// small queue settle every request as either a result or ErrOverloaded —
+// nothing hangs, nothing is dropped silently. Runs under -race in CI.
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	c := poolCorpus(t, 30)
+	p := NewPool(c, 2, 4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done, refused := 0, 0
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				tk, err := p.Submit(context.Background(), randomRecord("q", rng))
+				if errors.Is(err, ErrOverloaded) {
+					mu.Lock()
+					refused++
+					mu.Unlock()
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tk.Wait(context.Background()); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				done++
+				mu.Unlock()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if done+refused != 6*40 {
+		t.Fatalf("settled %d+%d requests, want %d", done, refused, 6*40)
+	}
+	if done == 0 {
+		t.Fatal("every request refused — queue never drained")
+	}
+}
+
+// TestRegistry covers the name→(corpus, pool) mapping.
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := poolCorpus(t, 5)
+	p := NewPool(c, 1, 2)
+	if err := r.Register("products", c, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("products", c, p); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := r.Register("", c, p); err == nil {
+		t.Error("empty name accepted")
+	}
+	e, ok := r.Get("products")
+	if !ok || e.Corpus != c || e.Pool != p {
+		t.Fatal("Get returned the wrong entry")
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Fatal("Get of unregistered name succeeded")
+	}
+	c2 := poolCorpus(t, 3)
+	if err := r.Register("vendors", c2, NewPool(c2, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "products" || names[1] != "vendors" {
+		t.Fatalf("Names = %v, want sorted [products vendors]", names)
+	}
+	r.Close()
+	if _, err := p.Submit(context.Background(), Record{ID: "q"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after registry Close: %v, want ErrClosed", err)
+	}
+}

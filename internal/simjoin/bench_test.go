@@ -25,7 +25,7 @@ func BenchmarkJaccardJoin1K(b *testing.B) {
 	r := benchRecords(1000, 5, 2000, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := JaccardJoin(l, r, 0.5, Options{}); err != nil {
+		if _, err := JaccardJoin(l, r, 0.5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -69,7 +69,7 @@ func BenchmarkOverlapJoin1K(b *testing.B) {
 	r := benchRecords(1000, 5, 2000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := OverlapJoin(l, r, 2, Options{}); err != nil {
+		if _, err := OverlapJoin(l, r, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +87,7 @@ func BenchmarkEditDistanceJoin(b *testing.B) {
 	l, r := mk(500), mk(500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EditDistanceJoin(l, r, 1, Options{}); err != nil {
+		if _, err := EditDistanceJoin(l, r, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

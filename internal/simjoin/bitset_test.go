@@ -42,18 +42,18 @@ func TestBitsetPathsBitIdentical(t *testing.T) {
 		return append(denseRandomRecords(40, 20, 60, rng), denseRandomRecords(40, 1, 6, rng)...)
 	}
 	l, r := mk(), mk()
-	off := Options{DenseMinTokens: -1, BitmapPostingMin: -1}
+	off := []JoinOption{WithDenseMinTokens(-1), WithBitmapPostingMin(-1)}
 	joins := []struct {
 		name string
-		run  func(opts Options) ([]Pair, error)
+		run  func(opts ...JoinOption) ([]Pair, error)
 	}{
-		{"jaccard", func(o Options) ([]Pair, error) { return JaccardJoin(l, r, 0.4, o) }},
-		{"cosine", func(o Options) ([]Pair, error) { return CosineJoin(l, r, 0.6, o) }},
-		{"dice", func(o Options) ([]Pair, error) { return DiceJoin(l, r, 0.5, o) }},
-		{"overlap", func(o Options) ([]Pair, error) { return OverlapJoin(l, r, 3, o) }},
+		{"jaccard", func(o ...JoinOption) ([]Pair, error) { return JaccardJoin(l, r, 0.4, o...) }},
+		{"cosine", func(o ...JoinOption) ([]Pair, error) { return CosineJoin(l, r, 0.6, o...) }},
+		{"dice", func(o ...JoinOption) ([]Pair, error) { return DiceJoin(l, r, 0.5, o...) }},
+		{"overlap", func(o ...JoinOption) ([]Pair, error) { return OverlapJoin(l, r, 3, o...) }},
 	}
 	for _, j := range joins {
-		want, err := j.run(off)
+		want, err := j.run(off...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,11 +63,7 @@ func TestBitsetPathsBitIdentical(t *testing.T) {
 		for _, denseMin := range []int{2, 16} {
 			for _, bitmapMin := range []int{2, 8} {
 				for _, workers := range []int{1, 4} {
-					got, err := j.run(Options{
-						Workers:          workers,
-						DenseMinTokens:   denseMin,
-						BitmapPostingMin: bitmapMin,
-					})
+					got, err := j.run(WithWorkers(workers), WithDenseMinTokens(denseMin), WithBitmapPostingMin(bitmapMin))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -95,11 +91,11 @@ func TestBitsetKnobsAsymmetric(t *testing.T) {
 		{"dense_probes_sparse", dense, sparse},
 		{"sparse_probes_dense", sparse, dense},
 	} {
-		want, err := JaccardJoin(tc.l, tc.r, 0.1, Options{DenseMinTokens: -1, BitmapPostingMin: -1})
+		want, err := JaccardJoin(tc.l, tc.r, 0.1, WithDenseMinTokens(-1), WithBitmapPostingMin(-1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := JaccardJoin(tc.l, tc.r, 0.1, Options{DenseMinTokens: 8, BitmapPostingMin: 4})
+		got, err := JaccardJoin(tc.l, tc.r, 0.1, WithDenseMinTokens(8), WithBitmapPostingMin(4))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -28,7 +28,8 @@ type DistPair struct {
 // max(|a|,|b|) - q + 1 - k*q positional-free q-grams) before verifying
 // candidates with the exact distance. Strings shorter than one q-gram are
 // compared against everything that passes the length filter.
-func EditDistanceJoin(l, r []StringRecord, maxDist int, opts Options) ([]DistPair, error) {
+func EditDistanceJoin(l, r []StringRecord, maxDist int, jopts ...JoinOption) ([]DistPair, error) {
+	opts := applyJoinOptions(jopts)
 	if maxDist < 0 {
 		return nil, fmt.Errorf("simjoin: negative edit-distance bound %d", maxDist)
 	}

@@ -17,16 +17,16 @@ func TestInternedJoinsMatchReference(t *testing.T) {
 		l := randomRecords(70, rng)
 		r := randomRecords(70, rng)
 		for _, th := range []float64{0.3, 0.5, 0.75, 1.0} {
-			for name, pair := range map[string][2]func([]Record, []Record, float64, Options) ([]Pair, error){
+			for name, pair := range map[string][2]func([]Record, []Record, float64, ...JoinOption) ([]Pair, error){
 				"jaccard": {JaccardJoin, ReferenceJaccardJoin},
 				"cosine":  {CosineJoin, ReferenceCosineJoin},
 				"dice":    {DiceJoin, ReferenceDiceJoin},
 			} {
-				got, err := pair[0](l, r, th, Options{})
+				got, err := pair[0](l, r, th)
 				if err != nil {
 					t.Fatal(err)
 				}
-				want, err := pair[1](l, r, th, Options{})
+				want, err := pair[1](l, r, th)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -37,11 +37,11 @@ func TestInternedJoinsMatchReference(t *testing.T) {
 			}
 		}
 		for _, k := range []int{1, 2, 3} {
-			got, err := OverlapJoin(l, r, k, Options{})
+			got, err := OverlapJoin(l, r, k)
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := ReferenceOverlapJoin(l, r, k, Options{})
+			want, err := ReferenceOverlapJoin(l, r, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -69,11 +69,11 @@ func TestJoinIDsMatchesStringAPI(t *testing.T) {
 	}
 	il, ir := conv(l), conv(r)
 
-	gotJ, err := JaccardJoinIDs(il, ir, 0.5, Options{})
+	gotJ, err := JaccardJoinIDs(il, ir, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantJ, err := JaccardJoin(l, r, 0.5, Options{})
+	wantJ, err := JaccardJoin(l, r, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +81,11 @@ func TestJoinIDsMatchesStringAPI(t *testing.T) {
 		t.Error("JaccardJoinIDs diverged from JaccardJoin")
 	}
 
-	gotO, err := OverlapJoinIDs(il, ir, 2, Options{})
+	gotO, err := OverlapJoinIDs(il, ir, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantO, err := OverlapJoin(l, r, 2, Options{})
+	wantO, err := OverlapJoin(l, r, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,10 +97,10 @@ func TestJoinIDsMatchesStringAPI(t *testing.T) {
 // TestJoinIDsValidation: the IDs APIs validate thresholds like the string
 // APIs.
 func TestJoinIDsValidation(t *testing.T) {
-	if _, err := JaccardJoinIDs(nil, nil, 0, Options{}); err == nil {
+	if _, err := JaccardJoinIDs(nil, nil, 0); err == nil {
 		t.Error("want threshold error for 0")
 	}
-	if _, err := OverlapJoinIDs(nil, nil, 0, Options{}); err == nil {
+	if _, err := OverlapJoinIDs(nil, nil, 0); err == nil {
 		t.Error("want overlap threshold error")
 	}
 }

@@ -96,18 +96,18 @@ func refVerify(m measure, a, b []string) float64 {
 }
 
 // ReferenceJaccardJoin is the retained string-kernel JaccardJoin.
-func ReferenceJaccardJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
-	return refSetJoin(l, r, threshold, measureJaccard, opts)
+func ReferenceJaccardJoin(l, r []Record, threshold float64, opts ...JoinOption) ([]Pair, error) {
+	return refSetJoin(l, r, threshold, measureJaccard, applyJoinOptions(opts))
 }
 
 // ReferenceCosineJoin is the retained string-kernel CosineJoin.
-func ReferenceCosineJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
-	return refSetJoin(l, r, threshold, measureCosine, opts)
+func ReferenceCosineJoin(l, r []Record, threshold float64, opts ...JoinOption) ([]Pair, error) {
+	return refSetJoin(l, r, threshold, measureCosine, applyJoinOptions(opts))
 }
 
 // ReferenceDiceJoin is the retained string-kernel DiceJoin.
-func ReferenceDiceJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
-	return refSetJoin(l, r, threshold, measureDice, opts)
+func ReferenceDiceJoin(l, r []Record, threshold float64, opts ...JoinOption) ([]Pair, error) {
+	return refSetJoin(l, r, threshold, measureDice, applyJoinOptions(opts))
 }
 
 // refSetJoin is the retained string-kernel prefix-filter driver.
@@ -177,7 +177,8 @@ func refSetJoin(l, r []Record, threshold float64, m measure, opts Options) ([]Pa
 }
 
 // ReferenceOverlapJoin is the retained string-kernel OverlapJoin.
-func ReferenceOverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
+func ReferenceOverlapJoin(l, r []Record, k int, jopts ...JoinOption) ([]Pair, error) {
+	opts := applyJoinOptions(jopts)
 	if k < 1 {
 		return nil, fmt.Errorf("simjoin: overlap threshold %d must be >= 1", k)
 	}

@@ -61,29 +61,93 @@ type Pair struct {
 	Sim float64
 }
 
-// Options tunes join execution.
+// JoinOption tunes join execution; see WithWorkers, WithMetrics,
+// WithDenseMinTokens, and WithBitmapPostingMin. Options apply in order, so
+// later options win. The same option surface serves the string-token APIs
+// (JaccardJoin et al.), the pre-interned *JoinIDs variants, the
+// edit-distance join, and the frozen reference joins.
+type JoinOption func(*Options)
+
+// WithWorkers sets the number of goroutines probing the index; 0 (the
+// default) means GOMAXPROCS (parallel.Resolve).
+func WithWorkers(n int) JoinOption {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithMetrics directs join timings and candidate/output counters
+// (obs.SimjoinSeconds/Candidates/Pairs, labeled by join name) into r; nil
+// (the default) means off.
+func WithMetrics(r obs.Recorder) JoinOption {
+	return func(o *Options) { o.Metrics = r }
+}
+
+// WithDenseMinTokens sets the token-set size at which a record additionally
+// carries a compressed bitset (bitvec.Set), switching its verifications
+// from the sorted merge to the word-level AND/popcount kernels. 0 means the
+// default (64); negative disables bitset verification entirely.
+func WithDenseMinTokens(n int) JoinOption {
+	return func(o *Options) { o.DenseMinTokens = n }
+}
+
+// WithBitmapPostingMin sets the postings-list length at which a token's
+// postings flip from an array of (record, position) entries to a compressed
+// bitmap over right-record positions. 0 means the default (512); negative
+// disables bitmap postings.
+func WithBitmapPostingMin(n int) JoinOption {
+	return func(o *Options) { o.BitmapPostingMin = n }
+}
+
+// WithOptions replaces the whole resolved option set with a legacy Options
+// struct. It exists so pre-redesign call sites can migrate mechanically.
+//
+// Deprecated: pass WithWorkers, WithMetrics, WithDenseMinTokens, and
+// WithBitmapPostingMin directly.
+func WithOptions(o Options) JoinOption {
+	return func(dst *Options) { *dst = o }
+}
+
+// applyJoinOptions resolves a variadic option list into the Options carrier.
+func applyJoinOptions(opts []JoinOption) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Options is the resolved join configuration JoinOption values mutate.
+// Construct it through the With* options; the exported fields remain only
+// as the deprecated struct-literal surface WithOptions bridges.
 type Options struct {
 	// Workers is the number of goroutines probing the index; 0 means
 	// GOMAXPROCS (parallel.Resolve). The paper scales PyMatcher commands
 	// with Dask on multicore machines; this is the equivalent knob. Probe
 	// scans below probeMinWork records stay serial regardless (the
 	// parallel cost gate).
+	//
+	// Deprecated: set through WithWorkers.
 	Workers int
 	// Metrics receives join timings and candidate/output counters
 	// (obs.SimjoinSeconds/Candidates/Pairs, labeled by join name); nil
 	// means off.
+	//
+	// Deprecated: set through WithMetrics.
 	Metrics obs.Recorder
 	// DenseMinTokens is the token-set size at which a record additionally
 	// carries a compressed bitset (bitvec.Set), switching its
 	// verifications from the sorted merge to the word-level AND/popcount
 	// kernels. 0 means the default (64); negative disables bitset
 	// verification entirely.
+	//
+	// Deprecated: set through WithDenseMinTokens.
 	DenseMinTokens int
 	// BitmapPostingMin is the postings-list length at which a token's
 	// postings flip from an array of (record, position) entries to a
 	// compressed bitmap over right-record positions — the high-frequency
 	// tokens every dense record shares. 0 means the default (512);
 	// negative disables bitmap postings.
+	//
+	// Deprecated: set through WithBitmapPostingMin.
 	BitmapPostingMin int
 }
 
@@ -156,36 +220,36 @@ func (m measure) String() string {
 }
 
 // JaccardJoin returns all pairs with Jaccard similarity >= threshold.
-func JaccardJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
+func JaccardJoin(l, r []Record, threshold float64, opts ...JoinOption) ([]Pair, error) {
 	il, ir := internRecords(l, r)
-	return setJoin(il, ir, threshold, measureJaccard, opts)
+	return setJoin(il, ir, threshold, measureJaccard, applyJoinOptions(opts))
 }
 
 // CosineJoin returns all pairs with set-cosine similarity >= threshold.
-func CosineJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
+func CosineJoin(l, r []Record, threshold float64, opts ...JoinOption) ([]Pair, error) {
 	il, ir := internRecords(l, r)
-	return setJoin(il, ir, threshold, measureCosine, opts)
+	return setJoin(il, ir, threshold, measureCosine, applyJoinOptions(opts))
 }
 
 // DiceJoin returns all pairs with Dice similarity >= threshold.
-func DiceJoin(l, r []Record, threshold float64, opts Options) ([]Pair, error) {
+func DiceJoin(l, r []Record, threshold float64, opts ...JoinOption) ([]Pair, error) {
 	il, ir := internRecords(l, r)
-	return setJoin(il, ir, threshold, measureDice, opts)
+	return setJoin(il, ir, threshold, measureDice, applyJoinOptions(opts))
 }
 
 // JaccardJoinIDs is JaccardJoin over pre-interned records.
-func JaccardJoinIDs(l, r []IDRecord, threshold float64, opts Options) ([]Pair, error) {
-	return setJoin(l, r, threshold, measureJaccard, opts)
+func JaccardJoinIDs(l, r []IDRecord, threshold float64, opts ...JoinOption) ([]Pair, error) {
+	return setJoin(l, r, threshold, measureJaccard, applyJoinOptions(opts))
 }
 
 // CosineJoinIDs is CosineJoin over pre-interned records.
-func CosineJoinIDs(l, r []IDRecord, threshold float64, opts Options) ([]Pair, error) {
-	return setJoin(l, r, threshold, measureCosine, opts)
+func CosineJoinIDs(l, r []IDRecord, threshold float64, opts ...JoinOption) ([]Pair, error) {
+	return setJoin(l, r, threshold, measureCosine, applyJoinOptions(opts))
 }
 
 // DiceJoinIDs is DiceJoin over pre-interned records.
-func DiceJoinIDs(l, r []IDRecord, threshold float64, opts Options) ([]Pair, error) {
-	return setJoin(l, r, threshold, measureDice, opts)
+func DiceJoinIDs(l, r []IDRecord, threshold float64, opts ...JoinOption) ([]Pair, error) {
+	return setJoin(l, r, threshold, measureDice, applyJoinOptions(opts))
 }
 
 // internRecords interns both collections through one fresh dictionary —
@@ -633,13 +697,14 @@ func mergeShards(workers int, shards []joinShard) ([]Pair, int) {
 
 // OverlapJoin returns all pairs sharing at least k tokens. Sim in the
 // output is the raw overlap count.
-func OverlapJoin(l, r []Record, k int, opts Options) ([]Pair, error) {
+func OverlapJoin(l, r []Record, k int, opts ...JoinOption) ([]Pair, error) {
 	il, ir := internRecords(l, r)
-	return OverlapJoinIDs(il, ir, k, opts)
+	return OverlapJoinIDs(il, ir, k, opts...)
 }
 
 // OverlapJoinIDs is OverlapJoin over pre-interned records.
-func OverlapJoinIDs(l, r []IDRecord, k int, opts Options) ([]Pair, error) {
+func OverlapJoinIDs(l, r []IDRecord, k int, jopts ...JoinOption) ([]Pair, error) {
+	opts := applyJoinOptions(jopts)
 	if k < 1 {
 		return nil, fmt.Errorf("simjoin: overlap threshold %d must be >= 1", k)
 	}

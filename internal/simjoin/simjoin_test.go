@@ -78,7 +78,7 @@ func TestJaccardJoinMatchesNaive(t *testing.T) {
 		l := randomRecords(60, rng)
 		r := randomRecords(60, rng)
 		for _, th := range []float64{0.3, 0.5, 0.8, 1.0} {
-			got, err := JaccardJoin(l, r, th, Options{})
+			got, err := JaccardJoin(l, r, th)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -96,7 +96,7 @@ func TestCosineJoinMatchesNaive(t *testing.T) {
 		l := randomRecords(50, rng)
 		r := randomRecords(50, rng)
 		for _, th := range []float64{0.4, 0.7, 0.95} {
-			got, err := CosineJoin(l, r, th, Options{})
+			got, err := CosineJoin(l, r, th)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -114,7 +114,7 @@ func TestDiceJoinMatchesNaive(t *testing.T) {
 		l := randomRecords(50, rng)
 		r := randomRecords(50, rng)
 		for _, th := range []float64{0.4, 0.6, 0.9} {
-			got, err := DiceJoin(l, r, th, Options{})
+			got, err := DiceJoin(l, r, th)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,7 +132,7 @@ func TestOverlapJoinMatchesNaive(t *testing.T) {
 		l := randomRecords(50, rng)
 		r := randomRecords(50, rng)
 		for _, k := range []int{1, 2, 3} {
-			got, err := OverlapJoin(l, r, k, Options{})
+			got, err := OverlapJoin(l, r, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -154,24 +154,24 @@ func TestOverlapJoinMatchesNaive(t *testing.T) {
 
 func TestJoinThresholdValidation(t *testing.T) {
 	l := recs("a b")
-	if _, err := JaccardJoin(l, l, 0, Options{}); err == nil {
+	if _, err := JaccardJoin(l, l, 0); err == nil {
 		t.Error("want threshold error for 0")
 	}
-	if _, err := JaccardJoin(l, l, 1.5, Options{}); err == nil {
+	if _, err := JaccardJoin(l, l, 1.5); err == nil {
 		t.Error("want threshold error for > 1")
 	}
-	if _, err := OverlapJoin(l, l, 0, Options{}); err == nil {
+	if _, err := OverlapJoin(l, l, 0); err == nil {
 		t.Error("want overlap threshold error")
 	}
 }
 
 func TestJoinEmptyInputs(t *testing.T) {
-	got, err := JaccardJoin(nil, recs("a"), 0.5, Options{})
+	got, err := JaccardJoin(nil, recs("a"), 0.5)
 	if err != nil || len(got) != 0 {
 		t.Errorf("empty left: %v %v", got, err)
 	}
 	// Records with empty token sets never match.
-	got, err = JaccardJoin([]Record{{ID: "x"}}, recs("a"), 0.5, Options{})
+	got, err = JaccardJoin([]Record{{ID: "x"}}, recs("a"), 0.5)
 	if err != nil || len(got) != 0 {
 		t.Errorf("empty-token record: %v %v", got, err)
 	}
@@ -180,7 +180,7 @@ func TestJoinEmptyInputs(t *testing.T) {
 func TestJoinDuplicateTokensCollapse(t *testing.T) {
 	l := []Record{{ID: "l", Tokens: []string{"a", "a", "b"}}}
 	r := []Record{{ID: "r", Tokens: []string{"a", "b", "b"}}}
-	got, err := JaccardJoin(l, r, 0.99, Options{})
+	got, err := JaccardJoin(l, r, 0.99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestJoinExactThreshold(t *testing.T) {
 	// Jaccard exactly at the threshold must be kept.
 	l := recs("a b c d")       // {a b c d}
 	r := recs("a b c d e f g") // overlap 4, union 7 -> 4/7
-	got, err := JaccardJoin(l, r, 4.0/7.0, Options{})
+	got, err := JaccardJoin(l, r, 4.0/7.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +206,11 @@ func TestJoinWorkersConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	l := randomRecords(80, rng)
 	r := randomRecords(80, rng)
-	a, err := JaccardJoin(l, r, 0.5, Options{Workers: 1})
+	a, err := JaccardJoin(l, r, 0.5, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := JaccardJoin(l, r, 0.5, Options{Workers: 8})
+	b, err := JaccardJoin(l, r, 0.5, WithWorkers(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestEditDistanceJoin(t *testing.T) {
 	r := []StringRecord{
 		{"r1", "madisson"}, {"r2", "midleton"}, {"r3", "boston"}, {"r4", "xy"},
 	}
-	got, err := EditDistanceJoin(l, r, 1, Options{})
+	got, err := EditDistanceJoin(l, r, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestEditDistanceJoinMatchesNaive(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		l, r := mk(40), mk(40)
 		for _, k := range []int{0, 1, 2} {
-			got, err := EditDistanceJoin(l, r, k, Options{})
+			got, err := EditDistanceJoin(l, r, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -275,7 +275,7 @@ func TestEditDistanceJoinMatchesNaive(t *testing.T) {
 }
 
 func TestEditDistanceJoinValidation(t *testing.T) {
-	if _, err := EditDistanceJoin(nil, nil, -1, Options{}); err == nil {
+	if _, err := EditDistanceJoin(nil, nil, -1); err == nil {
 		t.Error("want negative-bound error")
 	}
 }
@@ -289,7 +289,7 @@ func TestJaccardJoinCompletenessProperty(t *testing.T) {
 		l := randomRecords(20, lr)
 		r := randomRecords(20, lr)
 		_ = rng
-		got, err := JaccardJoin(l, r, 0.6, Options{Workers: 2})
+		got, err := JaccardJoin(l, r, 0.6, WithWorkers(2))
 		if err != nil {
 			return false
 		}
@@ -307,7 +307,7 @@ func TestTokenizeIntegration(t *testing.T) {
 	tok := tokenize.QGram{Q: 3, ReturnSet: true}
 	l := []Record{{ID: "a", Tokens: tok.Tokenize("saving the amazon")}}
 	r := []Record{{ID: "b", Tokens: tok.Tokenize("saving the amazonn")}}
-	got, err := JaccardJoin(l, r, 0.7, Options{})
+	got, err := JaccardJoin(l, r, 0.7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,20 +333,20 @@ func TestPooledJoinsBitIdenticalAcrossWorkers(t *testing.T) {
 		rs[i] = StringRecord{ID: r[i].ID, Str: strings.Join(r[i].Tokens, " ")}
 	}
 
-	serialJac, err := JaccardJoin(l, r, 0.4, Options{Workers: 1})
+	serialJac, err := JaccardJoin(l, r, 0.4, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	serialOv, err := OverlapJoin(l, r, 2, Options{Workers: 1})
+	serialOv, err := OverlapJoin(l, r, 2, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	serialEd, err := EditDistanceJoin(ls, rs, 2, Options{Workers: 1})
+	serialEd, err := EditDistanceJoin(ls, rs, 2, WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 3, 7, 32} {
-		opts := Options{Workers: workers}
+		opts := WithWorkers(workers)
 		jac, err := JaccardJoin(l, r, 0.4, opts)
 		if err != nil {
 			t.Fatal(err)

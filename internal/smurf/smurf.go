@@ -103,7 +103,7 @@ func MatchStrings(l, r []Item, lab label.Labeler, cfg Config) (*Result, error) {
 	for i, it := range r {
 		rrecs[i] = simjoin.Record{ID: it.ID, Tokens: tok.Tokenize(it.Str)}
 	}
-	cands, err := simjoin.OverlapJoin(lrecs, rrecs, 1, simjoin.Options{})
+	cands, err := simjoin.OverlapJoin(lrecs, rrecs, 1)
 	if err != nil {
 		return nil, err
 	}
