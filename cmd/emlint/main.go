@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	emlint [-checks list] [-list] [-fix] [-json] [-format mode] [patterns...]
+//	emlint [-checks list] [-list] [-fix] [-json] [-format mode] [-staleallows] [patterns...]
 //
 // Patterns default to ./internal/... ./cmd/... — the whole production
-// tree. Output modes:
+// tree. Each package is analyzed as a cross-package program: its
+// module-local dependencies are loaded with full syntax so the call-graph
+// analyzers (locksafety, lockorder, rlockwrite, ctxflow) follow facts
+// across package boundaries. -staleallows restricts output to the
+// staleallow audit — the //emlint:allow directives that no longer
+// suppress anything. Output modes:
 //
 //	-format=text    file:line:col: [check] message (default)
 //	-format=github  ::error workflow annotations for inline PR comments
@@ -52,8 +57,9 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fix := fs.Bool("fix", false, "apply suggested fixes (non-overlapping edits, gofmt on touched files)")
 	jsonOut := fs.Bool("json", false, "shorthand for -format=json")
 	format := fs.String("format", "text", "output mode: text, github, or json")
+	staleOnly := fs.Bool("staleallows", false, "report only //emlint:allow directives that no longer suppress anything (runs the full suite to find out)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: emlint [-checks list] [-list] [-fix] [-json] [-format mode] [patterns...]\n")
+		fmt.Fprintf(stderr, "usage: emlint [-checks list] [-list] [-fix] [-json] [-format mode] [-staleallows] [patterns...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +90,11 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	if *staleOnly {
+		// The audit is only meaningful against the checks that actually
+		// ran, so the whole suite runs and everything else is filtered.
+		analyzers = analysis.All()
+	}
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -108,12 +119,21 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 
 	var diags []analysis.Diagnostic
 	for _, path := range paths {
-		pkg, err := loader.Load(path)
+		prog, err := loader.LoadProgram(path)
 		if err != nil {
 			fmt.Fprintln(stderr, "emlint:", err)
 			return 2
 		}
-		diags = append(diags, analysis.Run(pkg, analyzers)...)
+		diags = append(diags, analysis.RunProgram(prog, analyzers)...)
+	}
+	if *staleOnly {
+		var stale []analysis.Diagnostic
+		for _, d := range diags {
+			if d.Check == analysis.StaleAllow.Name {
+				stale = append(stale, d)
+			}
+		}
+		diags = stale
 	}
 
 	if *fix {

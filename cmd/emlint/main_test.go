@@ -221,9 +221,85 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, root, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, check := range []string{"errdrop", "hotalloc", "locksafety", "maporder", "nondeterminism"} {
+	for _, check := range []string{
+		"errdrop", "hotalloc", "locksafety", "maporder", "nondeterminism",
+		"rlockwrite", "lockorder", "ctxflow", "httperrors", "staleallow",
+	} {
 		if !strings.Contains(stdout.String(), check) {
 			t.Errorf("-list missing %s", check)
 		}
+	}
+}
+
+// staleSrc carries one used directive (suppressing a real errdrop
+// finding) and one stale directive citing a check that fires nothing.
+const staleSrc = `package fx
+
+import "os"
+
+func Touch(name string) {
+	f, _ := os.Create(name) //emlint:allow errdrop -- fixture: scratch file
+	f.Close()               //emlint:allow nogoroutine -- stale on purpose
+}
+`
+
+// TestRunStaleAllows: -staleallows reports only the dead directive, and
+// the default run reports it too (the audit is on by default).
+func TestRunStaleAllows(t *testing.T) {
+	root := writeModule(t, map[string]string{"fx/fx.go": staleSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-staleallows", "./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[staleallow]") || !strings.Contains(out, "nogoroutine") {
+		t.Fatalf("-staleallows missing the dead directive: %q", out)
+	}
+	if strings.Contains(out, "[errdrop]") || strings.Contains(out, "allow directive for errdrop") {
+		t.Fatalf("-staleallows flagged the used directive or leaked other checks: %q", out)
+	}
+	if got := strings.Count(out, "[staleallow]"); got != 1 {
+		t.Fatalf("want exactly 1 stale directive, got %d: %q", got, out)
+	}
+}
+
+// TestRunCrossPackage: a lock held in one package across a channel
+// operation in another is resolved through the program call graph — the
+// regression the single-package CallGraph could not see.
+func TestRunCrossPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"fx/fx.go": `package fx
+
+import (
+	"sync"
+
+	"fixturemod/dep"
+)
+
+type S struct {
+	mu sync.Mutex
+	p  *dep.P
+}
+
+func (s *S) Bad() {
+	s.mu.Lock()
+	s.p.Emit(1)
+	s.mu.Unlock()
+}
+`,
+		"dep/dep.go": `package dep
+
+type P struct{ Ch chan int }
+
+func (p *P) Emit(v int) { p.Ch <- v }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks=locksafety", "./fx"}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[locksafety]") || !strings.Contains(out, "channel operations") {
+		t.Fatalf("cross-package channel op not detected: %q", out)
 	}
 }

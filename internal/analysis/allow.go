@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -16,24 +17,57 @@ import (
 // functions opt out wholesale.
 const allowDirective = "//emlint:allow"
 
-// allowRange permits one check on lines [from, to] of a file.
+// allowRange permits one check on lines [from, to] of a file. pos is the
+// directive comment's own position and used records whether any diagnostic
+// of the run actually landed in the range — the staleallow audit reports
+// ranges that stayed unused.
 type allowRange struct {
 	check    string
 	from, to int
+	pos      token.Position
+	used     bool
 }
 
 // allowSet maps a filename to its permitted ranges.
-type allowSet map[string][]allowRange
+type allowSet map[string][]*allowRange
 
-// allows reports whether the diagnostic falls inside a permitted range
-// for its check.
+// allows reports whether the diagnostic falls inside a permitted range for
+// its check, marking every matching range as having earned its keep (two
+// directives covering the same line both count as exercised rather than
+// flapping on evaluation order).
 func (s allowSet) allows(d Diagnostic) bool {
+	hit := false
 	for _, r := range s[d.Pos.Filename] {
 		if r.check == d.Check && d.Pos.Line >= r.from && d.Pos.Line <= r.to {
-			return true
+			r.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns a staleallow diagnostic for every directive range that
+// suppressed nothing, restricted to checks the run actually executed (a
+// directive for a check outside the list might suppress plenty on a fuller
+// run). Directives for staleallow itself are exempt: they exist to pin a
+// deliberately-dormant directive and are used precisely when nothing fires.
+//
+//emlint:allow hotalloc -- runs once per package at the end of a lint pass; not a hot path
+func (s allowSet) stale(executed map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, ranges := range s {
+		for _, r := range ranges {
+			if r.used || r.check == StaleAllow.Name || !executed[r.check] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:     r.pos,
+				Check:   StaleAllow.Name,
+				Message: "allow directive for " + r.check + " suppresses no diagnostic; remove it",
+			})
+		}
+	}
+	return out
 }
 
 // parseAllow extracts the check names from one directive comment, or nil
@@ -86,13 +120,13 @@ func collectAllows(pkg *Package) allowSet {
 				if checks == nil {
 					continue
 				}
-				line := pkg.Fset.Position(c.Pos()).Line
-				from, to := line, line+1
+				pos := pkg.Fset.Position(c.Pos())
+				from, to := pos.Line, pos.Line+1
 				if isDoc {
 					from, to = span[0], span[1]
 				}
 				for _, check := range checks {
-					set[filename] = append(set[filename], allowRange{check, from, to})
+					set[filename] = append(set[filename], &allowRange{check: check, from: from, to: to, pos: pos})
 				}
 			}
 		}

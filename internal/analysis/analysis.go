@@ -63,6 +63,12 @@ type Pass struct {
 	// Files is the subset of the package's files the analyzer should
 	// inspect (test files are filtered out unless the analyzer opts in).
 	Files []*ast.File
+	// Prog is the analysis unit the package was loaded as. Under Run it is
+	// a single-package program (no cross-package edges); under RunProgram
+	// it carries the module-local dependency closure, and Prog.CallGraph()
+	// resolves calls across package boundaries. Diagnostics still anchor
+	// only in Pass.Package (the program root).
+	Prog *Program
 
 	check string
 	diags []Diagnostic
@@ -124,8 +130,11 @@ type Analyzer struct {
 func All() []*Analyzer {
 	return []*Analyzer{
 		CtxFirst,
+		CtxFlow,
 		ErrDrop,
 		HotAlloc,
+		HTTPErrors,
+		LockOrder,
 		LockSafety,
 		MapOrder,
 		MetricNames,
@@ -133,6 +142,8 @@ func All() []*Analyzer {
 		NoDeprecated,
 		NoGoroutine,
 		NonDeterminism,
+		RLockWrite,
+		StaleAllow,
 	}
 }
 
@@ -165,13 +176,34 @@ func isTestFile(fset *token.FileSet, f *ast.File) bool {
 	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
 }
 
-// Run executes the analyzers over one package and returns the surviving
-// (not allow-suppressed) diagnostics sorted by position.
+// Run executes the analyzers over one package as a single-package program
+// and returns the surviving (not allow-suppressed) diagnostics sorted by
+// position.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunProgram(singleProgram(pkg), analyzers)
+}
+
+// RunProgram executes the analyzers over a program, anchoring diagnostics
+// in the root package. Allow directives are tracked: when the staleallow
+// analyzer is in the list, directives that suppressed nothing across the
+// whole run are themselves reported (a directive citing a check outside
+// the executed list is left alone — this run cannot tell if it earns its
+// keep).
+func RunProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	pkg := prog.Root
 	allows := collectAllows(pkg)
+	executed := make(map[string]bool, len(analyzers))
+	auditAllows := false
 	out := make([]Diagnostic, 0, len(analyzers))
 	for _, a := range analyzers {
-		pass := &Pass{Package: pkg, check: a.Name}
+		executed[a.Name] = true
+		if a.Name == StaleAllow.Name {
+			// Emitted after every other analyzer has had its chance to hit
+			// the directives.
+			auditAllows = true
+			continue
+		}
+		pass := &Pass{Package: pkg, Prog: prog, check: a.Name}
 		for _, f := range pkg.Files {
 			if a.Tests || !isTestFile(pkg.Fset, f) {
 				pass.Files = append(pass.Files, f)
@@ -179,6 +211,13 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 		for _, d := range pass.diags {
+			if !allows.allows(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	if auditAllows {
+		for _, d := range allows.stale(executed) {
 			if !allows.allows(d) {
 				out = append(out, d)
 			}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow audits request-path context hygiene in two ways:
+//
+//  1. A function that already receives a context.Context must not start a
+//     fresh root with context.Background() or context.TODO() — doing so
+//     severs cancellation: the request times out or the client leaves,
+//     and the downstream work keeps running.
+//  2. A go statement must spawn a body with a visible stop path — a
+//     mention of a context, a channel operation (a worker draining
+//     `for t := range tasks` stops when the channel closes), a select, or
+//     a WaitGroup hand-off. A goroutine with none of these can never be
+//     shut down, which is how serving processes leak. For `go p.worker()`
+//     the callee's body is resolved through the program call graph, so
+//     the lifecycle check crosses package boundaries.
+//
+// nogoroutine (DESIGN.md §5) governs where go statements may appear at
+// all; ctxflow governs whether the ones that are sanctioned can stop.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "Context dropped for a fresh Background/TODO, or a goroutine with no stop path",
+	Run: func(pass *Pass) {
+		graph := pass.Prog.CallGraph()
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.FuncDecl:
+					if v.Body != nil && hasCtxParam(pass.Info, v.Type) {
+						reportFreshContexts(pass, v.Body)
+					}
+				case *ast.FuncLit:
+					if hasCtxParam(pass.Info, v.Type) {
+						reportFreshContexts(pass, v.Body)
+					}
+				case *ast.GoStmt:
+					checkGoStop(pass, graph, v)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// hasCtxParam reports whether the function type takes a context.Context.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// reportFreshContexts flags context.Background()/TODO() calls in a body
+// that already has a context in scope. Nested literals are their own
+// units: a literal without a ctx param is not re-flagged here, and one
+// with its own ctx param gets its own visit.
+func reportFreshContexts(pass *Pass, body *ast.BlockStmt) {
+	walkUnit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+			pass.Reportf(call.Pos(), "context.%s() inside a function that already receives a ctx; derive from the incoming context so cancellation propagates", fn.Name())
+		}
+		return true
+	})
+}
+
+// checkGoStop verifies the spawned body has a stop path.
+func checkGoStop(pass *Pass, graph *CallGraph, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	var info *types.Info
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body, info = fun.Body, pass.Info
+	default:
+		fn := calleeFunc(pass.Info, g.Call)
+		if fn == nil {
+			return // spawned through a function value: body not visible
+		}
+		fd := graph.Decl(fn)
+		pkg := graph.PackageOf(fn)
+		if fd == nil || pkg == nil {
+			return // callee outside the program
+		}
+		body, info = fd.Body, pkg.Info
+	}
+	// Arguments evaluated at spawn (including a ctx passed in) count: the
+	// goroutine received the means to stop even if the literal wrapper
+	// only forwards it.
+	for _, arg := range g.Call.Args {
+		if isContextType(pass.Info.TypeOf(arg)) {
+			return
+		}
+	}
+	if bodyHasStopPath(info, body) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine has no stop path (no context, channel operation, select, or WaitGroup in its body); it cannot be shut down and will leak in a long-lived process")
+}
+
+// bodyHasStopPath reports whether the goroutine body contains any of the
+// recognized lifecycle signals. Channel operations count wholesale: a
+// worker draining a channel stops on close, a producer sending results
+// hands its lifetime to the consumer, and a select is the idiomatic
+// shutdown shape.
+func bodyHasStopPath(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, v); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+				switch fn.Name() {
+				case "Done", "Wait", "Add":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

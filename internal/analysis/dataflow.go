@@ -85,7 +85,14 @@ var sortCalls = map[string]map[string]int{
 // in the function is treated as order-established, trading a little
 // soundness (append after sort) for near-zero false positives on the
 // standard collect-sort-iterate pattern.
-func sortedExprs(info *types.Info, body *ast.BlockStmt) map[string]bool {
+//
+// In program mode a second class of sorter counts: a program-local
+// function that transitively reaches a sort.*/slices.Sort* call through
+// the cross-package graph. Passing a collected slice to such a helper
+// (`orderPairs(out)`) establishes order the same as sorting inline; all
+// slice-typed arguments of the helper call are marked.
+func sortedExprs(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	info := pass.Info
 	sorted := make(map[string]bool)
 	walkUnit(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -96,18 +103,75 @@ func sortedExprs(info *types.Info, body *ast.BlockStmt) map[string]bool {
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
-		byName, ok := sortCalls[fn.Pkg().Path()]
-		if !ok {
+		if byName, ok := sortCalls[fn.Pkg().Path()]; ok {
+			if idx, ok := byName[fn.Name()]; ok && idx < len(call.Args) {
+				sorted[types.ExprString(ast.Unparen(call.Args[idx]))] = true
+			}
 			return true
 		}
-		idx, ok := byName[fn.Name()]
-		if !ok || idx >= len(call.Args) {
-			return true
+		if localSortHelper(pass, fn) {
+			for _, arg := range call.Args {
+				if t := info.TypeOf(arg); t != nil {
+					if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+						sorted[types.ExprString(ast.Unparen(arg))] = true
+					}
+				}
+			}
 		}
-		sorted[types.ExprString(ast.Unparen(call.Args[idx]))] = true
 		return true
 	})
 	return sorted
+}
+
+// localSortHelper reports whether fn is a program-local function whose
+// body — or any program-local function it transitively calls — invokes a
+// sorting entry point. The fact only ever suppresses, so reaching any
+// sort call is enough; proving it sorts the specific argument would need
+// interprocedural alias tracking DESIGN.md §7 rules out.
+func localSortHelper(pass *Pass, fn *types.Func) bool {
+	if pass.Prog == nil || fn.Pkg() == nil || pass.Prog.Local(fn.Pkg()) == nil {
+		return false
+	}
+	return declSorts(pass.Prog.CallGraph(), fn, make(map[*types.Func]bool))
+}
+
+// declSorts is the recursive body of localSortHelper; seen guards cycles.
+func declSorts(g *CallGraph, fn *types.Func, seen map[*types.Func]bool) bool {
+	if seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	decl, pkg := g.Decl(fn), g.PackageOf(fn)
+	if decl == nil || decl.Body == nil || pkg == nil {
+		return false
+	}
+	found := false
+	walkUnit(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := calleeFunc(pkg.Info, call); callee != nil && callee.Pkg() != nil {
+			if byName, ok := sortCalls[callee.Pkg().Path()]; ok {
+				if _, ok := byName[callee.Name()]; ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	for _, callee := range g.Callees(fn) {
+		if declSorts(g, callee, seen) {
+			return true
+		}
+	}
+	return false
 }
 
 // mentionsAny reports whether the expression mentions an identifier bound

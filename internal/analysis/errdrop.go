@@ -26,6 +26,16 @@ var errdropExemptRecvTypes = map[string]bool{
 // calls targeting a never-failing or terminal writer are exempt.
 var fprintFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
 
+// localWriterMethods are the Write-family method names eligible for the
+// program-local never-failing-writer exemption. The scope is deliberately
+// narrow: a dropped Close or Flush error stays flagged even when today's
+// body happens to return nil, because those are contracts callers are
+// expected to check; Write on an in-memory sink is the one shape where
+// the stdlib itself (strings.Builder, bytes.Buffer) blesses the drop.
+var localWriterMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
 // neverFailingWriter reports whether the writer expression is one whose
 // Write cannot usefully fail: a *strings.Builder or *bytes.Buffer
 // (documented to always return nil), or the process's own stdout/stderr
@@ -63,6 +73,12 @@ func neverFailingWriter(info *types.Info, e ast.Expr) bool {
 // targets silent mid-flow drops where an error influences nothing.
 // Legitimate discards (best-effort metrics writes, close-on-error-path)
 // opt out with //emlint:allow errdrop -- reason.
+//
+// In program mode the check consults the cross-package call graph:
+// Write-family methods on program-local types whose declared bodies
+// provably return a nil error on every path are exempt, the same way
+// bytes.Buffer is — an in-repo in-memory sink does not need its Write
+// errors checked just because it lives outside the stdlib.
 var ErrDrop = &Analyzer{
 	Name:  "errdrop",
 	Doc:   "error results discarded via bare calls or _ assignment; check, propagate, or allow-list with a reason",
@@ -76,7 +92,7 @@ var ErrDrop = &Analyzer{
 					if !ok {
 						return true
 					}
-					if idx := droppedErrors(pass.Info, call); len(idx) > 0 {
+					if idx := droppedErrors(pass, call); len(idx) > 0 {
 						pass.Reportf(call.Pos(), "%s returns an error that is silently dropped; handle it, or annotate //emlint:allow errdrop -- reason", calleeLabel(pass.Info, call))
 					}
 				case *ast.AssignStmt:
@@ -90,7 +106,8 @@ var ErrDrop = &Analyzer{
 
 // droppedErrors returns the error result indices of the call, or nil when
 // the call has none or is exempt.
-func droppedErrors(info *types.Info, call *ast.CallExpr) []int {
+func droppedErrors(pass *Pass, call *ast.CallExpr) []int {
+	info := pass.Info
 	sig := callSignature(info, call)
 	idx := errorResults(sig)
 	if len(idx) == 0 {
@@ -101,7 +118,7 @@ func droppedErrors(info *types.Info, call *ast.CallExpr) []int {
 			return nil
 		}
 		if fn.Pkg().Path() == "fmt" && fprintFuncs[fn.Name()] && len(call.Args) > 0 &&
-			neverFailingWriter(info, call.Args[0]) {
+			(neverFailingWriter(info, call.Args[0]) || localNeverFailingWriterArg(pass, call.Args[0])) {
 			return nil
 		}
 		if recv := sig.Recv(); recv != nil {
@@ -116,9 +133,90 @@ func droppedErrors(info *types.Info, call *ast.CallExpr) []int {
 					return nil
 				}
 			}
+			if localWriterMethods[fn.Name()] && alwaysNilReturns(pass, fn, idx) {
+				return nil
+			}
 		}
 	}
 	return idx
+}
+
+// alwaysNilReturns reports whether fn is a program-local function whose
+// declared body provably returns nil at every listed error result index:
+// each return statement carries an explicit nil in those positions. Bare
+// returns (named results) and result-count passthroughs defeat the proof,
+// which is the conservative answer — the fact is consulted only to
+// suppress, never to report.
+func alwaysNilReturns(pass *Pass, fn *types.Func, idx []int) bool {
+	if pass.Prog == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg := pass.Prog.Local(fn.Pkg())
+	if pkg == nil {
+		return false
+	}
+	decl := pass.Prog.CallGraph().Decl(fn)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	nResults := fn.Type().(*types.Signature).Results().Len()
+	proved, sawReturn := true, false
+	walkUnit(decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return proved
+		}
+		sawReturn = true
+		if len(ret.Results) != nResults {
+			proved = false
+			return false
+		}
+		for _, i := range idx {
+			if !isUniverseNil(pkg.Info, ret.Results[i]) {
+				proved = false
+				return false
+			}
+		}
+		return true
+	})
+	return proved && sawReturn
+}
+
+// isUniverseNil reports whether e is the predeclared nil.
+func isUniverseNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// localNeverFailingWriterArg reports whether the writer expression has a
+// program-local named type whose Write method provably returns a nil
+// error — the in-repo analogue of passing a *bytes.Buffer to fmt.Fprintf.
+func localNeverFailingWriterArg(pass *Pass, e ast.Expr) bool {
+	if pass.Prog == nil {
+		return false
+	}
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(derefType(t)).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || pass.Prog.Local(named.Obj().Pkg()) == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, named.Obj().Pkg(), "Write")
+	wfn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	wsig, ok := wfn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return alwaysNilReturns(pass, wfn, errorResults(wsig))
 }
 
 // reportBlankErrorAssigns flags `_ = errCall()` and `v, _ := errCall()`
@@ -130,7 +228,7 @@ func reportBlankErrorAssigns(pass *Pass, stmt *ast.AssignStmt) {
 		if !ok {
 			return
 		}
-		for _, i := range droppedErrors(pass.Info, call) {
+		for _, i := range droppedErrors(pass, call) {
 			if i < len(stmt.Lhs) && isBlank(stmt.Lhs[i]) {
 				pass.Reportf(stmt.Lhs[i].Pos(), "error result of %s assigned to _; handle it, or annotate //emlint:allow errdrop -- reason", calleeLabel(pass.Info, call))
 			}
@@ -150,7 +248,7 @@ func reportBlankErrorAssigns(pass *Pass, stmt *ast.AssignStmt) {
 		if sig == nil || sig.Results().Len() != 1 {
 			continue
 		}
-		if len(droppedErrors(pass.Info, call)) > 0 {
+		if len(droppedErrors(pass, call)) > 0 {
 			pass.Reportf(stmt.Lhs[i].Pos(), "error result of %s assigned to _; handle it, or annotate //emlint:allow errdrop -- reason", calleeLabel(pass.Info, call))
 		}
 	}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// HTTPErrors enforces the structured error envelope on HTTP handler code:
+// in any function that receives an http.ResponseWriter, error responses
+// must go through the module's writeError helper with a canonical code
+// from the error-code registry. Concretely it flags (1) calls to
+// http.Error / http.NotFound — they emit text/plain bodies no client of
+// the JSON API can parse, (2) direct w.WriteHeader(4xx/5xx) with a
+// constant status — a naked error status with whatever body follows,
+// and (3) writeError calls whose code argument is an inline string
+// literal rather than a named constant — stringly-typed codes drift and
+// never make it into the registry docs. The envelope helpers themselves
+// (writeError, writeJSON) opt out with an allow directive where they
+// terminate the chain.
+var HTTPErrors = &Analyzer{
+	Name: "httperrors",
+	Doc:  "HTTP error paths bypassing the structured envelope or using unregistered error codes",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.FuncDecl:
+					if v.Body != nil && hasResponseWriterParam(pass.Info, v.Type) {
+						checkHandlerBody(pass, v.Body)
+					}
+				case *ast.FuncLit:
+					if hasResponseWriterParam(pass.Info, v.Type) {
+						checkHandlerBody(pass, v.Body)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// hasResponseWriterParam reports whether the function type takes an
+// http.ResponseWriter.
+func hasResponseWriterParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isResponseWriter(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isResponseWriter reports whether t is net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "ResponseWriter"
+}
+
+// checkHandlerBody scans one handler unit. Nested literals are visited by
+// the file walk when they have their own ResponseWriter param; without one
+// they share this handler's writer, so the walk descends.
+func checkHandlerBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		if isPkgFunc(fn, "net/http", "Error") || isPkgFunc(fn, "net/http", "NotFound") {
+			pass.Reportf(call.Pos(), "http.%s bypasses the structured error envelope; respond through writeError with a canonical code", fn.Name())
+			return true
+		}
+		if fn.Name() == "WriteHeader" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" {
+			if status, ok := constStatus(pass.Info, call); ok && status >= 400 {
+				pass.Reportf(call.Pos(), "WriteHeader(%d) writes a naked error status; respond through writeError so the body carries the envelope", status)
+			}
+			return true
+		}
+		if fn.Name() == "writeError" && pass.Prog.Local(fn.Pkg()) != nil {
+			checkErrorCodeArg(pass, fn, call)
+		}
+		return true
+	})
+}
+
+// constStatus extracts the constant value of a WriteHeader argument.
+func constStatus(info *types.Info, call *ast.CallExpr) (int64, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := info.Types[ast.Unparen(call.Args[0])]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return v, exact
+}
+
+// checkErrorCodeArg verifies the argument bound to the callee's "code"
+// parameter is a reference to a named constant, not an inline literal.
+func checkErrorCodeArg(pass *Pass, fn *types.Func, call *ast.CallExpr) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	idx := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == "code" {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx >= len(call.Args) {
+		return
+	}
+	arg := ast.Unparen(call.Args[idx])
+	var id *ast.Ident
+	switch v := arg.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	}
+	if id != nil {
+		if _, isConst := pass.Info.Uses[id].(*types.Const); isConst {
+			return
+		}
+	}
+	pass.Reportf(arg.Pos(), "error code must be a named constant from the code registry, not an inline value; register the code so clients can rely on it")
+}

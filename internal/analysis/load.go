@@ -31,6 +31,7 @@ type Loader struct {
 
 	std      types.Importer
 	cache    map[string]*types.Package // import-facing packages, test files excluded
+	pkgs     map[string]*Package       // full syntax+info for module-local imports
 	checking map[string]bool           // cycle guard
 }
 
@@ -47,6 +48,7 @@ func NewLoader(root string) (*Loader, error) {
 		Fset:     fset,
 		std:      importer.ForCompiler(fset, "source", nil),
 		cache:    make(map[string]*types.Package),
+		pkgs:     make(map[string]*Package),
 		checking: make(map[string]bool),
 	}, nil
 }
@@ -119,12 +121,29 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
+	// Retain syntax and type info alongside the import-facing package so
+	// LoadProgram can hand analyzers the dependency's bodies (the
+	// cross-package call graph needs callee syntax, not just signatures).
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
 	conf := types.Config{Importer: l}
-	pkg, err := conf.Check(path, l.Fset, files, nil)
+	pkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("analysis: type-checking dependency %s: %w", path, err)
 	}
 	l.cache[path] = pkg
+	l.pkgs[path] = &Package{
+		Path:   path,
+		Module: l.Module,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  pkg,
+		Info:   info,
+	}
 	return pkg, nil
 }
 

@@ -1,0 +1,230 @@
+// locks.go is the shared lock-site resolution layer for the mutex
+// analyzers (locksafety, rlockwrite, lockorder). It matches
+// `expr.Lock()`-shaped calls to the sync package's primitives and
+// canonicalizes the lock expression: a promoted call through an embedded
+// mutex (`c.Lock()`) and its explicit spelling (`c.Mutex.Lock()`) resolve
+// to the same key, so mixed forms pair up instead of producing phantom
+// "missing unlock" reports. Beyond the textual key it resolves a
+// type-level identity ("pkg.Type.field") that is stable across functions
+// and packages — the unit lockorder compares acquisition orders with.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// syncLockMethods pairs each acquire method with its release.
+var syncLockMethods = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// lockCall is one resolved call to a sync lock method.
+type lockCall struct {
+	// key is the canonical textual form of the lock expression within its
+	// function ("c.mu", "c.Mutex" — embedded hops spelled out), the unit
+	// locksafety and rlockwrite pair acquires with releases by.
+	key string
+	// method is Lock, Unlock, RLock, or RUnlock.
+	method string
+	// id is the type-level identity of the lock — "pkgpath.Type.field"
+	// for a mutex field, "pkgpath.var" for a package-level mutex — or ""
+	// when the lock lives in a local variable or behind an expression the
+	// resolver cannot canonicalize (index, call result). Only identified
+	// locks participate in cross-function order comparison.
+	id string
+	// base is the object at the root of the selector chain (the receiver
+	// or variable the lock hangs off), or nil when the root is not a plain
+	// identifier.
+	base types.Object
+	// rw reports whether the primitive is a sync.RWMutex.
+	rw bool
+}
+
+// resolveLockCall matches a node against `expr.(R)Lock()` / `expr.(R)Unlock()`
+// on a sync primitive (including promoted calls through embedding and
+// calls via a sync.Locker) and canonicalizes the lock expression.
+func resolveLockCall(info *types.Info, n ast.Node) (lockCall, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockCall{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockCall{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	lc := lockCall{method: fn.Name(), rw: recvIsRWMutex(fn)}
+
+	// The method selection's implicit steps are the embedded-field hops a
+	// promoted call (`c.Lock()`) elides; spelling them out is what makes
+	// the key canonical.
+	var implicit []*types.Var
+	if ms, ok := info.Selections[sel]; ok && ms.Kind() == types.MethodVal {
+		idx := ms.Index()
+		implicit = fieldsAt(ms.Recv(), idx[:len(idx)-1])
+	}
+	root, fields, exact := selectorChain(info, sel.X)
+	fields = append(fields, implicit...)
+
+	if !exact || root == nil {
+		// Not an identifier-rooted chain (s.items[i].mu, pool().mu):
+		// fall back to a best-effort textual key so pairing inside one
+		// function still works; no cross-function identity.
+		lc.key = joinKey(types.ExprString(ast.Unparen(sel.X)), implicit)
+		return lc, true
+	}
+	lc.base = root
+	lc.key = joinKey(root.Name(), fields)
+	lc.id = lockIdentity(root, fields)
+	return lc, true
+}
+
+// recvIsRWMutex reports whether the sync method's receiver is RWMutex.
+func recvIsRWMutex(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "RWMutex"
+}
+
+// selectorChain unwinds an expression like c.inner.mu to its root object
+// and the ordered field path, expanding implicit embedded hops inside
+// every selector. exact is false when the chain passes through anything
+// that is not a plain field selection (an index, a call, a dereference of
+// a computed value) — the caller falls back to a textual key.
+func selectorChain(info *types.Info, e ast.Expr) (root types.Object, fields []*types.Var, exact bool) {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		return objOf(info, v), nil, true
+	case *ast.SelectorExpr:
+		if fs, ok := info.Selections[v]; ok && fs.Kind() == types.FieldVal {
+			r, outer, ok := selectorChain(info, v.X)
+			if !ok {
+				return nil, nil, false
+			}
+			return r, append(outer, fieldsAt(fs.Recv(), fs.Index())...), true
+		}
+		// Qualified identifier: pkg.GlobalMu has no Selection entry.
+		if obj := info.Uses[v.Sel]; obj != nil {
+			if _, isPkg := info.Uses[rootIdent(v.X)].(*types.PkgName); isPkg {
+				return obj, nil, true
+			}
+		}
+		return nil, nil, false
+	case *ast.StarExpr:
+		return selectorChain(info, v.X)
+	default:
+		return nil, nil, false
+	}
+}
+
+// rootIdent returns e as a plain identifier, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// fieldsAt resolves a types.Selection index path to the field objects it
+// traverses.
+func fieldsAt(t types.Type, index []int) []*types.Var {
+	var out []*types.Var
+	for _, i := range index {
+		st, ok := underlyingStruct(t)
+		if !ok || i >= st.NumFields() {
+			return out
+		}
+		f := st.Field(i)
+		out = append(out, f)
+		t = f.Type()
+	}
+	return out
+}
+
+// underlyingStruct unwraps pointers and named types down to a struct.
+func underlyingStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// joinKey renders root.field1.field2 for the canonical textual key.
+func joinKey(root string, fields []*types.Var) string {
+	parts := []string{root}
+	for _, f := range fields {
+		parts = append(parts, f.Name())
+	}
+	return strings.Join(parts, ".")
+}
+
+// lockIdentity derives the cross-function identity of a lock: the struct
+// field that holds it (qualified by the field's declaring package — the
+// same field reached through different receivers is the same lock class)
+// or a package-level variable. Locals yield "".
+func lockIdentity(root types.Object, fields []*types.Var) string {
+	if len(fields) > 0 {
+		f := fields[len(fields)-1]
+		if f.Pkg() == nil {
+			return ""
+		}
+		var path []string
+		for _, hop := range fields {
+			path = append(path, hop.Name())
+		}
+		// Qualify by the root's type when it has a name, so Pool.mu and
+		// Registry.mu stay distinct even if both fields are spelled "mu".
+		owner := namedTypeName(root.Type())
+		if owner == "" {
+			owner = f.Pkg().Path()
+		}
+		return owner + "." + strings.Join(path, ".")
+	}
+	if root == nil || root.Pkg() == nil {
+		return ""
+	}
+	// A package-level mutex variable is its own identity; locals are not
+	// comparable across functions.
+	if root.Parent() == root.Pkg().Scope() {
+		return root.Pkg().Path() + "." + root.Name()
+	}
+	return ""
+}
+
+// namedTypeName renders the named type behind t (through pointers) as
+// pkgpath.Name, or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// lockCallInfo is the legacy (key, method) view of resolveLockCall that
+// the region scanner in locksafety pairs acquires and releases with.
+func lockCallInfo(info *types.Info, n ast.Node) (key, method string, ok bool) {
+	lc, ok := resolveLockCall(info, n)
+	if !ok {
+		return "", "", false
+	}
+	return lc.key, lc.method, true
+}

@@ -9,11 +9,15 @@ import (
 // LockSafety flags mutex regions with unsound shapes: a Lock (or RLock)
 // with no matching Unlock anywhere in the function, a return statement
 // between Lock and Unlock (the lock leaks on that path), and a lock held
-// across a channel operation — including one performed by a same-package
-// function the locked region calls, resolved through the package call
-// graph. Holding a lock across a blocking channel op is the classic
-// pool/metamanager deadlock: the goroutine that would drain the channel
-// may need the same lock.
+// across a channel operation — including one performed by a module-local
+// function the locked region calls, resolved through the program call
+// graph (cross-package under emlint's program mode). Holding a lock across
+// a blocking channel op is the classic pool/metamanager deadlock: the
+// goroutine that would drain the channel may need the same lock.
+//
+// Lock expressions are canonicalized through locks.go, so a promoted
+// acquire via an embedded mutex (`c.Lock()`) pairs with its explicit
+// release (`c.Mutex.Unlock()`) and vice versa.
 //
 // The analysis is intra-procedural per function body (closures are
 // separate units) and scans statement siblings forward from each Lock:
@@ -26,7 +30,7 @@ var LockSafety = &Analyzer{
 	Doc:   "Lock without Unlock on some path, or a lock held across a channel operation (call-graph aware)",
 	Tests: true,
 	Run: func(pass *Pass) {
-		graph := NewCallGraph(pass.Package)
+		graph := pass.Prog.CallGraph()
 		chanFuncs := make(map[*ast.FuncDecl]bool)
 		reachesChan := func(fn *types.Func) bool {
 			return graph.AnyReachable(fn, func(fd *ast.FuncDecl) bool {
@@ -44,32 +48,6 @@ var LockSafety = &Analyzer{
 			}
 		}
 	},
-}
-
-// syncLockMethods pairs each acquire method with its release.
-var syncLockMethods = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
-
-// lockCallInfo matches `expr.Lock()`-shaped calls to sync primitives and
-// returns a textual key for the lock expression plus the method name.
-func lockCallInfo(info *types.Info, n ast.Node) (key, method string, ok bool) {
-	call, isCall := n.(*ast.CallExpr)
-	if !isCall {
-		return "", "", false
-	}
-	fn := calleeFunc(info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
-	}
-	switch fn.Name() {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	return types.ExprString(sel.X), fn.Name(), true
 }
 
 // checkLockUnit scans every statement list of the unit for lock regions.
@@ -162,7 +140,7 @@ func reportChanOpsAfter(pass *Pass, unit funcUnit, pos token.Pos, key string, re
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() == pass.Types && reachesChan(fn) {
+			if fn := calleeFunc(pass.Info, call); fn != nil && pass.Prog.Local(fn.Pkg()) != nil && reachesChan(fn) {
 				pass.Reportf(call.Pos(), "%s performs channel operations and is called while %s is locked (deferred unlock runs at return)", calleeLabel(pass.Info, call), key)
 				return false
 			}
@@ -253,7 +231,7 @@ func firstChanReachingCall(pass *Pass, stmt ast.Stmt, reachesChan func(*types.Fu
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() == pass.Types && reachesChan(fn) {
+			if fn := calleeFunc(pass.Info, call); fn != nil && pass.Prog.Local(fn.Pkg()) != nil && reachesChan(fn) {
 				hit = call
 				return false
 			}

@@ -29,6 +29,11 @@ var writerMethods = map[string]bool{
 // tainted value to a Write/Print/Encode-style call, is reported. Flows
 // that are ordered downstream (a caller sorts the returned pairs) opt out
 // with //emlint:allow maporder -- reason.
+//
+// In program mode, passing the collected slice to a program-local helper
+// that transitively sorts (resolved through the cross-package call graph)
+// counts as establishing order, so `orderPairs(out)` suppresses like an
+// inline sort.Slice.
 var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc:  "map-iteration values flowing into appended slices or writer output without a sort; collect and sort, or allow-list with a reason",
@@ -42,7 +47,7 @@ var MapOrder = &Analyzer{
 }
 
 func checkMapOrderUnit(pass *Pass, unit funcUnit) {
-	sorted := sortedExprs(pass.Info, unit.body)
+	sorted := sortedExprs(pass, unit.body)
 	walkUnit(unit.body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok || !rangesOverMap(pass.Info, rng) {

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// progFixture is a two-package module: root imports dep, calls into it
+// directly and through an interface, and dep carries a build-constrained
+// file that must stay out of the unit.
+func progFixture(t *testing.T) *Loader {
+	t.Helper()
+	return tempModule(t, map[string]string{
+		"root/root.go": `package root
+
+import "fixturemod/dep"
+
+type Runner interface{ Run() int }
+
+func Use(d *dep.D) int {
+	return d.Touch() + dep.Free()
+}
+
+func Dispatch(r Runner) int {
+	return r.Run()
+}
+`,
+		"dep/dep.go": `package dep
+
+type D struct{ n int }
+
+func (d *D) Touch() int { d.n++; return d.n }
+
+func Free() int { return 1 }
+
+type Impl struct{}
+
+func (Impl) Run() int { return 2 }
+`,
+		"dep/tagged.go": "//go:build windows\n\npackage dep\n\nfunc Broken() int { return undefinedOnPurpose }\n",
+	})
+}
+
+// TestLoadProgramMembers: the program holds root plus its module-local
+// dependency closure, sorted by path, with full syntax for both.
+func TestLoadProgramMembers(t *testing.T) {
+	l := progFixture(t)
+	prog, err := l.LoadProgram("fixturemod/root")
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	if prog.Root.Path != "fixturemod/root" {
+		t.Fatalf("root path = %q", prog.Root.Path)
+	}
+	var paths []string
+	for _, pkg := range prog.Packages {
+		paths = append(paths, pkg.Path)
+		if len(pkg.Files) == 0 || pkg.Info == nil {
+			t.Errorf("member %s lacks syntax or info", pkg.Path)
+		}
+	}
+	if strings.Join(paths, " ") != "fixturemod/dep fixturemod/root" {
+		t.Fatalf("members = %v, want sorted [dep root]", paths)
+	}
+	dep := prog.Package("fixturemod/dep")
+	if dep == nil || prog.Local(dep.Types) != dep {
+		t.Fatal("Package/Local do not round-trip the dependency")
+	}
+	// The build-constrained dep file must be excluded (it would not even
+	// type-check), so the dependency has exactly one file.
+	if len(dep.Files) != 1 {
+		t.Fatalf("dep has %d files, want 1 (tagged file excluded)", len(dep.Files))
+	}
+}
+
+// TestProgramCallGraphCrossPackage: edges cross the package boundary for
+// both plain calls and method calls, and interface dispatch fans out to
+// the program-local implementer.
+func TestProgramCallGraphCrossPackage(t *testing.T) {
+	l := progFixture(t)
+	prog, err := l.LoadProgram("fixturemod/root")
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	g := prog.CallGraph()
+	find := func(name string) *types.Func {
+		for _, fn := range g.Functions() {
+			if fn.Name() == name {
+				return fn
+			}
+		}
+		t.Fatalf("function %s not in graph", name)
+		return nil
+	}
+	use, touch, free := find("Use"), find("Touch"), find("Free")
+	callees := g.Callees(use)
+	if len(callees) != 2 || callees[0] != touch && callees[1] != touch {
+		t.Fatalf("Use callees = %v, want Touch and Free across the package boundary", callees)
+	}
+	if !g.Reaches(use, free) {
+		t.Fatal("Use must reach dep.Free")
+	}
+	dispatch, run := find("Dispatch"), find("Run")
+	if !g.Reaches(dispatch, run) {
+		t.Fatal("interface dispatch must resolve Runner.Run to dep.Impl.Run")
+	}
+	if pkg := g.PackageOf(touch); pkg == nil || pkg.Path != "fixturemod/dep" {
+		t.Fatalf("PackageOf(Touch) = %v", pkg)
+	}
+}
+
+// TestLoadProgramDepTypeError: a type error in a dependency surfaces as a
+// load error on the root naming the broken dependency — never a panic.
+func TestLoadProgramDepTypeError(t *testing.T) {
+	l := tempModule(t, map[string]string{
+		"root/root.go": `package root
+
+import "fixturemod/broken"
+
+func Use() int { return broken.X }
+`,
+		"broken/broken.go": "package broken\n\nvar X = undefinedSymbol\n",
+	})
+	prog, err := l.LoadProgram("fixturemod/root")
+	if err == nil {
+		t.Fatalf("LoadProgram returned %+v, want dependency type error", prog)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fixturemod/broken") || !strings.Contains(msg, "undefinedSymbol") {
+		t.Fatalf("error does not name the broken dependency: %v", msg)
+	}
+}
+
+// TestLoadProgramTestOnlyDependencySibling: a test-only package elsewhere
+// in the module does not disturb program loading, and the root's own test
+// files are part of the unit while the dependency's are not.
+func TestLoadProgramRootTestsIncluded(t *testing.T) {
+	l := tempModule(t, map[string]string{
+		"root/root.go":      "package root\n\nimport \"fixturemod/dep\"\n\nfunc Use() int { return dep.Free() }\n",
+		"root/root_test.go": "package root\n\nimport \"testing\"\n\nfunc TestUse(t *testing.T) { _ = Use() }\n",
+		"dep/dep.go":        "package dep\n\nfunc Free() int { return 1 }\n",
+		"dep/dep_test.go":   "package dep\n\nimport \"testing\"\n\nfunc TestFree(t *testing.T) { _ = Free() }\n",
+	})
+	prog, err := l.LoadProgram("fixturemod/root")
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	if len(prog.Root.Files) != 2 {
+		t.Fatalf("root has %d files, want 2 (its tests are analyzed)", len(prog.Root.Files))
+	}
+	dep := prog.Package("fixturemod/dep")
+	if dep == nil || len(dep.Files) != 1 {
+		t.Fatalf("dep = %+v, want 1 file (dependency tests are not imported)", dep)
+	}
+}
+
+// TestSingleProgramCompat: Run over a bare package behaves as a
+// single-package program — no cross-package members, graph identical to
+// NewCallGraph's historical same-package behavior.
+func TestSingleProgramCompat(t *testing.T) {
+	l := progFixture(t)
+	pkg, err := l.Load("fixturemod/dep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := singleProgram(pkg)
+	if len(prog.Packages) != 1 || prog.Root != pkg {
+		t.Fatalf("singleProgram members = %d", len(prog.Packages))
+	}
+	if prog.Local(pkg.Types) != pkg {
+		t.Fatal("Local must resolve the root")
+	}
+}

@@ -5,11 +5,12 @@ import (
 	"testing"
 )
 
-// TestRepoInvariantsClean runs the full analyzer suite over every package
-// under ./internal/... and ./cmd/... — the same sweep as `make lint` —
-// and requires zero diagnostics. A failure here means a concurrency,
-// determinism, or observability invariant regressed; fix the violation or
-// add a justified //emlint:allow directive.
+// TestRepoInvariantsClean runs the full analyzer suite in cross-package
+// program mode over every package under ./internal/... and ./cmd/... —
+// the same sweep as `make lint` — and requires zero diagnostics. A
+// failure here means a concurrency, determinism, or observability
+// invariant regressed; fix the violation or add a justified
+// //emlint:allow directive.
 func TestRepoInvariantsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-repo type check is slow; skipped in -short mode")
@@ -25,11 +26,11 @@ func TestRepoInvariantsClean(t *testing.T) {
 	analyzers := All()
 	var violations []string
 	for _, path := range paths {
-		pkg, err := l.Load(path)
+		prog, err := l.LoadProgram(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		for _, d := range Run(pkg, analyzers) {
+		for _, d := range RunProgram(prog, analyzers) {
 			rel := strings.TrimPrefix(d.Pos.Filename, l.Root+"/")
 			violations = append(violations, rel+": ["+d.Check+"] "+d.Message)
 		}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RLockWrite flags writes performed under a read lock: inside a region
+// where only `x.RLock()` is held, any assignment, increment, or delete
+// whose target hangs off x — or a call to a method of x that (transitively,
+// through the program call graph) writes its receiver's fields — is a data
+// race the moment two readers overlap. Before this check the only proof
+// that Corpus.MatchOne stays read-only under its RLock was eyeballing it
+// against Add/Update/Delete.
+//
+// The region scan mirrors locksafety: statement siblings forward from the
+// RLock to its RUnlock; a deferred RUnlock extends the region to the end
+// of the unit. Function literals are separate units (a closure created
+// under the lock may run after release).
+var RLockWrite = &Analyzer{
+	Name:  "rlockwrite",
+	Doc:   "Field write on a struct while only its RWMutex.RLock is held",
+	Tests: true,
+	Run: func(pass *Pass) {
+		graph := pass.Prog.CallGraph()
+		w := &receiverWrites{graph: graph, memo: make(map[*types.Func]int)}
+		for _, f := range pass.Files {
+			for _, unit := range funcUnits(f) {
+				rlockScanUnit(pass, unit, w)
+			}
+		}
+	},
+}
+
+// rlockScanUnit scans every statement list of the unit for RLock regions.
+func rlockScanUnit(pass *Pass, unit funcUnit, w *receiverWrites) {
+	var lists func(n ast.Node)
+	lists = func(n ast.Node) {
+		switch v := n.(type) {
+		case nil, *ast.FuncLit:
+			return
+		case *ast.BlockStmt:
+			rlockScanList(pass, unit, v.List, w)
+		case *ast.CaseClause:
+			rlockScanList(pass, unit, v.Body, w)
+		case *ast.CommClause:
+			rlockScanList(pass, unit, v.Body, w)
+		}
+		children(n, lists)
+	}
+	lists(unit.body)
+}
+
+// rlockScanList walks one statement list and checks the region following
+// each RLock acquire on an identifier-rooted lock.
+func rlockScanList(pass *Pass, unit funcUnit, stmts []ast.Stmt, w *receiverWrites) {
+	for i, stmt := range stmts {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		lc, ok := resolveLockCall(pass.Info, es.X)
+		if !ok || lc.method != "RLock" || lc.base == nil {
+			continue
+		}
+		for _, rest := range stmts[i+1:] {
+			if d, ok := rest.(*ast.DeferStmt); ok {
+				if k, m, ok := lockCallInfo(pass.Info, d.Call); ok && k == lc.key && m == "RUnlock" {
+					// Held until the unit returns: audit everything after.
+					walkUnit(unit.body, func(n ast.Node) bool {
+						if n == nil || n.Pos() <= d.End() {
+							return true
+						}
+						reportRLockWrites(pass, n, lc, w)
+						return true
+					})
+					return
+				}
+			}
+			if e, ok := rest.(*ast.ExprStmt); ok {
+				if k, m, ok := lockCallInfo(pass.Info, e.X); ok && k == lc.key && m == "RUnlock" {
+					break // region closed cleanly
+				}
+			}
+			if stmtHasRelease(pass, rest, lc.key, "RUnlock") {
+				break // released inside branching flow; assume balanced
+			}
+			ast.Inspect(rest, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				reportRLockWrites(pass, n, lc, w)
+				return true
+			})
+		}
+	}
+}
+
+// reportRLockWrites flags n if it writes through the read-locked base.
+func reportRLockWrites(pass *Pass, n ast.Node, lc lockCall, w *receiverWrites) {
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range v.Lhs {
+			if writesThrough(pass.Info, lhs, lc.base) {
+				pass.Reportf(lhs.Pos(), "write to %s while only %s.RLock is held; writers must hold the write lock", types.ExprString(lhs), lc.key)
+			}
+		}
+	case *ast.IncDecStmt:
+		if writesThrough(pass.Info, v.X, lc.base) {
+			pass.Reportf(v.Pos(), "write to %s while only %s.RLock is held; writers must hold the write lock", types.ExprString(v.X), lc.key)
+		}
+	case *ast.CallExpr:
+		// delete(base.m, k) is a map write.
+		if isBuiltinDelete(pass.Info, v) {
+			if len(v.Args) > 0 && writesThrough(pass.Info, v.Args[0], lc.base) {
+				pass.Reportf(v.Pos(), "delete on %s while only %s.RLock is held; writers must hold the write lock", types.ExprString(v.Args[0]), lc.key)
+			}
+			return
+		}
+		// base.Method() where the method mutates its receiver.
+		fn := calleeFunc(pass.Info, v)
+		if fn == nil {
+			return
+		}
+		if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+			if root, _, exact := selectorChain(pass.Info, sel.X); exact && root != nil && root == lc.base && w.writes(fn) {
+				pass.Reportf(v.Pos(), "%s mutates its receiver and is called on %s while only %s.RLock is held", fn.Name(), root.Name(), lc.key)
+			}
+		}
+	}
+}
+
+// isBuiltinDelete matches a call to the delete builtin.
+func isBuiltinDelete(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "delete" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// writesThrough reports whether the write target e dereferences base — a
+// selector, index, or star chain rooted at the base identifier. A plain
+// `base = x` rebinds the variable and is not a write through it.
+func writesThrough(info *types.Info, e ast.Expr, base types.Object) bool {
+	e = ast.Unparen(e)
+	hops := 0
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			e, hops = ast.Unparen(v.X), hops+1
+		case *ast.IndexExpr:
+			e, hops = ast.Unparen(v.X), hops+1
+		case *ast.StarExpr:
+			e, hops = ast.Unparen(v.X), hops+1
+		case *ast.Ident:
+			return hops > 0 && objOf(info, v) == base
+		default:
+			return false
+		}
+	}
+}
+
+// receiverWrites memoizes the "this method writes its own receiver's
+// state" fact across the program call graph: a direct field assignment,
+// increment, or delete through the receiver, or a call to another method
+// on the same receiver that does.
+type receiverWrites struct {
+	graph *CallGraph
+	memo  map[*types.Func]int // 0 in progress (cycle: assume clean), 1 writes, -1 clean
+}
+
+func (w *receiverWrites) writes(fn *types.Func) bool {
+	if v, ok := w.memo[fn]; ok {
+		return v == 1
+	}
+	fd := w.graph.Decl(fn)
+	pkg := w.graph.PackageOf(fn)
+	if fd == nil || pkg == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		w.memo[fn] = -1
+		return false
+	}
+	recv := pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recv == nil {
+		w.memo[fn] = -1
+		return false
+	}
+	w.memo[fn] = 0
+	result := -1
+	walkUnit(fd.Body, func(n ast.Node) bool {
+		if result == 1 {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if writesThrough(pkg.Info, lhs, recv) {
+					result = 1
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesThrough(pkg.Info, v.X, recv) {
+				result = 1
+			}
+		case *ast.CallExpr:
+			if isBuiltinDelete(pkg.Info, v) {
+				if len(v.Args) > 0 && writesThrough(pkg.Info, v.Args[0], recv) {
+					result = 1
+				}
+				return true
+			}
+			callee := calleeFunc(pkg.Info, v)
+			if callee == nil || callee == fn {
+				return true
+			}
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				if root, _, exact := selectorChain(pkg.Info, sel.X); exact && root == recv && w.writes(callee) {
+					result = 1
+				}
+			}
+		}
+		return result != 1
+	})
+	w.memo[fn] = result
+	return result == 1
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the ctxflow analyzer: severing an incoming
+// context with a fresh Background/TODO root, and goroutines spawned with
+// no visible stop path.
+package fixture
+
+import "context"
+
+func use(ctx context.Context) {}
+
+// handle already receives a ctx; fresh roots sever cancellation.
+func handle(ctx context.Context) {
+	c := context.Background() // want ctxflow
+	_ = c
+	use(context.TODO()) // want ctxflow
+}
+
+func step() {}
+
+// leaky spawns a loop that nothing can stop.
+func leaky() {
+	go func() { // want ctxflow
+		for {
+			step()
+		}
+	}()
+}
+
+// worker has no stop path in its body.
+func worker() {
+	for {
+		step()
+	}
+}
+
+// spawnNamed leaks through a named callee, resolved via the call graph.
+func spawnNamed() {
+	go worker() // want ctxflow
+}

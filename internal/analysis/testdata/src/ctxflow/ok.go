@@ -1,0 +1,65 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// entry is a composition root: no incoming ctx, so a fresh root is the
+// correct shape here.
+func entry() {
+	ctx := context.Background()
+	use(ctx)
+}
+
+// derived builds children from the incoming ctx; cancellation propagates.
+func derived(ctx context.Context) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	use(child)
+}
+
+// drain stops when the channel closes — the Pool worker shape.
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// stoppable selects on a stop channel.
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// ctxAware's goroutine holds the context, so it can observe cancellation.
+func ctxAware(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// bounded hands its lifetime to a WaitGroup the spawner waits on.
+func bounded(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+}
+
+// daemon shows the escape hatch for process-lifetime loops.
+//
+//emlint:allow ctxflow -- fixture demo: process-lifetime daemon, dies with the process by design
+func daemon() {
+	go worker()
+}

@@ -27,3 +27,18 @@ func wrapper() {
 	fn := func() error { return nil }
 	fn() // want errdrop
 }
+
+// flaky is a local writer that can actually fail: one return path carries
+// a non-nil error, so the never-failing-writer proof does not apply.
+type flaky struct{}
+
+func (flaky) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, os.ErrInvalid
+	}
+	return len(p), nil
+}
+
+func localFlaky(f flaky) {
+	f.Write(nil) // want errdrop
+}

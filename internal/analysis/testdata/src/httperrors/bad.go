@@ -1,0 +1,28 @@
+// Package fixture exercises the httperrors analyzer: handler error paths
+// that bypass the structured envelope, and envelope calls minting
+// unregistered inline codes.
+package fixture
+
+import "net/http"
+
+// writeError stands in for the module's envelope helper; its own body
+// forwards a computed status and is not an error path.
+func writeError(w http.ResponseWriter, status int, code, message, detail string) {
+	w.WriteHeader(status)
+}
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/missing" {
+		http.NotFound(w, r) // want httperrors
+		return
+	}
+	if r.Method != "POST" {
+		http.Error(w, "nope", http.StatusMethodNotAllowed) // want httperrors
+		return
+	}
+	w.WriteHeader(http.StatusInternalServerError) // want httperrors
+}
+
+func inlineCode(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, "bad_thing", "oops", "") // want httperrors
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import "net/http"
+
+// codeBadInput is a registered canonical code.
+const codeBadInput = "bad_input"
+
+func okHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != "POST" {
+		writeError(w, http.StatusBadRequest, codeBadInput, "use POST", "")
+		return
+	}
+	// Success statuses are not error paths.
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("{}"))
+}
+
+// record has no ResponseWriter and is out of scope regardless of status
+// arithmetic.
+func record(status int) int { return status + 1 }
+
+// probe shows the escape hatch for a deliberately raw endpoint.
+//
+//emlint:allow httperrors -- fixture demo: plain-text health probe, envelope not wanted
+func probe(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "down", http.StatusServiceUnavailable)
+}

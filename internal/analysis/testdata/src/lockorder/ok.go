@@ -1,0 +1,57 @@
+package fixture
+
+import "sync"
+
+type c struct{ mu sync.Mutex }
+type d struct{ mu sync.Mutex }
+
+// first and second agree on the c-before-d order: consistent, no report.
+func first(x *c, y *d) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func second(x *c, y *d) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+// sequential releases one lock before taking the other; no pair is held
+// together, so the reversed textual order is fine.
+func sequential(x *c, y *d) {
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+// locals have no cross-function identity; their orders are not compared.
+func locals() {
+	var m1, m2 sync.Mutex
+	m2.Lock()
+	m1.Lock()
+	m1.Unlock()
+	m2.Unlock()
+}
+
+type e struct{ mu sync.Mutex }
+type f struct{ mu sync.Mutex }
+
+// both shows the escape hatch: a function that deliberately takes the
+// pair in both orders under an external guarantee opts out wholesale.
+//
+//emlint:allow lockorder -- fixture demo: serialized by a single caller, orders cannot interleave
+func both(x *e, y *f) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

@@ -55,3 +55,25 @@ func deferSend(g *guarded) {
 	defer g.mu.Unlock()
 	g.ch <- g.n // want locksafety
 }
+
+// embedded exposes the promoted Lock/Unlock method set directly.
+type embedded struct {
+	sync.Mutex
+	ch chan int
+	n  int
+}
+
+// mixedForms acquires through the promoted method and releases through
+// the explicit field: canonicalization pairs them, so the send in between
+// is the reported defect rather than a phantom missing-unlock.
+func mixedForms(e *embedded) {
+	e.Lock()
+	e.ch <- e.n // want locksafety
+	e.Mutex.Unlock()
+}
+
+// embeddedMissing never releases the promoted lock.
+func embeddedMissing(e *embedded) {
+	e.Lock() // want locksafety
+	e.n++
+}

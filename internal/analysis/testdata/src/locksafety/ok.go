@@ -1,5 +1,7 @@
 package fixture
 
+import "sync"
+
 // linear is the clean lock/touch/unlock region.
 func linear(g *guarded) {
 	g.mu.Lock()
@@ -47,4 +49,24 @@ func read(g *guarded) int {
 //emlint:allow locksafety -- fixture hand-off demo: the consumer releases
 func handoff(g *guarded) {
 	g.mu.Lock()
+}
+
+// embeddedClean pairs the promoted acquire with the explicit release.
+func embeddedClean(e *embedded) {
+	e.Lock()
+	e.n++
+	e.Mutex.Unlock()
+}
+
+// rwembed promotes the RWMutex read methods.
+type rwembed struct {
+	sync.RWMutex
+	n int
+}
+
+// rwPromoted mixes promoted RLock with an explicit deferred RUnlock.
+func rwPromoted(r *rwembed) int {
+	r.RLock()
+	defer r.RWMutex.RUnlock()
+	return r.n
 }

@@ -1,0 +1,55 @@
+// Package fixture exercises the rlockwrite analyzer: mutations of a
+// struct's state while only its RWMutex read lock is held — direct field
+// writes, map writes and deletes, and calls to receiver-mutating methods.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu    sync.RWMutex
+	m     map[string]int
+	n     int
+	items []int
+}
+
+// bump mutates its receiver; calling it under RLock is a write too.
+func (s *store) bump() { s.n++ }
+
+// readButWrite increments a counter inside the read-locked region.
+func (s *store) readButWrite() int {
+	s.mu.RLock()
+	s.n++ // want rlockwrite
+	v := s.m["k"]
+	s.mu.RUnlock()
+	return v
+}
+
+// deferWrite: a deferred RUnlock keeps the read lock held across the
+// map write.
+func (s *store) deferWrite() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.m["k"] = 1 // want rlockwrite
+}
+
+// deleteUnder: delete is a map write.
+func (s *store) deleteUnder() {
+	s.mu.RLock()
+	delete(s.m, "k") // want rlockwrite
+	s.mu.RUnlock()
+}
+
+// mutatingCall reaches the write through a method on the same receiver,
+// resolved via the call graph.
+func (s *store) mutatingCall() {
+	s.mu.RLock()
+	s.bump() // want rlockwrite
+	s.mu.RUnlock()
+}
+
+// sliceWrite stores through an index of a guarded slice.
+func (s *store) sliceWrite() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.items[0] = 5 // want rlockwrite
+}

@@ -1,0 +1,51 @@
+package fixture
+
+// lookup is the clean shape: reads only under the read lock.
+func (s *store) lookup() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m["k"] + s.n
+}
+
+// set holds the write lock, so writes are fine.
+func (s *store) set(k string, v int) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.n++
+	s.mu.Unlock()
+}
+
+// after writes only once the read lock is released.
+func (s *store) after() {
+	s.mu.RLock()
+	v := s.m["k"]
+	s.mu.RUnlock()
+	s.n = v
+}
+
+// localCopy writes locals derived from guarded state, not the state.
+func (s *store) localCopy() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// size reads only; calling it under RLock is fine.
+func (s *store) size() int { return len(s.m) }
+
+func (s *store) viaCall() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size()
+}
+
+// allowed shows the escape hatch for a deliberate racy-counter design.
+//
+//emlint:allow rlockwrite -- fixture demo: approximate stats counter, torn updates acceptable
+func (s *store) allowed() {
+	s.mu.RLock()
+	s.n++
+	s.mu.RUnlock()
+}

@@ -1,0 +1,17 @@
+// Package fixture exercises the staleallow audit: an //emlint:allow
+// directive whose check reports nothing in its range is dead weight and
+// is itself diagnosed — at the directive's own line.
+package fixture
+
+import "sync"
+
+//emlint:allow nogoroutine -- stale: nothing below spawns a goroutine // want staleallow
+func quiet() int {
+	return 1
+}
+
+func alsoQuiet(mu *sync.Mutex) {
+	mu.Lock()
+	//emlint:allow locksafety -- stale: the unlock below is unconditional // want staleallow
+	mu.Unlock()
+}

@@ -212,11 +212,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+			writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), "raise the server's -maxbody or shrink the payload")
 			return
 		}
-		writeError(w, http.StatusBadRequest, "bad_json", err.Error(), "")
+		writeError(w, http.StatusBadRequest, codeBadJSON, err.Error(), "")
 		return
 	}
 	gold := label.NewGold(req.Gold)
@@ -235,7 +235,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// Validate up front so a malformed DAG is a client error, not a job
 	// failure.
 	if err := validateDAG(job); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_dag", err.Error(), "")
+		writeError(w, http.StatusBadRequest, codeInvalidDAG, err.Error(), "")
 		return
 	}
 	res := s.mm.Submit(ctx, job)
@@ -288,12 +288,13 @@ func writeError(w http.ResponseWriter, status int, code, message, detail string)
 // Content-Type ahead of WriteHeader (headers are frozen after it).
 //
 //emlint:allow errdrop -- body writes after WriteHeader can only fail when the client hung up; nothing can be reported to it anymore
+//emlint:allow httperrors -- this is the envelope's own terminal 500: marshal failed, so the error body is hand-rolled
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	buf, err := json.Marshal(v)
 	if err != nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintf(w, `{"error":{"code":"encode_failed","message":%q}}`, err.Error())
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`, codeEncodeFailed, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -21,11 +21,11 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+			writeError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), "raise the server's -maxbody or shrink the payload")
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "bad_json", err.Error(), "")
+		writeError(w, http.StatusBadRequest, codeBadJSON, err.Error(), "")
 		return false
 	}
 	return true
@@ -35,13 +35,13 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 // itself when serving is not configured or the name is unknown.
 func (s *Server) corpusEntry(w http.ResponseWriter, name string) (*serve.Entry, bool) {
 	if s.corpora == nil {
-		writeError(w, http.StatusNotFound, "unknown_corpus", "no serving corpora configured",
+		writeError(w, http.StatusNotFound, codeUnknownCorpus, "no serving corpora configured",
 			"start the server with corpus serving enabled (cloud.WithCorpora)")
 		return nil, false
 	}
 	e, ok := s.corpora.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown_corpus", fmt.Sprintf("no corpus %q", name),
+		writeError(w, http.StatusNotFound, codeUnknownCorpus, fmt.Sprintf("no corpus %q", name),
 			fmt.Sprintf("registered corpora: %v", s.corpora.Names()))
 		return nil, false
 	}
@@ -97,7 +97,7 @@ func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
 			err = e.Corpus.Update(rec)
 		}
 		if err != nil {
-			writeError(w, http.StatusConflict, "conflict", err.Error(),
+			writeError(w, http.StatusConflict, codeConflict, err.Error(),
 				fmt.Sprintf("%d of %d records were applied before the failure", applied, len(req.Records)))
 			return
 		}
@@ -124,7 +124,7 @@ func (s *Server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
 	applied := 0
 	for _, id := range req.IDs {
 		if err := e.Corpus.Delete(id); err != nil {
-			writeError(w, http.StatusConflict, "conflict", err.Error(),
+			writeError(w, http.StatusConflict, codeConflict, err.Error(),
 				fmt.Sprintf("%d of %d ids were deleted before the failure", applied, len(req.IDs)))
 			return
 		}
@@ -158,14 +158,14 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, serve.ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "overloaded", err.Error(),
+		writeError(w, http.StatusTooManyRequests, codeOverloaded, err.Error(),
 			"the match queue is full; back off and retry")
 		return
 	case errors.Is(err, serve.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "overloaded", err.Error(), "the serving pool is shut down")
+		writeError(w, http.StatusServiceUnavailable, codeOverloaded, err.Error(), "the serving pool is shut down")
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "bad_record", err.Error(), "")
+		writeError(w, http.StatusBadRequest, codeBadRecord, err.Error(), "")
 		return
 	}
 	writeJSON(w, http.StatusOK, matchResponse{Corpus: req.Corpus, Pairs: pairs})

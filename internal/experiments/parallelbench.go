@@ -120,8 +120,6 @@ func benchIters(iters int, fn func() error) (int64, error) {
 // its result (reused for the output-identity check, saving a run). The
 // warmup in benchIters has already happened, so steady-state lazily-built
 // state is in place.
-//
-//emlint:allow nondeterminism -- allocation counters are the measurement, not program logic
 func benchAllocs(fn func() (any, error)) (int64, any, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
