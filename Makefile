@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fix fuzz bench bench-tokens bench-scaling bench-serve
+.PHONY: build test race vet lint lint-perf fix fuzz bench bench-tokens bench-scaling bench-serve
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ vet:
 # violation; suppress deliberate exceptions with //emlint:allow.
 lint:
 	$(GO) run ./cmd/emlint ./internal/... ./cmd/...
+
+# Performance-contract verification (DESIGN.md §12): escapecheck compiles
+# each //emlint:zeroalloc / //emlint:hotpath package with -gcflags=-m=2
+# and fails on any escape or inlining regression not grandfathered by
+# lint/escape_baseline.json; allocguard requires every zeroalloc function
+# to carry a testing.AllocsPerRun guard. After a deliberate change (or a
+# Go toolchain bump), refresh the baseline with:
+#   $(GO) run ./cmd/emlint -update-baseline ./internal/... ./cmd/...
+lint-perf:
+	$(GO) run ./cmd/emlint -checks=escapecheck,allocguard \
+		-escape-report=escape-report.json ./internal/... ./cmd/...
 
 # Applies the machine-applicable suggested fixes emlint diagnostics carry
 # (e.g. hotalloc prealloc rewrites) and gofmts the touched files. Safe to

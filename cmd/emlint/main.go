@@ -6,15 +6,23 @@
 //
 // Usage:
 //
-//	emlint [-checks list] [-list] [-fix] [-json] [-format mode] [-staleallows] [patterns...]
+//	emlint [-checks list] [-list] [-fix] [-json] [-format mode] [-staleallows]
+//	       [-update-baseline] [-escape-report file] [patterns...]
 //
 // Patterns default to ./internal/... ./cmd/... — the whole production
 // tree. Each package is analyzed as a cross-package program: its
 // module-local dependencies are loaded with full syntax so the call-graph
 // analyzers (locksafety, lockorder, rlockwrite, ctxflow) follow facts
-// across package boundaries. -staleallows restricts output to the
-// staleallow audit — the //emlint:allow directives that no longer
-// suppress anything. Output modes:
+// across package boundaries. -checks picks a subset by name, or — when
+// every entry is negated — the full suite minus the named checks
+// (-checks=-hotalloc,-maporder); the forms cannot be mixed.
+// -staleallows restricts output to the staleallow audit — the
+// //emlint:allow directives that no longer suppress anything.
+// -update-baseline rewrites lint/escape_baseline.json from the current
+// escapecheck violations and exits; -escape-report writes the parsed
+// escape/inlining facts of every contract-annotated package to a JSON
+// file (the CI artifact uploaded next to emlint-report.json). Output
+// modes:
 //
 //	-format=text    file:line:col: [check] message (default)
 //	-format=github  ::error workflow annotations for inline PR comments
@@ -32,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/ast"
 	"io"
 	"os"
 	"path/filepath"
@@ -58,8 +67,10 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "shorthand for -format=json")
 	format := fs.String("format", "text", "output mode: text, github, or json")
 	staleOnly := fs.Bool("staleallows", false, "report only //emlint:allow directives that no longer suppress anything (runs the full suite to find out)")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite lint/escape_baseline.json from the current escapecheck violations and exit")
+	escapeReportPath := fs.String("escape-report", "", "write the parsed escape/inlining report of contract-annotated packages to this JSON file")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: emlint [-checks list] [-list] [-fix] [-json] [-format mode] [-staleallows] [patterns...]\n")
+		fmt.Fprintf(stderr, "usage: emlint [-checks list] [-list] [-fix] [-json] [-format mode] [-staleallows] [-update-baseline] [-escape-report file] [patterns...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -84,7 +95,7 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	}
 	if *checks != "" {
 		var err error
-		analyzers, err = analysis.ByName(*checks)
+		analyzers, err = selectChecks(*checks)
 		if err != nil {
 			fmt.Fprintln(stderr, "emlint:", err)
 			return 2
@@ -115,6 +126,40 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "emlint:", err)
 		return 2
+	}
+
+	if *updateBaseline || *escapeReportPath != "" {
+		reports, err := collectEscapeReports(loader, paths)
+		if err != nil {
+			fmt.Fprintln(stderr, "emlint:", err)
+			return 2
+		}
+		if *escapeReportPath != "" {
+			if err := writeEscapeReports(*escapeReportPath, reports); err != nil {
+				fmt.Fprintln(stderr, "emlint:", err)
+				return 2
+			}
+		}
+		if *updateBaseline {
+			baseline := analysis.EscapeBaseline{}
+			accepted := 0
+			for _, rep := range reports {
+				for _, fn := range rep.Funcs {
+					for _, v := range fn.Violations {
+						baseline.Record(rep.Package, fn.Name, v)
+						accepted++
+					}
+				}
+			}
+			path := filepath.Join(root, analysis.EscapeBaselinePath)
+			if err := analysis.SaveEscapeBaseline(path, baseline); err != nil {
+				fmt.Fprintln(stderr, "emlint:", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "emlint: wrote %s: %d accepted violation(s) across %d annotated package(s)\n",
+				analysis.EscapeBaselinePath, accepted, len(reports))
+			return 0
+		}
 	}
 
 	var diags []analysis.Diagnostic
@@ -204,14 +249,98 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// selectChecks resolves the -checks spec. A plain comma-separated list
+// picks exactly those checks; a list where every entry is negated
+// ("-hotalloc,-maporder") runs the whole suite minus the named checks.
+// Mixing the two forms is ambiguous and rejected.
+func selectChecks(spec string) ([]*analysis.Analyzer, error) {
+	var pos, neg []string
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSpace(p)
+		if rest, ok := strings.CutPrefix(p, "-"); ok {
+			neg = append(neg, rest)
+		} else {
+			pos = append(pos, p)
+		}
+	}
+	if len(neg) == 0 {
+		return analysis.ByName(spec)
+	}
+	if len(pos) > 0 {
+		return nil, fmt.Errorf("-checks %q mixes selections and negations; use one form", spec)
+	}
+	// Resolve the negated names first so typos are rejected, not silently
+	// kept in the suite.
+	if _, err := analysis.ByName(strings.Join(neg, ",")); err != nil {
+		return nil, err
+	}
+	drop := make(map[string]bool, len(neg))
+	for _, n := range neg {
+		drop[n] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if !drop[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-checks %q negates every check", spec)
+	}
+	return out, nil
+}
+
+// collectEscapeReports gathers the compiler escape/inlining facts of every
+// contract-annotated package among paths. Test files are excluded,
+// matching the escapecheck pass (contracts annotate shipped code).
+func collectEscapeReports(l *analysis.Loader, paths []string) ([]*analysis.EscapeReport, error) {
+	var reports []*analysis.EscapeReport
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		files := make([]*ast.File, 0, len(pkg.Files))
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(l.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			files = append(files, f)
+		}
+		rep, err := analysis.CollectEscapeReport(pkg, files)
+		if err != nil {
+			return nil, err
+		}
+		if rep != nil {
+			reports = append(reports, rep)
+		}
+	}
+	return reports, nil
+}
+
+// writeEscapeReports writes the report array (never null) as indented JSON.
+func writeEscapeReports(path string, reports []*analysis.EscapeReport) error {
+	if reports == nil {
+		reports = []*analysis.EscapeReport{}
+	}
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // jsonDiagnostic is the stable -json output shape.
 type jsonDiagnostic struct {
-	File    string                  `json:"file"`
-	Line    int                     `json:"line"`
-	Col     int                     `json:"col"`
-	Check   string                  `json:"check"`
-	Message string                  `json:"message"`
-	Fixes   []analysis.SuggestedFix `json:"fixes,omitempty"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	// HasFix mirrors Fixes so scripted consumers can count repairable
+	// findings without materializing the edit payloads.
+	HasFix bool                    `json:"has_fix"`
+	Fixes  []analysis.SuggestedFix `json:"fixes,omitempty"`
 }
 
 // writeJSON emits the diagnostics as a JSON array (never null).
@@ -224,6 +353,7 @@ func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
 			Col:     d.Pos.Column,
 			Check:   d.Check,
 			Message: d.Message,
+			HasFix:  len(d.Fixes) > 0,
 			Fixes:   d.Fixes,
 		})
 	}

@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AliasLeak flags exported methods that hand out references to
+// receiver-owned mutable state: returning (or storing into a package-level
+// variable) the live backing store of an unexported slice/map field, a
+// sub-slice of it, or a pointer into it. This is the ownership hazard of
+// the resident serving indexes — serve.Corpus postings, bitvec.Set
+// containers, intern.Dict tables are mutated in place under their owner's
+// lock, so an escaped alias lets a caller read torn state without the lock
+// or corrupt the index from outside it. The sanctioned shapes are a copy
+// (slices.Clone, maps.Clone, append to a fresh backing array) or a
+// documented zero-copy view suppressed with //emlint:allow aliasleak.
+//
+// Taint runs over the cfg.go control-flow graph (reaching-defs style), so
+// a local that aliases receiver state is cleared when every path to the
+// use reassigns it with a copy — `out := c.items; out = slices.Clone(out);
+// return out` is clean, while `out = append(out, x)` keeps the taint
+// (append may return the receiver's own backing array). Helper methods are
+// followed through the program call graph: returning `c.borrow()` where
+// the unexported borrow returns c.items leaks the same alias.
+var AliasLeak = &Analyzer{
+	Name: "aliasleak",
+	Doc:  "Exported method returns or stores a reference to receiver-owned mutable state without a copy",
+	Run: func(pass *Pass) {
+		facts := &aliasReturns{graph: pass.Prog.CallGraph(), memo: make(map[*types.Func]int)}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				recv := exportedMethodRecv(pass.Info, fd)
+				if recv == nil {
+					continue
+				}
+				checkAliasLeaks(pass, fd, recv, facts)
+			}
+		}
+	},
+}
+
+// exportedMethodRecv returns the receiver object of an exported method on
+// an exported named type, or nil when fd is not that.
+func exportedMethodRecv(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || !fd.Name.IsExported() {
+		return nil
+	}
+	if len(fd.Recv.List[0].Names) == 0 {
+		return nil // unnamed receiver: nothing to alias
+	}
+	if name := baseTypeName(unstarExpr(fd.Recv.List[0].Type)); name == "" || !ast.IsExported(name) {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// unstarExpr unwraps a pointer receiver type expression.
+func unstarExpr(e ast.Expr) ast.Expr {
+	if star, ok := e.(*ast.StarExpr); ok {
+		return star.X
+	}
+	return e
+}
+
+// checkAliasLeaks runs the taint fixed point over one exported method and
+// reports returns/stores of receiver aliases.
+func checkAliasLeaks(pass *Pass, fd *ast.FuncDecl, recv types.Object, facts *aliasReturns) {
+	info := pass.Info
+	g := buildCFG(fd.Body)
+	tainted := func(e ast.Expr, in objSet) bool {
+		return aliasTaintedExpr(info, e, recv, in, facts)
+	}
+	entry := g.forwardMay(func(n *cfgNode, in objSet) objSet {
+		return aliasTransfer(info, n.stmt, in, tainted)
+	})
+
+	// Named results participate in naked returns.
+	var namedResults []types.Object
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					namedResults = append(namedResults, obj)
+				}
+			}
+		}
+	}
+
+	for _, n := range g.nodes {
+		in := entry[n]
+		switch v := n.stmt.(type) {
+		case *ast.ReturnStmt:
+			if len(v.Results) == 0 {
+				for _, obj := range namedResults {
+					if in[obj] {
+						pass.Reportf(v.Pos(), "exported method %s returns %s, which aliases receiver-owned mutable state; return a copy (slices.Clone / maps.Clone / append to a fresh slice)", fd.Name.Name, obj.Name())
+					}
+				}
+				continue
+			}
+			for _, res := range v.Results {
+				if tainted(res, in) {
+					pass.Reportf(res.Pos(), "exported method %s returns %s, which aliases receiver-owned mutable state; return a copy (slices.Clone / maps.Clone / append to a fresh slice)", fd.Name.Name, types.ExprString(res))
+				}
+			}
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				continue
+			}
+			for i, lhs := range v.Lhs {
+				if pkgLevelTarget(info, lhs) && tainted(v.Rhs[i], in) {
+					pass.Reportf(v.Rhs[i].Pos(), "exported method %s stores %s, which aliases receiver-owned mutable state, into package-level state; store a copy", fd.Name.Name, types.ExprString(v.Rhs[i]))
+				}
+			}
+		}
+	}
+}
+
+// aliasTransfer is the dataflow transfer function: statement-shallow (the
+// CFG gives compound statements their own nodes for init/post/range
+// bindings), updating local taint on assignment and definition.
+func aliasTransfer(info *types.Info, s ast.Stmt, in objSet, tainted func(ast.Expr, objSet) bool) objSet {
+	out := make(objSet, len(in))
+	for k := range in {
+		out[k] = true
+	}
+	setLocal := func(lhs ast.Expr, taint bool) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := objOf(info, id)
+		if obj == nil {
+			return
+		}
+		if taint {
+			out[obj] = true
+		} else {
+			delete(out, obj)
+		}
+	}
+	switch v := s.(type) {
+	case *ast.AssignStmt:
+		if v.Tok != token.ASSIGN && v.Tok != token.DEFINE {
+			return out // op-assign (+=) never rebinds
+		}
+		if len(v.Lhs) == len(v.Rhs) {
+			for i, lhs := range v.Lhs {
+				setLocal(lhs, tainted(v.Rhs[i], out))
+			}
+			return out
+		}
+		// Tuple assignment from a call/map/type-assert: results are fresh
+		// values (element and result copies), clear every bound local.
+		for _, lhs := range v.Lhs {
+			setLocal(lhs, false)
+		}
+	case *ast.DeclStmt:
+		gd, ok := v.Decl.(*ast.GenDecl)
+		if !ok {
+			return out
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				taint := false
+				if i < len(vs.Values) {
+					taint = tainted(vs.Values[i], out)
+				}
+				setLocal(name, taint)
+			}
+		}
+	case *ast.RangeStmt:
+		// Key/value bindings copy elements out of the range target; the
+		// copies are fresh even when the target is tainted.
+		if v.Key != nil {
+			setLocal(v.Key, false)
+		}
+		if v.Value != nil {
+			setLocal(v.Value, false)
+		}
+	}
+	return out
+}
+
+// aliasTaintedExpr reports whether e evaluates to a reference into
+// receiver-owned mutable state: a direct alias of an unexported slice/map
+// field of recv, a pointer into one, a tainted local, or an expression
+// that preserves such a reference (slicing, append's first argument,
+// slice/map conversions, a receiver helper that returns an alias).
+func aliasTaintedExpr(info *types.Info, e ast.Expr, recv types.Object, in objSet, facts *aliasReturns) bool {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := objOf(info, v)
+		return obj != nil && in[obj]
+	case *ast.SelectorExpr, *ast.StarExpr:
+		return receiverRefField(info, e, recv) != nil
+	case *ast.SliceExpr:
+		return aliasTaintedExpr(info, v.X, recv, in, facts)
+	case *ast.UnaryExpr:
+		if v.Op != token.AND {
+			return false
+		}
+		return addrAliasesReceiver(info, v.X, recv, in, facts)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, builtin := info.Uses[id].(*types.Builtin); builtin && len(v.Args) > 0 {
+				// append may return its first argument's backing array.
+				return aliasTaintedExpr(info, v.Args[0], recv, in, facts)
+			}
+		}
+		if tv, ok := info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			// A slice/map conversion preserves the backing store.
+			return aliasTaintedExpr(info, v.Args[0], recv, in, facts)
+		}
+		// A method call on the receiver whose callee (transitively)
+		// returns a receiver alias leaks the same store.
+		fn := calleeFunc(info, v)
+		if fn == nil {
+			return false
+		}
+		if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+			if root, _, exact := selectorChain(info, sel.X); exact && root != nil && root == recv {
+				return facts.returns(fn)
+			}
+		}
+	}
+	return false
+}
+
+// receiverRefField resolves e as a selector chain rooted at recv ending in
+// an unexported field whose value is itself a reference (slice or map
+// underlying type) and returns that field; nil otherwise. Exported fields
+// are reachable by the caller anyway and do not count.
+func receiverRefField(info *types.Info, e ast.Expr, recv types.Object) *types.Var {
+	root, fields, exact := selectorChain(info, e)
+	if !exact || root != recv || len(fields) == 0 {
+		return nil
+	}
+	f := fields[len(fields)-1]
+	if f.Exported() {
+		return nil
+	}
+	switch f.Type().Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return f
+	}
+	return nil
+}
+
+// addrAliasesReceiver reports whether &x points into receiver-owned state:
+// the address of an unexported receiver field (any type), or of an element
+// of a receiver-owned (or tainted) slice.
+func addrAliasesReceiver(info *types.Info, x ast.Expr, recv types.Object, in objSet, facts *aliasReturns) bool {
+	x = ast.Unparen(x)
+	if idx, ok := x.(*ast.IndexExpr); ok {
+		return aliasTaintedExpr(info, idx.X, recv, in, facts)
+	}
+	root, fields, exact := selectorChain(info, x)
+	return exact && root == recv && len(fields) > 0 && !fields[len(fields)-1].Exported()
+}
+
+// pkgLevelTarget reports whether the assignment target is (or hangs off)
+// a package-level variable — the "stores" half of the leak: parking a
+// receiver alias in a global publishes it past the method call.
+func pkgLevelTarget(info *types.Info, lhs ast.Expr) bool {
+	for {
+		switch v := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := objOf(info, v)
+			return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+		case *ast.SelectorExpr:
+			lhs = v.X
+		case *ast.IndexExpr:
+			lhs = v.X
+		case *ast.StarExpr:
+			lhs = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// aliasReturns memoizes the "this method returns an alias of its
+// receiver's state" fact across the program call graph, so exported
+// wrappers around unexported borrow helpers are caught. The per-callee
+// check is flow-insensitive (a helper that clones before returning is
+// assumed clean only if it never returns a direct field reference) —
+// borrow helpers that return fields verbatim are the common shape.
+type aliasReturns struct {
+	graph *CallGraph
+	memo  map[*types.Func]int // 0 in progress (cycle: assume clean), 1 returns alias, -1 clean
+}
+
+func (a *aliasReturns) returns(fn *types.Func) bool {
+	if v, ok := a.memo[fn]; ok {
+		return v == 1
+	}
+	fd := a.graph.Decl(fn)
+	pkg := a.graph.PackageOf(fn)
+	if fd == nil || pkg == nil || fd.Body == nil || fd.Recv == nil ||
+		len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		a.memo[fn] = -1
+		return false
+	}
+	recv := pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recv == nil {
+		a.memo[fn] = -1
+		return false
+	}
+	a.memo[fn] = 0
+	result := -1
+	walkUnit(fd.Body, func(n ast.Node) bool {
+		if result == 1 {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if aliasTaintedExpr(pkg.Info, res, recv, objSet{}, a) {
+				result = 1
+			}
+		}
+		return result != 1
+	})
+	a.memo[fn] = result
+	return result == 1
+}

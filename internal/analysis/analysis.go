@@ -129,9 +129,13 @@ type Analyzer struct {
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AliasLeak,
+		AllocGuard,
+		AtomicMix,
 		CtxFirst,
 		CtxFlow,
 		ErrDrop,
+		EscapeCheck,
 		HotAlloc,
 		HTTPErrors,
 		LockOrder,

@@ -136,6 +136,12 @@ func TestAnalyzerTestFileOptOut(t *testing.T) {
 	if !StaleAllow.Tests {
 		t.Fatal("the allow audit must cover directives in test files too")
 	}
+	if AliasLeak.Tests || AtomicMix.Tests || EscapeCheck.Tests {
+		t.Fatal("performance-contract analyzers must skip test files (contracts annotate shipped code)")
+	}
+	if !AllocGuard.Tests {
+		t.Fatal("allocguard must see test files: that is where the AllocsPerRun guards live")
+	}
 	_ = pkg
 }
 

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix detects mixed access disciplines on one field: accessed through
+// sync/atomic somewhere in the program and through plain reads or writes
+// somewhere else. Atomic and plain accesses do not synchronize with each
+// other — a plain `c.hits = 0` next to `atomic.AddUint64(&c.hits, 1)` is a
+// data race even under a lock, because the atomic side does not take the
+// lock. Fields are compared by the same cross-package identity the lock
+// analyzers use (pkg.Type.fieldpath / pkg.var), and the scan is
+// program-wide: the atomic site may live in another package than the plain
+// one. A second rule flags whole-value stores to fields of the typed
+// sync/atomic types (`c.mode = atomic.Int64{}`), which bypass the type's
+// Store method — go vet's copylocks deliberately permits the zero-value
+// form, so emlint closes that gap.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "Field accessed both through sync/atomic and with plain reads/writes (unsynchronized mix)",
+	Run: func(pass *Pass) {
+		atomicSites := collectAtomicSites(pass.Prog)
+		if len(atomicSites.byID) > 0 {
+			reportPlainAccesses(pass, atomicSites)
+		}
+		reportTypedAtomicStores(pass)
+	},
+}
+
+// atomicSiteIndex records, per field identity, one representative
+// sync/atomic call site and the exact operand expressions so the operand
+// of `&c.hits` is not also counted as a plain access.
+type atomicSiteIndex struct {
+	byID     map[string]token.Position
+	operands map[ast.Expr]bool
+}
+
+// atomicFuncPrefixes match the function-style sync/atomic entry points.
+var atomicFuncPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+// isAtomicFunc reports whether fn is a function-style sync/atomic entry
+// point (not a method of the typed atomics).
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAtomicSites walks every non-test file of the program for
+// `atomic.Op(&expr, ...)` calls and indexes the identities they access.
+func collectAtomicSites(prog *Program) *atomicSiteIndex {
+	idx := &atomicSiteIndex{
+		byID:     make(map[string]token.Position),
+		operands: make(map[ast.Expr]bool),
+	}
+	forEachProgramFile(prog, func(pkg *Package, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(calleeFunc(pkg.Info, call)) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(addr.X)
+			idx.operands[operand] = true
+			if id := accessIdentity(pkg.Info, operand); id != "" {
+				if _, seen := idx.byID[id]; !seen {
+					idx.byID[id] = pkg.Fset.Position(call.Pos())
+				}
+			}
+			return true
+		})
+	})
+	return idx
+}
+
+// reportPlainAccesses walks the root package's files and flags every plain
+// read/write of an identity that has an atomic site somewhere in the
+// program.
+func reportPlainAccesses(pass *Pass, idx *atomicSiteIndex) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var id string
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if idx.operands[v] {
+					return true
+				}
+				if fs, ok := pass.Info.Selections[v]; !ok || fs.Kind() != types.FieldVal {
+					return true
+				}
+				id = accessIdentity(pass.Info, v)
+			case *ast.Ident:
+				if idx.operands[v] {
+					return true
+				}
+				obj := pass.Info.Uses[v]
+				if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+					return true
+				}
+				if _, isVar := obj.(*types.Var); !isVar {
+					return true
+				}
+				id = accessIdentity(pass.Info, v)
+			default:
+				return true
+			}
+			if site, mixed := idx.byID[id]; mixed && id != "" {
+				pass.Reportf(n.Pos(), "%s is accessed atomically at %s:%d but plainly here; every access must go through sync/atomic (or drop the atomics and guard all sides with one lock)", id, site.Filename, site.Line)
+				return false // the chain is reported once, not per sub-selector
+			}
+			return true
+		})
+	}
+}
+
+// reportTypedAtomicStores flags whole-value assignment to fields (or
+// variables) of the typed sync/atomic types in the root package.
+func reportTypedAtomicStores(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				t := pass.Info.TypeOf(lhs)
+				if name := syncAtomicTypeName(t); name != "" {
+					pass.Reportf(lhs.Pos(), "whole-value store to %s of type atomic.%s bypasses its atomic Store method; use %s.Store(...)", types.ExprString(lhs), name, types.ExprString(lhs))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// syncAtomicTypeName returns the bare name of t when it is a named type
+// declared in sync/atomic (Int64, Uint64, Bool, Pointer, Value, ...), "".
+func syncAtomicTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// accessIdentity canonicalizes an access expression to the cross-package
+// identity of the field or package-level variable it denotes; "" for
+// locals and unresolvable chains.
+func accessIdentity(info *types.Info, e ast.Expr) string {
+	root, fields, exact := selectorChain(info, e)
+	if !exact || root == nil {
+		return ""
+	}
+	return lockIdentity(root, fields)
+}
+
+// forEachProgramFile visits every non-test file of every program package
+// (the root's test files are governed by the analyzer's Tests flag and are
+// visited only through pass.Files, never here).
+func forEachProgramFile(prog *Program, visit func(pkg *Package, f *ast.File)) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			if isTestFile(pkg.Fset, f) {
+				continue
+			}
+			visit(pkg, f)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// cfg.go upgrades the intra-procedural dataflow layer (dataflow.go) with a
+// small statement-level control-flow graph and a forward may-analysis
+// solver. The PR-4 analyzers propagate facts by a single source-order
+// walk, which cannot tell "tainted on some path" from "sanitized before
+// every use"; the aliasleak analyzer needs exactly that distinction —
+// `p := c.posts; p = slices.Clone(p); return p` is a copy, not a leak — so
+// it runs a reaching-defs-style fixed point over this graph instead.
+//
+// The graph is deliberately small: nodes are statements, nested function
+// literals are independent units (never expanded in the enclosing graph),
+// and goto is over-approximated by an edge to the statement after the
+// label block. That keeps it a may-analysis: every real execution path is
+// covered by some graph path, so a fact that never reaches a node on any
+// graph path truly cannot reach it at run time.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cfgNode is one statement of the graph with its successor edges.
+type cfgNode struct {
+	stmt  ast.Stmt
+	succs []*cfgNode
+}
+
+// cfgGraph is the control-flow graph of one function body.
+type cfgGraph struct {
+	entry *cfgNode
+	nodes []*cfgNode
+}
+
+// cfgBuilder threads loop context (break/continue targets) through the
+// recursive construction.
+type cfgBuilder struct {
+	g *cfgGraph
+	// exit is the shared synthetic sink: returns and the fall-off end of
+	// the body both lead here, so "reaches exit" is a single question.
+	exit *cfgNode
+	// breakTo / continueTo are the current loop (or switch) targets.
+	breakTo, continueTo *cfgNode
+}
+
+// buildCFG constructs the graph of one body. The returned graph's entry
+// node is synthetic (nil stmt) so an empty body is still well-formed.
+func buildCFG(body *ast.BlockStmt) *cfgGraph {
+	g := &cfgGraph{}
+	b := &cfgBuilder{g: g, exit: &cfgNode{}}
+	entry := b.node(nil)
+	g.entry = entry
+	last := b.stmts(body.List, []*cfgNode{entry})
+	b.link(last, b.exit)
+	g.nodes = append(g.nodes, b.exit)
+	return g
+}
+
+// node allocates and registers a graph node.
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// link adds an edge from every node of froms to to.
+func (b *cfgBuilder) link(froms []*cfgNode, to *cfgNode) {
+	for _, f := range froms {
+		f.succs = append(f.succs, to)
+	}
+}
+
+// stmts wires a statement list after the given predecessor frontier and
+// returns the new frontier (the nodes control falls off of).
+func (b *cfgBuilder) stmts(list []ast.Stmt, preds []*cfgNode) []*cfgNode {
+	for _, s := range list {
+		preds = b.stmt(s, preds)
+	}
+	return preds
+}
+
+// stmt wires one statement and returns its fall-through frontier (empty
+// for statements that never fall through, like return).
+func (b *cfgBuilder) stmt(s ast.Stmt, preds []*cfgNode) []*cfgNode {
+	switch v := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(v.List, preds)
+
+	case *ast.LabeledStmt:
+		// Labels are not tracked per name; the labeled statement itself is
+		// wired normally, which over-approximates labeled break/continue
+		// (handled as their unlabeled forms) and goto (see BranchStmt).
+		return b.stmt(v.Stmt, preds)
+
+	case *ast.IfStmt:
+		if v.Init != nil {
+			preds = b.stmt(v.Init, preds)
+		}
+		cond := b.node(s) // the condition evaluation point
+		b.link(preds, cond)
+		thenOut := b.stmts(v.Body.List, []*cfgNode{cond})
+		if v.Else == nil {
+			return append(thenOut, cond)
+		}
+		elseOut := b.stmt(v.Else, []*cfgNode{cond})
+		return append(thenOut, elseOut...)
+
+	case *ast.ForStmt:
+		if v.Init != nil {
+			preds = b.stmt(v.Init, preds)
+		}
+		head := b.node(s)
+		b.link(preds, head)
+		after := b.node(nil) // join point control continues from
+		savedB, savedC := b.breakTo, b.continueTo
+		post := head
+		if v.Post != nil {
+			post = b.node(v.Post)
+			post.succs = append(post.succs, head)
+		}
+		b.breakTo, b.continueTo = after, post
+		bodyOut := b.stmts(v.Body.List, []*cfgNode{head})
+		b.link(bodyOut, post)
+		b.breakTo, b.continueTo = savedB, savedC
+		if v.Cond != nil {
+			head.succs = append(head.succs, after)
+		}
+		// A condition-less `for {}` only reaches after via break (already
+		// wired). Return the join either way; unreachable joins just never
+		// receive facts.
+		return []*cfgNode{after}
+
+	case *ast.RangeStmt:
+		head := b.node(s)
+		b.link(preds, head)
+		after := b.node(nil)
+		head.succs = append(head.succs, after)
+		savedB, savedC := b.breakTo, b.continueTo
+		b.breakTo, b.continueTo = after, head
+		bodyOut := b.stmts(v.Body.List, []*cfgNode{head})
+		b.link(bodyOut, head)
+		b.breakTo, b.continueTo = savedB, savedC
+		return []*cfgNode{after}
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.branchingStmt(s, preds)
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		b.link(preds, n)
+		n.succs = append(n.succs, b.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		b.link(preds, n)
+		switch v.Tok.String() {
+		case "break":
+			if b.breakTo != nil {
+				n.succs = append(n.succs, b.breakTo)
+				return nil
+			}
+		case "continue":
+			if b.continueTo != nil {
+				n.succs = append(n.succs, b.continueTo)
+				return nil
+			}
+		}
+		// goto, or a labeled branch outside the tracked context: fall
+		// through conservatively so facts keep flowing (may-analysis).
+		return []*cfgNode{n}
+
+	default:
+		// Plain statements: assign, decl, expr, defer, go, send, incdec.
+		n := b.node(s)
+		b.link(preds, n)
+		return []*cfgNode{n}
+	}
+}
+
+// branchingStmt wires switch/type-switch/select: a head node for the tag,
+// one arm per clause, control joining after. A switch without a default
+// clause can fall through the head directly.
+func (b *cfgBuilder) branchingStmt(s ast.Stmt, preds []*cfgNode) []*cfgNode {
+	var init ast.Stmt
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch v := s.(type) {
+	case *ast.SwitchStmt:
+		init, clauses = v.Init, v.Body.List
+	case *ast.TypeSwitchStmt:
+		init, clauses = v.Init, v.Body.List
+	case *ast.SelectStmt:
+		clauses = v.Body.List
+	}
+	if init != nil {
+		preds = b.stmt(init, preds)
+	}
+	head := b.node(s)
+	b.link(preds, head)
+	after := b.node(nil)
+	savedB := b.breakTo
+	b.breakTo = after
+	var prevBody []ast.Stmt // for fallthrough chaining
+	var prevOut []*cfgNode
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			body = cc.Body
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		default:
+			continue
+		}
+		entry := []*cfgNode{head}
+		if fallsThroughTo(prevBody) {
+			entry = append(entry, prevOut...)
+		}
+		out := b.stmts(body, entry)
+		b.link(out, after)
+		prevBody, prevOut = body, out
+	}
+	b.breakTo = savedB
+	if !hasDefault {
+		head.succs = append(head.succs, after)
+	}
+	return []*cfgNode{after}
+}
+
+// fallsThroughTo reports whether the clause body ends in a fallthrough.
+func fallsThroughTo(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// objSet is the dataflow fact domain: a set of tainted local objects.
+type objSet map[types.Object]bool
+
+// equalObjSet reports set equality (both directions of containment).
+func equalObjSet(a, b objSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardMay runs a forward may-analysis to a fixed point: transfer maps a
+// node's entry fact set to its exit set (returning the input unchanged is
+// fine), joins are set unions, and the returned map holds the ENTRY facts
+// of every node — what reaches the node over at least one path.
+func (g *cfgGraph) forwardMay(transfer func(n *cfgNode, in objSet) objSet) map[*cfgNode]objSet {
+	in := make(map[*cfgNode]objSet, len(g.nodes))
+	for _, n := range g.nodes {
+		in[n] = objSet{}
+	}
+	processed := make(map[*cfgNode]bool, len(g.nodes))
+	work := []*cfgNode{g.entry}
+	queued := map[*cfgNode]bool{g.entry: true}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+		processed[n] = true
+		out := transfer(n, in[n])
+		for _, s := range n.succs {
+			grew := false
+			for k := range out {
+				if !in[s][k] {
+					in[s][k] = true
+					grew = true
+				}
+			}
+			// Re-process a successor when its entry set grew, or schedule
+			// it for the first time so every reachable node runs at least
+			// once. Facts only accumulate (union join, monotone transfer),
+			// so this terminates.
+			if (grew || !processed[s]) && !queued[s] {
+				work = append(work, s)
+				queued[s] = true
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,110 @@
+// contracts.go is the performance-contract annotation layer: the
+// //emlint:zeroalloc and //emlint:hotpath directives functions opt into,
+// modeled on the //emlint:allow grammar (allow.go). A contract is a
+// machine-checkable promise about generated code rather than source
+// shape — zeroalloc promises the function body performs no heap
+// allocation, hotpath promises the function stays within the compiler's
+// inlining budget — and the escapecheck analyzer verifies both against
+// the compiler's own escape/inlining diagnostics (escape.go), while the
+// allocguard analyzer requires every zeroalloc function to also carry a
+// dynamic testing.AllocsPerRun guard somewhere in its package's tests.
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Contract directives. Like allow directives they must start the comment
+// line exactly; trailing text after a space is a free-form note.
+const (
+	zeroallocDirective = "//emlint:zeroalloc"
+	hotpathDirective   = "//emlint:hotpath"
+)
+
+// contract is one annotated function: the declaration, which promises it
+// makes, and its file/line extent (the range compiler diagnostics are
+// attributed against).
+type contract struct {
+	decl      *ast.FuncDecl
+	zeroalloc bool
+	hotpath   bool
+	file      string
+	from, to  int // inclusive line range of the whole declaration
+}
+
+// name renders the function's diagnostic name: Func for package-level
+// functions, (*T).Method / T.Method for methods — matching the spelling
+// the compiler's inlining diagnostics use.
+func (c contract) name() string {
+	fd := c.decl
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		return "(*" + baseTypeName(star.X) + ")." + fd.Name.Name
+	}
+	return baseTypeName(recv) + "." + fd.Name.Name
+}
+
+// baseTypeName renders the receiver base type, dropping type parameters.
+func baseTypeName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.IndexExpr:
+		return baseTypeName(v.X)
+	case *ast.IndexListExpr:
+		return baseTypeName(v.X)
+	}
+	return ""
+}
+
+// parseContractDirective matches one comment line against the contract
+// directives; note text after a space (or a "-- reason") is ignored.
+func parseContractDirective(text string) (zeroalloc, hotpath bool) {
+	for _, d := range []struct {
+		prefix string
+		flag   *bool
+	}{
+		{zeroallocDirective, &zeroalloc},
+		{hotpathDirective, &hotpath},
+	} {
+		rest, ok := strings.CutPrefix(text, d.prefix)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			*d.flag = true
+		}
+	}
+	return zeroalloc, hotpath
+}
+
+// collectContracts gathers the contract-annotated function declarations of
+// the given files. Only doc-comment directives count: a contract scopes a
+// whole function, never a line.
+func collectContracts(pkg *Package, files []*ast.File) []contract {
+	out := make([]contract, 0, len(files))
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			c := contract{decl: fd}
+			for _, line := range fd.Doc.List {
+				za, hp := parseContractDirective(line.Text)
+				c.zeroalloc = c.zeroalloc || za
+				c.hotpath = c.hotpath || hp
+			}
+			if !c.zeroalloc && !c.hotpath {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			c.file = start.Filename
+			c.from = start.Line
+			c.to = pkg.Fset.Position(fd.End()).Line
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package fixture exercises the aliasleak analyzer: exported methods
+// handing out live references to receiver-owned mutable state — direct
+// field returns, sub-slices, pointers into backing arrays, leaks through
+// locals and unexported borrow helpers, and stores into package globals.
+package fixture
+
+import "sync"
+
+// Cache is a resident index: its slice and map state is mutated in place
+// under mu, so an escaped alias reads torn state or corrupts the index.
+type Cache struct {
+	mu    sync.RWMutex
+	items []uint32
+	meta  map[string]int
+}
+
+// Items returns the live backing slice.
+func (c *Cache) Items() []uint32 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.items // want aliasleak
+}
+
+// Meta leaks the map through a local — the reference outlives the lock.
+func (c *Cache) Meta() map[string]int {
+	c.mu.RLock()
+	m := c.meta
+	c.mu.RUnlock()
+	return m // want aliasleak
+}
+
+// Window leaks a sub-slice of the backing array.
+func (c *Cache) Window(i, j int) []uint32 {
+	return c.items[i:j] // want aliasleak
+}
+
+// First leaks a pointer into the backing array.
+func (c *Cache) First() *uint32 {
+	return &c.items[0] // want aliasleak
+}
+
+// borrow is the unexported helper the call-graph fact tracks.
+func (c *Cache) borrow() []uint32 { return c.items }
+
+// Borrowed leaks through the helper.
+func (c *Cache) Borrowed() []uint32 {
+	return c.borrow() // want aliasleak
+}
+
+// Grown leaks because append may return the receiver's own backing array.
+func (c *Cache) Grown(x uint32) []uint32 {
+	out := c.items
+	out = append(out, x)
+	return out // want aliasleak
+}
+
+// Named leaks through a named result and a naked return.
+func (c *Cache) Named() (out []uint32) {
+	out = c.items
+	return // want aliasleak
+}
+
+var sink []uint32
+
+// Stash publishes the alias past the method call via a package global.
+func (c *Cache) Stash() {
+	sink = c.items // want aliasleak
+}

@@ -1,0 +1,68 @@
+package fixture
+
+import (
+	"maps"
+	"slices"
+)
+
+// Box shows the sanctioned shapes: copies out, values out, documented
+// zero-copy views behind an allow directive.
+type Box struct {
+	vals []uint32
+	tags map[string]int
+	n    int
+	// Pub is exported: callers reach it directly, returning it adds no
+	// new aliasing surface.
+	Pub []uint32
+}
+
+// Vals returns a copy — the sanctioned snapshot shape.
+func (b *Box) Vals() []uint32 {
+	return slices.Clone(b.vals)
+}
+
+// Tags clones the map.
+func (b *Box) Tags() map[string]int {
+	return maps.Clone(b.tags)
+}
+
+// Appended copies into a fresh backing array.
+func (b *Box) Appended() []uint32 {
+	return append([]uint32(nil), b.vals...)
+}
+
+// Len returns a value; values never alias.
+func (b *Box) Len() int { return b.n }
+
+// Pubs returns an exported field — already part of the public surface.
+func (b *Box) Pubs() []uint32 { return b.Pub }
+
+// Reassigned exercises the reaching-defs kill: the taint dies when the
+// local is overwritten with a copy before every use.
+func (b *Box) Reassigned() []uint32 {
+	out := b.vals
+	out = slices.Clone(out)
+	return out
+}
+
+// Conditional is copied on every path to the return.
+func (b *Box) Conditional(snap bool) []uint32 {
+	var out []uint32
+	if snap {
+		out = slices.Clone(b.vals)
+	} else {
+		out = append([]uint32(nil), b.vals...)
+	}
+	return out
+}
+
+// Element returns one element — a copy, not a reference.
+func (b *Box) Element(i int) uint32 { return b.vals[i] }
+
+// borrowOK is unexported: internal borrowing is what ownership means.
+func (b *Box) borrowOK() []uint32 { return b.vals }
+
+// View is a documented zero-copy borrow, suppressed explicitly.
+//
+//emlint:allow aliasleak -- documented zero-copy view; caller must not mutate or retain
+func (b *Box) View() []uint32 { return b.vals }

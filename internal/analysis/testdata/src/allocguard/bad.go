@@ -1,0 +1,14 @@
+// Package fixture exercises the allocguard analyzer: zeroalloc contracts
+// with and without a testing.AllocsPerRun guard in the package tests.
+package fixture
+
+// Unguarded carries the contract but no test pins it.
+//
+//emlint:zeroalloc
+func Unguarded(xs []int) int { // want allocguard
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

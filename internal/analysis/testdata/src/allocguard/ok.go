@@ -1,0 +1,15 @@
+package fixture
+
+// Guarded is pinned by the AllocsPerRun guard in guard_test.go.
+//
+//emlint:zeroalloc
+func Guarded(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// NoContract needs no guard: it makes no promise.
+func NoContract(n int) []int { return make([]int, n) }

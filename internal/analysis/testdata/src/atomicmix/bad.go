@@ -1,0 +1,36 @@
+// Package fixture exercises the atomicmix analyzer: fields and globals
+// accessed both through sync/atomic and with plain reads/writes, plus
+// whole-value stores to typed atomics.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	mode atomic.Int64
+}
+
+// inc is the atomic side of the mix.
+func (c *counter) inc() { atomic.AddUint64(&c.hits, 1) }
+
+// read races with inc: a plain load does not synchronize with AddUint64.
+func (c *counter) read() uint64 {
+	return c.hits // want atomicmix
+}
+
+// reset mixes a plain store with the atomic adds, and re-initializes a
+// typed atomic by whole-value assignment.
+func (c *counter) reset() {
+	c.hits = 0              // want atomicmix
+	c.mode = atomic.Int64{} // want atomicmix
+}
+
+var ops uint64
+
+// bump is the atomic side for the package-level counter.
+func bump() { atomic.AddUint64(&ops, 1) }
+
+// total reads the same global plainly.
+func total() uint64 {
+	return ops // want atomicmix
+}

@@ -1,0 +1,43 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// gauge keeps its disciplines separate: val is plain-only under mu, seen
+// is a typed atomic accessed only through its methods.
+type gauge struct {
+	mu   sync.Mutex
+	val  uint64
+	seen atomic.Bool
+}
+
+func (g *gauge) set(v uint64) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) get() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+func (g *gauge) mark() { g.seen.Store(true) }
+
+func (g *gauge) marked() bool { return g.seen.Load() }
+
+var clicks uint64
+
+// clicks is atomic on every access.
+func click() { atomic.AddUint64(&clicks, 1) }
+
+func clicksNow() uint64 { return atomic.LoadUint64(&clicks) }
+
+// reinit is a sanctioned single-owner reset behind the escape hatch.
+func reinit(g *gauge) {
+	//emlint:allow atomicmix -- single-owner reset before the gauge is shared
+	g.seen = atomic.Bool{}
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the escapecheck analyzer: functions whose
+// //emlint:zeroalloc or //emlint:hotpath contracts the compiler refutes.
+// The package is built with -gcflags=-m=2 by the analyzer itself, so it
+// must compile standalone.
+package fixture
+
+// Boxed promises zero allocations but returns the address of a local,
+// which the compiler moves to the heap.
+//
+//emlint:zeroalloc
+func Boxed(n int) *int { // want escapecheck
+	x := n + 1
+	return &x
+}
+
+// Sliced promises zero allocations but its make escapes through the
+// return value.
+//
+//emlint:zeroalloc
+func Sliced(n int) []int { // want escapecheck
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+var keep *int
+
+// Kept promises zero allocations but leaks its parameter into a global,
+// forcing the argument to heap at every call site.
+//
+//emlint:zeroalloc
+func Kept(p *int) { // want escapecheck
+	keep = p
+}
+
+// Busy promises inlinability but its body exceeds the inlining budget.
+//
+//emlint:hotpath
+func Busy(a, b, c, d int) int { // want escapecheck
+	x := a*b + c*d
+	y := a*c + b*d
+	z := a*d + b*c
+	x = x*y + z
+	y = y*z + x
+	z = z*x + y
+	x = x ^ y ^ z
+	y = y ^ z ^ x
+	z = z ^ x ^ y
+	x = x*31 + y*37 + z*41
+	y = y*31 + z*37 + x*41
+	z = z*31 + x*37 + y*41
+	x = x<<3 | y>>2
+	y = y<<3 | z>>2
+	z = z<<3 | x>>2
+	x = x*y + z*7
+	y = y*z + x*11
+	z = z*x + y*13
+	return x + y + z
+}

@@ -1,0 +1,46 @@
+package fixture
+
+// Sum keeps the zeroalloc promise: the slice header stays on the stack
+// and nothing escapes.
+//
+//emlint:zeroalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Add keeps the hotpath promise: trivially inlinable.
+//
+//emlint:hotpath
+func Add(a, b int) int { return a + b }
+
+// Dot holds both contracts at once.
+//
+//emlint:zeroalloc
+//emlint:hotpath
+func Dot(a, b []int) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Head threads its parameter to a result — a result-directed leak
+// ("leaking param: xs to result"), which allocates nothing and is not a
+// zeroalloc violation.
+//
+//emlint:zeroalloc
+func Head(xs []int) []int {
+	if len(xs) > 4 {
+		return xs[:4]
+	}
+	return xs
+}

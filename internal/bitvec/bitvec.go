@@ -143,6 +143,8 @@ func (s *Set) Add(id uint32) {
 }
 
 // Contains reports membership of id.
+//
+//emlint:zeroalloc
 func (s *Set) Contains(id uint32) bool {
 	c := s.find(uint16(id >> blockShift))
 	if c == nil {
@@ -262,6 +264,8 @@ func (s *Set) ForEachIn(lo, hi uint32, fn func(id uint32) bool) {
 
 // AndCount returns |a ∩ b|. Containers intersect pairwise by block key;
 // bitmap×bitmap blocks run the word-level AND + popcount kernel.
+//
+//emlint:zeroalloc
 func AndCount(a, b *Set) int {
 	inter := 0
 	i, j := 0, 0
@@ -285,6 +289,8 @@ func AndCount(a, b *Set) int {
 // as the remaining containers cannot reach need — the container-granular
 // analogue of sim.IntersectSortedU32Bounded's suffix early exit. A
 // non-negative return is always the exact intersection size.
+//
+//emlint:zeroalloc
 func AndCountBounded(a, b *Set, need int) int {
 	inter := 0
 	i, j := 0, 0
@@ -370,6 +376,8 @@ func arrayAndCount(a, b []uint16) int {
 // a dense indexed record without materializing the probe as a Set. It
 // walks ids block-run by block-run, advancing the container cursor once
 // per run rather than once per ID.
+//
+//emlint:zeroalloc
 func AndCountArray(s *Set, ids []uint32) int {
 	inter := 0
 	ci := 0
@@ -398,6 +406,8 @@ func AndCountArray(s *Set, ids []uint32) int {
 // ids cannot lift the intersection to need. A non-negative return is
 // always the exact intersection size (it may still be below need when the
 // walk completes before the bound triggers).
+//
+//emlint:zeroalloc
 func AndCountArrayBounded(s *Set, ids []uint32, need int) int {
 	inter := 0
 	ci := 0

@@ -236,3 +236,45 @@ func TestNewClassifierFactory(t *testing.T) {
 		t.Error("want unknown-classifier error")
 	}
 }
+
+// TestRegistryListSnapshotIsCopy is the dynamic pin of what the aliasleak
+// check enforces statically: List hands out a fresh slice, so readers
+// iterating a listing while another goroutine registers services never
+// share slice memory with the registry. Under the race detector
+// (make race) aliased state fails the run.
+func TestRegistryListSnapshotIsCopy(t *testing.T) {
+	reg := NewRegistry()
+	before := len(reg.List())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			err := reg.Register(&Service{
+				Name: "scratch_" + strings.Repeat("x", 1+i%5) + string(rune('a'+i%26)),
+				Doc:  "snapshot-copy test service",
+				Run:  func(ctx *JobContext, args Args) (any, error) { return nil, nil },
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		listing := reg.List()
+		// Scribbling over the snapshot must not corrupt the registry.
+		for j := range listing {
+			listing[j] = nil
+		}
+	}
+	<-done
+	for _, s := range reg.List() {
+		if s == nil {
+			t.Fatal("List returned a view of mutated internal state")
+		}
+	}
+	if got := len(reg.List()); got <= before {
+		t.Fatalf("writer registered nothing: %d services", got)
+	}
+}

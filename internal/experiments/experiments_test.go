@@ -216,3 +216,23 @@ func TestTable3And4Render(t *testing.T) {
 		t.Errorf("table 4 rendering incomplete:\n%s", t4)
 	}
 }
+
+// TestProvenance pins that every benchmark payload can identify its
+// environment: toolchain, platform, core budget, and (inside a checkout)
+// the commit read straight from the .git directory.
+func TestProvenance(t *testing.T) {
+	p := CollectProvenance()
+	if p.GoVersion == "" || p.GOOS == "" || p.GOARCH == "" || p.NumCPU < 1 || p.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete provenance: %+v", p)
+	}
+	if p.GitCommit != "" {
+		if len(p.GitCommit) != 40 {
+			t.Fatalf("implausible git commit %q", p.GitCommit)
+		}
+		for _, c := range p.GitCommit {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				t.Fatalf("git commit %q is not hex", p.GitCommit)
+			}
+		}
+	}
+}

@@ -39,6 +39,7 @@ type ObsBenchRow struct {
 // ObsBench is the machine-readable payload of BENCH_obs.json: evidence that
 // the no-op recorder keeps the instrumented hot paths at their PR-1 cost.
 type ObsBench struct {
+	Provenance   Provenance    `json:"provenance"`
 	GOMAXPROCS   int           `json:"gomaxprocs"`
 	Workers      int           `json:"workers"`
 	BaselineFrom string        `json:"baseline_from,omitempty"`
@@ -89,7 +90,7 @@ func loadParallelBaseline(path string) map[string]int64 {
 func RunObsBench(seed int64, workers int, baselinePath string) (*ObsBench, error) {
 	w := parallel.Resolve(workers)
 	baseline := loadParallelBaseline(baselinePath)
-	out := &ObsBench{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: w}
+	out := &ObsBench{Provenance: CollectProvenance(), GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: w}
 	if len(baseline) > 0 {
 		out.BaselineFrom = baselinePath
 	}

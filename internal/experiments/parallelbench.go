@@ -41,6 +41,7 @@ type ParallelWorkload struct {
 // measured with CoresOK=false pin determinism and allocation counts, but
 // their speedups are meaningless and regression gates must skip them.
 type ParallelBench struct {
+	Provenance      Provenance         `json:"provenance"`
 	GOMAXPROCS      int                `json:"gomaxprocs"`
 	CoresOK         bool               `json:"cores_ok"`
 	WorkerSweep     []int              `json:"worker_sweep"`
@@ -195,6 +196,7 @@ func RunParallelBench(seed int64, workerSweep, nSweep []int) (*ParallelBench, er
 		nSweep = []int{1000, 10000, 100000}
 	}
 	out := &ParallelBench{
+		Provenance:  CollectProvenance(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		CoresOK:     runtime.GOMAXPROCS(0) >= 2,
 		WorkerSweep: workerSweep,

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Provenance pins the environment a benchmark payload was measured in, so
+// a committed BENCH_*.json is comparable against a regenerated one: the
+// toolchain (inlining budgets and escape analysis shift across releases),
+// the core budget the parallel layer saw, and the exact commit. It is
+// embedded in every benchmark payload.
+type Provenance struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitCommit is the HEAD hash read directly from the .git directory
+	// (no git executable needed); empty outside a git checkout.
+	GitCommit string `json:"git_commit,omitempty"`
+}
+
+// CollectProvenance snapshots the current environment. The git commit is
+// resolved from the nearest .git directory at or above the working
+// directory.
+func CollectProvenance() Provenance {
+	return Provenance{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitCommit:  headCommit(findGitDir()),
+	}
+}
+
+// findGitDir walks upward from the working directory to the nearest .git
+// directory; "" when none exists (e.g. an exported tarball).
+func findGitDir() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		gitDir := filepath.Join(dir, ".git")
+		if fi, err := os.Stat(gitDir); err == nil && fi.IsDir() {
+			return gitDir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// headCommit resolves HEAD to a commit hash by reading the repository
+// files directly: .git/HEAD either holds the hash (detached) or a
+// "ref: refs/heads/..." pointer resolved through the loose ref file or
+// .git/packed-refs.
+func headCommit(gitDir string) string {
+	if gitDir == "" {
+		return ""
+	}
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return ""
+	}
+	target := strings.TrimSpace(string(head))
+	ref, ok := strings.CutPrefix(target, "ref: ")
+	if !ok {
+		return target // detached HEAD: the hash itself
+	}
+	ref = strings.TrimSpace(ref)
+	if loose, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return strings.TrimSpace(string(loose))
+	}
+	packed, err := os.ReadFile(filepath.Join(gitDir, "packed-refs"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(packed), "\n") {
+		if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "^") {
+			continue
+		}
+		if hash, name, ok := strings.Cut(line, " "); ok && name == ref {
+			return hash
+		}
+	}
+	return ""
+}

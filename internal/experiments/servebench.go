@@ -56,6 +56,7 @@ type ServeOverload struct {
 // ingest, backpressure behavior, and the incremental-vs-rebuild identity
 // check that gates it all.
 type ServeBench struct {
+	Provenance Provenance    `json:"provenance"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	N          int           `json:"n"`
 	Queries    int           `json:"queries"`
@@ -356,7 +357,7 @@ func RunServeBench(seed int64, workers, n, queries int) (*ServeBench, error) {
 		qs[i] = serveRandomRecord(fmt.Sprintf("q%d", i), vocab, rng)
 	}
 
-	res := &ServeBench{GOMAXPROCS: runtime.GOMAXPROCS(0), N: n, Queries: queries, Workers: workers}
+	res := &ServeBench{Provenance: CollectProvenance(), GOMAXPROCS: runtime.GOMAXPROCS(0), N: n, Queries: queries, Workers: workers}
 	p := serve.NewPool(c, workers, 0)
 	defer p.Close()
 	// The interference sweep: same query load, rising mutation pressure.

@@ -43,6 +43,7 @@ type TokensBenchRow struct {
 
 // TokensBench is the machine-readable payload of BENCH_tokens.json.
 type TokensBench struct {
+	Provenance   Provenance       `json:"provenance"`
 	GOMAXPROCS   int              `json:"gomaxprocs"`
 	Workers      int              `json:"workers"`
 	N            int              `json:"n"`
@@ -199,7 +200,7 @@ func tokensFeatureSetup(n int, seed int64) (*feature.Set, *table.Table, *table.C
 func RunTokensBench(seed int64, workers, n int, baselinePath string) (*TokensBench, error) {
 	w := parallel.Resolve(workers)
 	baseline := loadParallelBaseline(baselinePath)
-	out := &TokensBench{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: w, N: n}
+	out := &TokensBench{Provenance: CollectProvenance(), GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: w, N: n}
 	if len(baseline) > 0 {
 		out.BaselineFrom = baselinePath
 	}

@@ -44,12 +44,18 @@ func (d *Dict) Intern(tok string) uint32 {
 }
 
 // Lookup returns the ID of tok without interning it.
+//
+//emlint:zeroalloc
+//emlint:hotpath
 func (d *Dict) Lookup(tok string) (uint32, bool) {
 	id, ok := d.ids[tok]
 	return id, ok
 }
 
 // Token returns the string for an ID previously returned by Intern.
+//
+//emlint:zeroalloc
+//emlint:hotpath
 func (d *Dict) Token(id uint32) string { return d.toks[id] }
 
 // InternTokens interns every token and returns the IDs in token order
@@ -101,6 +107,8 @@ func (d *Dict) SortedSetEphemeral(toks []string) []uint32 {
 
 // SortedDedup sorts ids in place and drops duplicates, returning the
 // shortened slice (which aliases ids). The result is never nil.
+//
+//emlint:zeroalloc
 func SortedDedup(ids []uint32) []uint32 {
 	if ids == nil {
 		return []uint32{}

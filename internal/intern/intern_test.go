@@ -98,3 +98,23 @@ func TestSortedSetEphemeral(t *testing.T) {
 		t.Fatalf("empty input = %#v, want non-nil empty set", got)
 	}
 }
+
+// TestInternKernelsZeroAlloc pins the allocation-free contract of the
+// read-side dictionary operations and the in-place dedup.
+func TestInternKernelsZeroAlloc(t *testing.T) {
+	d := NewDict()
+	d.InternTokens([]string{"acme", "widgets", "madison"})
+	scratch := []uint32{2, 0, 1, 1, 2}
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Lookup", func() { d.Lookup("widgets") }},
+		{"Token", func() { d.Token(1) }},
+		{"SortedDedup", func() { SortedDedup(scratch) }},
+	} {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per run, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ml
 import (
 	"math"
 	"math/rand"
+	"slices"
 
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -40,8 +41,9 @@ type RandomForest struct {
 func (f *RandomForest) Name() string { return "random_forest" }
 
 // Trees returns the fitted ensemble (nil before Fit). Falcon walks these to
-// extract blocking rules.
-func (f *RandomForest) Trees() []*DecisionTree { return f.trees }
+// extract blocking rules. The slice is a copy, so callers cannot displace
+// trees out from under a concurrently-predicting forest.
+func (f *RandomForest) Trees() []*DecisionTree { return slices.Clone(f.trees) }
 
 func (f *RandomForest) numTrees() int {
 	if f.NumTrees <= 0 {

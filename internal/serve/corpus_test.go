@@ -319,3 +319,54 @@ func TestServeMetrics(t *testing.T) {
 		t.Errorf("candidates stage observations = %v, want 1", got)
 	}
 }
+
+// TestCorpusSnapshotsAreCopies is the dynamic pin of what the aliasleak
+// check enforces statically: everything the read API hands out (Stats
+// values, CandidateIDs slices) is a copy, so a reader snapshotting while
+// a writer mutates never shares memory with corpus internals. Under the
+// race detector (make race) any aliased state fails the run.
+func TestCorpusSnapshotsAreCopies(t *testing.T) {
+	c := NewCorpus()
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 64; i++ {
+		if err := c.Add(randomRecord(fmt.Sprintf("seed%d", i), rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := randomRecord("query", rng)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wrng := rand.New(rand.NewSource(43))
+		for i := 0; i < 200; i++ {
+			id := fmt.Sprintf("w%d", i)
+			if err := c.Add(randomRecord(id, wrng)); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%3 == 0 {
+				if err := c.Delete(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = c.Stats()
+		ids := c.CandidateIDs(q)
+		// Scribbling over the returned slice must not corrupt the corpus:
+		// it is ours, not a borrowed view of index state.
+		for j := range ids {
+			ids[j] = "scribbled"
+		}
+	}
+	<-done
+	if c.Len() == 0 {
+		t.Fatal("writer left no records")
+	}
+	if got := c.CandidateIDs(q); len(got) > 0 && got[0] == "scribbled" {
+		t.Fatal("CandidateIDs returned a view of mutated internal state")
+	}
+}

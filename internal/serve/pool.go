@@ -41,6 +41,7 @@ type Ticket struct {
 func (t *Ticket) Wait(ctx context.Context) ([]ScoredPair, error) {
 	select {
 	case <-t.done:
+		//emlint:allow aliasleak -- ownership handoff: the worker wrote pairs before closing done and never touches them again; cloning per Wait would tax every match
 		return t.pairs, t.err
 	case <-ctx.Done():
 		return nil, ctx.Err()

@@ -20,6 +20,8 @@ import (
 
 // JaccardBits is Jaccard over compressed ID sets, bit-identical to
 // JaccardU32 on the same members.
+//
+//emlint:zeroalloc
 func JaccardBits(a, b *bitvec.Set) float64 {
 	inter := bitvec.AndCount(a, b)
 	union := a.Len() + b.Len() - inter
@@ -30,6 +32,8 @@ func JaccardBits(a, b *bitvec.Set) float64 {
 }
 
 // DiceBits is Dice over compressed ID sets, bit-identical to DiceU32.
+//
+//emlint:zeroalloc
 func DiceBits(a, b *bitvec.Set) float64 {
 	inter := bitvec.AndCount(a, b)
 	if a.Len()+b.Len() == 0 {
@@ -40,6 +44,8 @@ func DiceBits(a, b *bitvec.Set) float64 {
 
 // OverlapCoefficientBits is the overlap coefficient over compressed ID
 // sets, bit-identical to OverlapCoefficientU32.
+//
+//emlint:zeroalloc
 func OverlapCoefficientBits(a, b *bitvec.Set) float64 {
 	inter := bitvec.AndCount(a, b)
 	m := a.Len()
@@ -56,10 +62,15 @@ func OverlapCoefficientBits(a, b *bitvec.Set) float64 {
 }
 
 // OverlapSizeBits is the raw overlap |a ∩ b| over compressed ID sets.
+//
+//emlint:zeroalloc
+//emlint:hotpath
 func OverlapSizeBits(a, b *bitvec.Set) int { return bitvec.AndCount(a, b) }
 
 // CosineSetBits is set cosine over compressed ID sets, bit-identical to
 // CosineSetU32.
+//
+//emlint:zeroalloc
 func CosineSetBits(a, b *bitvec.Set) float64 {
 	inter := bitvec.AndCount(a, b)
 	if a.Len() == 0 && b.Len() == 0 {
@@ -73,6 +84,8 @@ func CosineSetBits(a, b *bitvec.Set) float64 {
 
 // TverskyBits is the Tversky index over compressed ID sets, bit-identical
 // to TverskyU32.
+//
+//emlint:zeroalloc
 func TverskyBits(a, b *bitvec.Set, alpha, beta float64) float64 {
 	inter := bitvec.AndCount(a, b)
 	onlyA := float64(a.Len() - inter)

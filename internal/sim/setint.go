@@ -20,6 +20,8 @@ import (
 
 // intersectSorted is the shared merge kernel: |a ∩ b| for two ascending,
 // duplicate-free slices.
+//
+//emlint:zeroalloc
 func intersectSorted[T cmp.Ordered](a, b []T) int {
 	inter := 0
 	i, j := 0, 0
@@ -39,12 +41,17 @@ func intersectSorted[T cmp.Ordered](a, b []T) int {
 }
 
 // IntersectSortedU32 returns |a ∩ b| for two sorted duplicate-free ID sets.
+//
+//emlint:zeroalloc
+//emlint:hotpath
 func IntersectSortedU32(a, b []uint32) int { return intersectSorted(a, b) }
 
 // IntersectSortedU32Bounded returns |a ∩ b| when it is at least need, and -1
 // as soon as the remaining suffixes cannot reach need (the suffix-length
 // early exit the similarity joins use to abandon hopeless candidates
 // mid-verify). A non-negative return is always the exact intersection size.
+//
+//emlint:zeroalloc
 func IntersectSortedU32Bounded(a, b []uint32, need int) int {
 	inter := 0
 	i, j := 0, 0
@@ -71,6 +78,8 @@ func IntersectSortedU32Bounded(a, b []uint32, need int) int {
 }
 
 // JaccardU32 is Jaccard over sorted duplicate-free ID sets.
+//
+//emlint:zeroalloc
 func JaccardU32(a, b []uint32) float64 {
 	inter := intersectSorted(a, b)
 	union := len(a) + len(b) - inter
@@ -81,6 +90,8 @@ func JaccardU32(a, b []uint32) float64 {
 }
 
 // DiceU32 is Dice over sorted duplicate-free ID sets.
+//
+//emlint:zeroalloc
 func DiceU32(a, b []uint32) float64 {
 	inter := intersectSorted(a, b)
 	if len(a)+len(b) == 0 {
@@ -91,6 +102,8 @@ func DiceU32(a, b []uint32) float64 {
 
 // OverlapCoefficientU32 is the overlap coefficient over sorted
 // duplicate-free ID sets.
+//
+//emlint:zeroalloc
 func OverlapCoefficientU32(a, b []uint32) float64 {
 	inter := intersectSorted(a, b)
 	m := len(a)
@@ -108,9 +121,14 @@ func OverlapCoefficientU32(a, b []uint32) float64 {
 
 // OverlapSizeU32 is the raw overlap |a ∩ b| over sorted duplicate-free ID
 // sets.
+//
+//emlint:zeroalloc
+//emlint:hotpath
 func OverlapSizeU32(a, b []uint32) int { return intersectSorted(a, b) }
 
 // CosineSetU32 is set cosine over sorted duplicate-free ID sets.
+//
+//emlint:zeroalloc
 func CosineSetU32(a, b []uint32) float64 {
 	inter := intersectSorted(a, b)
 	if len(a) == 0 && len(b) == 0 {
@@ -123,6 +141,8 @@ func CosineSetU32(a, b []uint32) float64 {
 }
 
 // TverskyU32 is the Tversky index over sorted duplicate-free ID sets.
+//
+//emlint:zeroalloc
 func TverskyU32(a, b []uint32, alpha, beta float64) float64 {
 	inter := intersectSorted(a, b)
 	onlyA := float64(len(a) - inter)

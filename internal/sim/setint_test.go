@@ -91,6 +91,7 @@ func TestIntegerKernelsZeroAlloc(t *testing.T) {
 	a := d.SortedSet([]string{"acme", "widgets", "of", "madison", "wi"})
 	b := d.SortedSet([]string{"acme", "widget", "co", "madison", "wi"})
 	checks := map[string]func(){
+		"intersectSorted":           func() { intersectSorted(a, b) },
 		"IntersectSortedU32":        func() { IntersectSortedU32(a, b) },
 		"IntersectSortedU32Bounded": func() { IntersectSortedU32Bounded(a, b, 3) },
 		"JaccardU32":                func() { JaccardU32(a, b) },

@@ -342,6 +342,8 @@ func minOverlap(m measure, t float64, n int) int {
 // filter and the bounded verify. Its slack (1e-6) is deliberately wider
 // than the verifier's 1e-12 so the filters never prune a pair the exact
 // float comparison would keep.
+//
+//emlint:zeroalloc
 func pairMinOverlap(m measure, t float64, n1, n2 int) int {
 	var o float64
 	switch m {
@@ -481,6 +483,8 @@ func buildIndex(pr []intRec, nids int, prefixFor func(n int) int, opts Options) 
 
 // sizeWindow returns the contiguous record-index range [jlo, jhi) whose
 // token-set sizes fall in [lo, hi] — the length bucket a probe scans.
+//
+//emlint:zeroalloc
 func (idx *joinIndex) sizeWindow(lo, hi int) (jlo, jhi int) {
 	return sort.SearchInts(idx.sizes, lo), sort.SearchInts(idx.sizes, hi+1)
 }
@@ -508,6 +512,8 @@ func probeSets(pl []intRec, opts Options) []*bitvec.Set {
 // when both sides carry bitsets, per-ID contains-probing when exactly one
 // side is dense and the other is enough smaller (bitsetVerifyRatio), and
 // the zero-alloc bounded merge otherwise.
+//
+//emlint:zeroalloc
 func verifyOverlap(probe []uint32, probeSet *bitvec.Set, cand []uint32, candSet *bitvec.Set, need int) int {
 	if candSet != nil {
 		if probeSet != nil {
@@ -536,6 +542,8 @@ func newEpochScratch(n int) *epochScratch {
 }
 
 // next starts a new probe, handling uint32 wraparound.
+//
+//emlint:zeroalloc
 func (e *epochScratch) next() {
 	e.epoch++
 	if e.epoch == 0 {
@@ -547,6 +555,9 @@ func (e *epochScratch) next() {
 }
 
 // mark reports whether j was already seen this probe, marking it if not.
+//
+//emlint:zeroalloc
+//emlint:hotpath
 func (e *epochScratch) mark(j int32) bool {
 	if e.stamp[j] == e.epoch {
 		return true

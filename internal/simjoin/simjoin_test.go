@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bitvec"
 	"repro/internal/sim"
 	"repro/internal/tokenize"
 )
@@ -367,6 +368,39 @@ func TestPooledJoinsBitIdenticalAcrossWorkers(t *testing.T) {
 		}
 		if !reflect.DeepEqual(ed, serialEd) {
 			t.Fatalf("workers=%d: EditDistanceJoin output differs from serial", workers)
+		}
+	}
+}
+
+// TestJoinHotPathZeroAlloc pins the allocation-free contract of the
+// per-candidate helpers the probe loop runs millions of times: overlap
+// verification across every representation pairing, the pair-level
+// overlap bound, the size-window binary search, and the epoch scratch.
+func TestJoinHotPathZeroAlloc(t *testing.T) {
+	probe := []uint32{1, 3, 5, 7, 9, 11}
+	cand := []uint32{3, 4, 5, 9, 10, 11}
+	probeSet := bitvec.FromSorted(probe)
+	candSet := bitvec.FromSorted(cand)
+	idx := &joinIndex{sizes: []int{1, 2, 2, 3, 5, 8}}
+	scratch := newEpochScratch(16)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"verifyOverlap/merge", func() { verifyOverlap(probe, nil, cand, nil, 2) }},
+		{"verifyOverlap/bitset", func() { verifyOverlap(probe, probeSet, cand, candSet, 2) }},
+		{"verifyOverlap/probe-array", func() { verifyOverlap(probe[:1], nil, cand, candSet, 1) }},
+		{"verifyOverlap/cand-array", func() { verifyOverlap(probe, probeSet, cand[:1], nil, 1) }},
+		{"pairMinOverlap", func() { pairMinOverlap(measureJaccard, 0.8, len(probe), len(cand)) }},
+		{"sizeWindow", func() { idx.sizeWindow(2, 5) }},
+		{"epochScratch", func() {
+			scratch.next()
+			scratch.mark(3)
+			scratch.mark(3)
+		}},
+	} {
+		if allocs := testing.AllocsPerRun(50, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per run, want 0", tc.name, allocs)
 		}
 	}
 }
