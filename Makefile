@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-perf fix fuzz bench bench-tokens bench-scaling bench-serve
+.PHONY: build test race vet lint lint-perf fix fuzz bench bench-tokens bench-scaling bench-serve bench-serve-scaling
 
 build:
 	$(GO) build ./...
@@ -68,8 +68,22 @@ bench-tokens:
 	$(GO) run ./cmd/benchem -exp tokens
 
 # Regenerates BENCH_serve.json: sustained QPS and tail latency of the
-# incremental serving core across the ingest-interference sweep, plus the
-# overload burst. Exits non-zero when the incrementally-maintained corpus
-# diverges from a from-scratch rebuild or backpressure never engages.
+# incremental serving core across the ingest-interference sweep, the
+# match-workers x ingest reader-scaling cells, plus the overload burst.
+# Exits non-zero when the incrementally-maintained corpus diverges from a
+# from-scratch rebuild, the flat forest diverges from the pointer
+# classifier, backpressure never engages, or (on a >= 4-core box) the
+# workers=4 query-only QPS scaling falls below 1.5x.
 bench-serve:
 	$(GO) run ./cmd/benchem -exp serve
+
+# Smoke-size reader-scaling sweep: same gates as `bench-serve`, sized for
+# CI. The QPS gate arms only when the runner has >= 4 cores (cores_ok);
+# SERVEMINSPEEDUP sits slightly under the full bench's 1.5x bar to absorb
+# shared-vCPU noise. The two identity gates (rebuild, flat-vs-pointer)
+# hold at any core count.
+SERVEMINSPEEDUP ?= 1.3
+bench-serve-scaling:
+	$(GO) run ./cmd/benchem -exp serve -serven 1500 -servequeries 600 \
+		-serveworkers 1,2,4 -serveminspeedup $(SERVEMINSPEEDUP) \
+		-serveout /tmp/BENCH_serve_smoke.json

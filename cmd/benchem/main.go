@@ -87,6 +87,8 @@ func main() {
 	serveout := flag.String("serveout", "BENCH_serve.json", "output path for the serving-core bench JSON")
 	serven := flag.Int("serven", 5000, "corpus size for the serve bench")
 	servequeries := flag.Int("servequeries", 2000, "query count per phase for the serve bench")
+	serveWorkers := flag.String("serveworkers", "1,2,4,8", "comma-separated match-worker counts for the serve reader-scaling sweep")
+	serveMinSpeedup := flag.Float64("serveminspeedup", 1.5, "fail the serve experiment when query-only QPS scaling at workers=4 falls below this (enforced only when GOMAXPROCS >= 4; 0 disables)")
 	metricsPath := flag.String("metrics", "", "write the guide run's per-stage metrics snapshot as JSON to this path (\"-\" for stdout)")
 	flag.Parse()
 
@@ -251,7 +253,15 @@ func main() {
 			}
 		case "serve":
 			fmt.Println("== serving core: sustained QPS, tail latency, and backpressure ==")
-			res, err := experiments.RunServeBench(*seed, *workers, *serven, *servequeries)
+			if runtime.GOMAXPROCS(0) < 2 {
+				fmt.Fprintf(os.Stderr, "benchem: warning: GOMAXPROCS=%d < 2 — the reader-scaling cells cannot show scaling on this box (cores_ok=false in %s)\n",
+					runtime.GOMAXPROCS(0), *serveout)
+			}
+			sws, err := parseIntList(*serveWorkers)
+			if err != nil {
+				return fmt.Errorf("-serveworkers: %w", err)
+			}
+			res, err := experiments.RunServeBench(*seed, *workers, *serven, *servequeries, sws)
 			if err != nil {
 				return err
 			}
@@ -269,8 +279,21 @@ func main() {
 			if !res.Identical {
 				return fmt.Errorf("incremental corpus diverged from from-scratch rebuild after the ingest phases")
 			}
+			// So is divergence between the flat batch kernel and the
+			// pointer-walking classifier: bit-identity is the contract that
+			// made the flattening a pure performance change.
+			if !res.FlatIdentical {
+				return fmt.Errorf("flat forest scores diverged from the pointer classifier path")
+			}
 			if res.Overload.Rejected == 0 {
 				return fmt.Errorf("overload burst of %d was fully absorbed — backpressure never engaged", res.Overload.Submitted)
+			}
+			// The reader-scaling gate only means something with real cores
+			// behind the match workers; a 1-core box caps speedup at ~1.0.
+			if *serveMinSpeedup > 0 && runtime.GOMAXPROCS(0) >= 4 {
+				if s := res.ScalingAt(4); s > 0 && s < *serveMinSpeedup {
+					return fmt.Errorf("query-only QPS scaling at workers=4 is %.2fx, below the %.2fx regression floor", s, *serveMinSpeedup)
+				}
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

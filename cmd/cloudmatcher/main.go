@@ -55,8 +55,10 @@ func main() {
 	timeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
 	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes")
 	corpus := flag.String("corpus", "default", "name of the built-in serving corpus (empty disables /v1/corpus and /v1/match)")
-	matchWorkers := flag.Int("match-workers", 0, "match pool worker count (0 = GOMAXPROCS)")
+	matchWorkers := flag.Int("match-workers", 0, "match pool worker count (0 = GOMAXPROCS; reads are lock-free, so workers scale with cores)")
 	matchQueue := flag.Int("match-queue", 0, "match queue capacity before 429s (0 = 4x workers)")
+	matchLimit := flag.Int("match-limit", 0, "cap /v1/match results to the n best-scoring pairs (0 = all)")
+	compactAfter := flag.Int("compact-after", 0, "tombstones before the corpus compacts and republishes its snapshot (0 = default 1024, -1 = never)")
 	flag.Parse()
 
 	// One registry shared by the HTTP server, the metamanager, and (via
@@ -77,7 +79,8 @@ func main() {
 		cloud.WithMaxBodySize(*maxBody),
 	}
 	if *corpus != "" {
-		c := serve.NewCorpus(serve.WithMetrics(reg))
+		c := serve.NewCorpus(serve.WithMetrics(reg),
+			serve.WithLimit(*matchLimit), serve.WithCompactAfter(*compactAfter))
 		corpora := serve.NewRegistry()
 		if err := corpora.Register(*corpus, c, serve.NewPool(c, *matchWorkers, *matchQueue)); err != nil {
 			fmt.Fprintln(os.Stderr, "cloudmatcher:", err)

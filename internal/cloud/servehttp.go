@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/serve"
 )
@@ -157,9 +158,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	pairs, err := e.Pool.Match(r.Context(), req.Record)
 	switch {
 	case errors.Is(err, serve.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		retry := e.Pool.RetryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests, codeOverloaded, err.Error(),
-			"the match queue is full; back off and retry")
+			fmt.Sprintf("the match queue is full; back off %ds and retry", retry))
 		return
 	case errors.Is(err, serve.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, codeOverloaded, err.Error(), "the serving pool is shut down")

@@ -39,6 +39,22 @@ type ServePhase struct {
 	P999Micros int64   `json:"p999_micros"`
 }
 
+// ServeCell is one cell of the concurrent-reader scaling sweep: a fixed
+// query load driven through a pool of Workers match workers, with the
+// ingest column toggling a concurrent mutation trickle. Because MatchOne
+// takes no locks, QPS should rise with workers even while ingest runs —
+// the property the workers=4 speedup gate checks on multi-core boxes.
+type ServeCell struct {
+	Workers    int     `json:"workers"`
+	Ingest     bool    `json:"ingest"`
+	Requests   int     `json:"requests"`
+	Mutations  int     `json:"mutations"`
+	QPS        float64 `json:"qps"`
+	P50Micros  int64   `json:"p50_micros"`
+	P99Micros  int64   `json:"p99_micros"`
+	P999Micros int64   `json:"p999_micros"`
+}
+
 // ServeOverload is the admission-control run: a burst of non-blocking
 // submissions against a deliberately tiny pool, proving the queue refuses
 // with ErrOverloaded instead of buffering without bound.
@@ -56,17 +72,53 @@ type ServeOverload struct {
 // ingest, backpressure behavior, and the incremental-vs-rebuild identity
 // check that gates it all.
 type ServeBench struct {
-	Provenance Provenance    `json:"provenance"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	N          int           `json:"n"`
-	Queries    int           `json:"queries"`
-	Workers    int           `json:"workers"`
-	Phases     []ServePhase  `json:"phases"`
-	Overload   ServeOverload `json:"overload"`
+	Provenance Provenance `json:"provenance"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	// CoresOK records whether this box has the cores to show reader
+	// scaling (GOMAXPROCS >= 2); cells measured with CoresOK=false pin
+	// correctness and latency but their QPS ratios are noise around 1.0,
+	// so benchem's speedup gate stays disarmed.
+	CoresOK      bool          `json:"cores_ok"`
+	N            int           `json:"n"`
+	Queries      int           `json:"queries"`
+	Workers      int           `json:"workers"`
+	MatchWorkers []int         `json:"match_workers"`
+	Phases       []ServePhase  `json:"phases"`
+	Cells        []ServeCell   `json:"cells"`
+	Overload     ServeOverload `json:"overload"`
 	// Identical reports whether, after every phase's mutations, MatchOne
 	// on the incrementally-maintained corpus returned bit-identical scored
 	// pairs to a from-scratch rebuild on a fresh probe set.
 	Identical bool `json:"identical_to_rebuild"`
+	// FlatIdentical reports whether every probe score from the serving
+	// path — the flat batched forest over cached feature sets — was
+	// bit-identical to the pointer-walking classifier over the pure string
+	// feature path. False means the flattened inference kernel diverged.
+	FlatIdentical bool `json:"flat_identical_to_pointer"`
+}
+
+// QPSAt returns the sweep cell's QPS at the given worker count and ingest
+// setting, 0 when the cell is absent.
+func (p *ServeBench) QPSAt(workers int, ingest bool) float64 {
+	for _, c := range p.Cells {
+		if c.Workers == workers && c.Ingest == ingest {
+			return c.QPS
+		}
+	}
+	return 0
+}
+
+// ScalingAt returns the query-only QPS ratio of the given worker count
+// over the workers=1 cell — the reader-scaling figure the benchem gate
+// checks at workers=4 on boxes with real cores. 0 when either cell is
+// missing.
+func (p *ServeBench) ScalingAt(workers int) float64 {
+	base := p.QPSAt(1, false)
+	at := p.QPSAt(workers, false)
+	if base <= 0 || at <= 0 {
+		return 0
+	}
+	return at / base
 }
 
 // MarshalBenchJSON renders the payload for BENCH_serve.json.
@@ -143,27 +195,34 @@ func serveMatcher(seed int64) (*feature.Set, ml.Classifier, error) {
 }
 
 // serveMutate applies one weighted add/update/delete against the corpus,
-// keeping the live-ID list in sync.
-func serveMutate(c *serve.Corpus, ids *[]string, next *int, vocab []string, rng *rand.Rand) error {
+// keeping the live-ID list and the shadow record map (the flat-identity
+// check's ground truth) in sync.
+func serveMutate(c *serve.Corpus, ids *[]string, recs map[string]serve.Record, next *int, vocab []string, rng *rand.Rand) error {
 	op := rng.Intn(10)
 	switch {
 	case op < 5 || len(*ids) == 0:
 		id := fmt.Sprintf("m%d", *next)
 		*next++
-		if err := c.Add(serveRandomRecord(id, vocab, rng)); err != nil {
+		rec := serveRandomRecord(id, vocab, rng)
+		if err := c.Add(rec); err != nil {
 			return err
 		}
 		*ids = append(*ids, id)
+		recs[id] = rec
 	case op < 8:
 		id := (*ids)[rng.Intn(len(*ids))]
-		if err := c.Update(serveRandomRecord(id, vocab, rng)); err != nil {
+		rec := serveRandomRecord(id, vocab, rng)
+		if err := c.Update(rec); err != nil {
 			return err
 		}
+		recs[id] = rec
 	default:
 		k := rng.Intn(len(*ids))
-		if err := c.Delete((*ids)[k]); err != nil {
+		id := (*ids)[k]
+		if err := c.Delete(id); err != nil {
 			return err
 		}
+		delete(recs, id)
 		(*ids)[k] = (*ids)[len(*ids)-1]
 		*ids = (*ids)[:len(*ids)-1]
 	}
@@ -189,7 +248,7 @@ func percentileMicros(sorted []time.Duration, q float64) int64 {
 //
 //emlint:allow nondeterminism -- this is the benchmark harness's stopwatch
 func runServePhase(name string, p *serve.Pool, c *serve.Corpus, queries []serve.Record,
-	ids *[]string, next *int, vocab []string, mutEvery int, seed int64) (ServePhase, error) {
+	ids *[]string, recs map[string]serve.Record, next *int, vocab []string, mutEvery int, seed int64) (ServePhase, error) {
 
 	durs := make([]time.Duration, len(queries))
 	var idx, completed, rejected atomic.Int64
@@ -204,7 +263,7 @@ func runServePhase(name string, p *serve.Pool, c *serve.Corpus, queries []serve.
 	mutate := func() error {
 		mutMu.Lock()
 		defer mutMu.Unlock()
-		if err := serveMutate(c, ids, next, vocab, mrng); err != nil {
+		if err := serveMutate(c, ids, recs, next, vocab, mrng); err != nil {
 			return err
 		}
 		mutations.Add(1)
@@ -322,28 +381,36 @@ func runServeOverload(c *serve.Corpus, queries []serve.Record) (ServeOverload, e
 
 // RunServeBench measures the incremental serving core end to end: build an
 // n-record corpus with a resident matcher, sweep a fixed query load across
-// increasing concurrent-ingest pressure, burst a tiny pool into overload,
-// and finish with the scored-output identity check against a from-scratch
-// rebuild.
-func RunServeBench(seed int64, workers, n, queries int) (*ServeBench, error) {
+// increasing concurrent-ingest pressure, sweep reader concurrency across
+// matchWorkers x ingest on/off, burst a tiny pool into overload, and
+// finish with two identity gates — scored output against a from-scratch
+// rebuild, and the flat batched forest against the pointer-walking
+// classifier over the pure string feature path.
+func RunServeBench(seed int64, workers, n, queries int, matchWorkers []int) (*ServeBench, error) {
 	if n <= 0 {
 		n = 5000
 	}
 	if queries <= 0 {
 		queries = 2000
 	}
+	if len(matchWorkers) == 0 {
+		matchWorkers = []int{1, 2, 4, 8}
+	}
 	vocab := serveVocab(n)
 	rng := rand.New(rand.NewSource(seed))
 	c := serve.NewCorpus(serve.WithMinOverlap(2), serve.WithLimit(10))
 	ids := make([]string, 0, n)
+	recs := make(map[string]serve.Record, n)
 	next := 0
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("m%d", next)
 		next++
-		if err := c.Add(serveRandomRecord(id, vocab, rng)); err != nil {
+		rec := serveRandomRecord(id, vocab, rng)
+		if err := c.Add(rec); err != nil {
 			return nil, err
 		}
 		ids = append(ids, id)
+		recs[id] = rec
 	}
 	fs, clf, err := serveMatcher(seed)
 	if err != nil {
@@ -357,7 +424,15 @@ func RunServeBench(seed int64, workers, n, queries int) (*ServeBench, error) {
 		qs[i] = serveRandomRecord(fmt.Sprintf("q%d", i), vocab, rng)
 	}
 
-	res := &ServeBench{Provenance: CollectProvenance(), GOMAXPROCS: runtime.GOMAXPROCS(0), N: n, Queries: queries, Workers: workers}
+	res := &ServeBench{
+		Provenance:   CollectProvenance(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		CoresOK:      runtime.GOMAXPROCS(0) >= 2,
+		N:            n,
+		Queries:      queries,
+		Workers:      workers,
+		MatchWorkers: matchWorkers,
+	}
 	p := serve.NewPool(c, workers, 0)
 	defer p.Close()
 	// The interference sweep: same query load, rising mutation pressure.
@@ -369,11 +444,41 @@ func RunServeBench(seed int64, workers, n, queries int) (*ServeBench, error) {
 		{"ingest_per_16_queries", 16},
 		{"ingest_flood", 1},
 	} {
-		ph, err := runServePhase(sw.name, p, c, qs, &ids, &next, vocab, sw.mutEvery, seed+int64(sw.mutEvery))
+		ph, err := runServePhase(sw.name, p, c, qs, &ids, recs, &next, vocab, sw.mutEvery, seed+int64(sw.mutEvery))
 		if err != nil {
 			return nil, err
 		}
 		res.Phases = append(res.Phases, ph)
+	}
+
+	// The reader-scaling sweep: the same query load through pools of
+	// rising worker counts, with and without a concurrent ingest trickle.
+	// Lock-free reads are what let the ingest column keep scaling — under
+	// the old RWMutex every writer stalled the whole reader pool.
+	for _, mw := range matchWorkers {
+		for _, ingest := range []bool{false, true} {
+			mutEvery := 0
+			if ingest {
+				mutEvery = 16
+			}
+			cp := serve.NewPool(c, mw, 0)
+			name := fmt.Sprintf("cell_w%d_ingest_%v", mw, ingest) //emlint:allow hotalloc -- sweep setup, one format per cell (a handful per run)
+			ph, err := runServePhase(name, cp, c, qs, &ids, recs, &next, vocab, mutEvery, seed+int64(100*mw)+int64(mutEvery))
+			cp.Close()
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, ServeCell{
+				Workers:    mw,
+				Ingest:     ingest,
+				Requests:   ph.Requests,
+				Mutations:  ph.Mutations,
+				QPS:        ph.QPS,
+				P50Micros:  ph.P50Micros,
+				P99Micros:  ph.P99Micros,
+				P999Micros: ph.P999Micros,
+			})
+		}
 	}
 
 	ov, err := runServeOverload(c, qs)
@@ -382,13 +487,17 @@ func RunServeBench(seed int64, workers, n, queries int) (*ServeBench, error) {
 	}
 	res.Overload = ov
 
-	// The gate: after every phase's concurrent mutations, the incremental
+	// Gate one: after every phase's concurrent mutations, the incremental
 	// corpus must score probes bit-identically to a from-scratch rebuild.
+	// Gate two: every probe score — produced by the flat batched forest
+	// over cached token sets — must be bit-identical to the pointer
+	// classifier walking the pure string feature path by hand.
 	oracle := c.Rebuilt()
 	if err := oracle.SetMatcher(fs, clf); err != nil {
 		return nil, err
 	}
 	res.Identical = true
+	res.FlatIdentical = true
 	for i := 0; i < 25; i++ {
 		q := serveRandomRecord(fmt.Sprintf("probe%d", i), vocab, rng)
 		got, err := c.MatchOne(context.Background(), q)
@@ -402,6 +511,15 @@ func RunServeBench(seed int64, workers, n, queries int) (*ServeBench, error) {
 		if !reflect.DeepEqual(got, want) {
 			res.Identical = false
 		}
+		for _, pair := range got {
+			rec, ok := recs[pair.ID]
+			if !ok {
+				return nil, fmt.Errorf("probe %d surfaced %q, which the shadow record map does not hold", i, pair.ID)
+			}
+			if ref := clf.PredictProba(fs.VectorWith(q.Attrs, rec.Attrs, nil, nil)); pair.Score != ref {
+				res.FlatIdentical = false
+			}
+		}
 	}
 	return res, nil
 }
@@ -409,17 +527,34 @@ func RunServeBench(seed int64, workers, n, queries int) (*ServeBench, error) {
 // FormatServeBench renders the human-readable table benchem prints.
 func FormatServeBench(p *ServeBench) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "serving core: n=%d queries=%d workers=%d GOMAXPROCS=%d\n",
-		p.N, p.Queries, p.Workers, p.GOMAXPROCS)
+	fmt.Fprintf(&b, "serving core: n=%d queries=%d workers=%d GOMAXPROCS=%d cores_ok=%v\n",
+		p.N, p.Queries, p.Workers, p.GOMAXPROCS, p.CoresOK)
 	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s %10s\n",
 		"phase", "qps", "p50(us)", "p99(us)", "p999(us)", "mut/s")
 	for _, ph := range p.Phases {
 		fmt.Fprintf(&b, "%-22s %10.0f %10d %10d %10d %10.0f\n",
 			ph.Name, ph.QPS, ph.P50Micros, ph.P99Micros, ph.P999Micros, ph.MutPerSec)
 	}
+	if len(p.Cells) > 0 {
+		fmt.Fprintf(&b, "reader scaling (match workers x concurrent ingest):\n")
+		fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s %10s\n",
+			"cell", "qps", "p50(us)", "p99(us)", "p999(us)", "scaling")
+		for _, c := range p.Cells {
+			name := fmt.Sprintf("w=%d ingest=%v", c.Workers, c.Ingest)
+			scaling := "-"
+			if !c.Ingest {
+				if s := p.ScalingAt(c.Workers); s > 0 {
+					scaling = fmt.Sprintf("%.2fx", s)
+				}
+			}
+			fmt.Fprintf(&b, "%-22s %10.0f %10d %10d %10d %10s\n",
+				name, c.QPS, c.P50Micros, c.P99Micros, c.P999Micros, scaling)
+		}
+	}
 	fmt.Fprintf(&b, "overload: %d submitted to a %d-worker/%d-slot pool -> %d completed, %d rejected (%.0f%%)\n",
 		p.Overload.Submitted, p.Overload.Workers, p.Overload.QueueCap,
 		p.Overload.Completed, p.Overload.Rejected, 100*p.Overload.RejFrac)
 	fmt.Fprintf(&b, "identical to from-scratch rebuild: %v\n", p.Identical)
+	fmt.Fprintf(&b, "flat forest identical to pointer path: %v\n", p.FlatIdentical)
 	return b.String()
 }

@@ -3,12 +3,14 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"runtime"
 	"strconv"
 
 	"repro/internal/feature"
+	"repro/internal/ml"
 	"repro/internal/parallel"
 	"repro/internal/simjoin"
 	"repro/internal/table"
@@ -298,6 +300,17 @@ func RunTokensBench(seed int64, workers, n int, baselinePath string) (*TokensBen
 	frow.Identical = reflect.DeepEqual(vStr, vInt)
 	out.Rows = append(out.Rows, finishTokensRow(frow))
 
+	// Flat vs pointer forest inference: the same fitted trees walked
+	// node-by-node through pointers (the pre-flattening serving path, in
+	// the string columns) against the SoA flat-array batch kernel the
+	// corpus now scores through (interned columns). Identical pins the two
+	// paths bit-for-bit across the whole probe matrix.
+	forestRow, err := tokensForestRow(seed, n, iters)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, forestRow)
+
 	// End-to-end Figure 2 guide workflow: interned kernels now sit under
 	// its blockers and feature extraction; column one is the PR-1 ns/op.
 	runGuideAt := func(workers int) (*GuideResult, error) {
@@ -322,6 +335,92 @@ func RunTokensBench(seed int64, workers, n int, baselinePath string) (*TokensBen
 	out.Rows = append(out.Rows, finishTokensRow(grow))
 
 	return out, nil
+}
+
+// tokensForestRow benches batched forest inference on a fitted random
+// forest: the pointer-walking PredictProba loop against the flat SoA
+// batch kernel, over an n-row probe matrix. Both paths are single
+// threaded — the comparison isolates the memory-layout change.
+func tokensForestRow(seed int64, n, iters int) (TokensBenchRow, error) {
+	row := TokensBenchRow{Name: "forest_flat_vs_pointer"}
+	const nf = 8
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 512; i++ {
+		v := make([]float64, nf)
+		s := 0.0
+		for j := range v {
+			v[j] = rng.Float64()
+			s += v[j]
+		}
+		label := 0
+		if s > nf/2 {
+			label = 1
+		}
+		x = append(x, v)
+		y = append(y, label)
+	}
+	names := make([]string, nf)
+	for j := range names {
+		names[j] = "f" + strconv.Itoa(j)
+	}
+	ds, err := ml.NewDataset(x, y, names)
+	if err != nil {
+		return row, err
+	}
+	clf := &ml.RandomForest{NumTrees: 32, Seed: seed, Workers: 1}
+	if err := clf.Fit(ds); err != nil {
+		return row, err
+	}
+	ff, err := ml.NewFlatForest(clf)
+	if err != nil {
+		return row, err
+	}
+	rows := n
+	if rows < 256 {
+		rows = 256
+	}
+	xs := make([][]float64, rows)
+	for i := range xs {
+		v := make([]float64, nf)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		xs[i] = v
+	}
+	outPtr := make([]float64, rows)
+	outFlat := make([]float64, rows)
+	pointer := func() error {
+		for i := range xs {
+			outPtr[i] = clf.PredictProba(xs[i])
+		}
+		return nil
+	}
+	flat := func() error {
+		ff.PredictProbaBatch(xs, outFlat)
+		return nil
+	}
+	if row.StringNs, err = benchIters(iters, pointer); err != nil {
+		return row, err
+	}
+	if row.InternedNs, err = benchIters(iters, flat); err != nil {
+		return row, err
+	}
+	if row.StringAllocs, err = allocsPerOp(iters, pointer); err != nil {
+		return row, err
+	}
+	if row.InternedAllocs, err = allocsPerOp(iters, flat); err != nil {
+		return row, err
+	}
+	row.Identical = true
+	for i := range outPtr {
+		if math.Float64bits(outPtr[i]) != math.Float64bits(outFlat[i]) {
+			row.Identical = false
+			break
+		}
+	}
+	return finishTokensRow(row), nil
 }
 
 // tokensJoinRow benches one join workload on both kernel paths.

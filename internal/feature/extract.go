@@ -179,6 +179,16 @@ func (s *Set) RecordSets(attrs map[string]string, right bool, interner func(toks
 // path for every feature.
 func (s *Set) VectorWith(lattrs, rattrs map[string]string, lsets, rsets [][]uint32) []float64 {
 	x := make([]float64, len(s.Features))
+	s.VectorWithInto(lattrs, rattrs, lsets, rsets, x)
+	return x
+}
+
+// VectorWithInto is VectorWith writing into x, which must have
+// len(s.Features) entries. It exists for callers that featurize many
+// candidate pairs per query through reusable scratch (the serving corpus
+// builds its per-query feature matrix this way); the values written are
+// bit-identical to VectorWith's.
+func (s *Set) VectorWithInto(lattrs, rattrs map[string]string, lsets, rsets [][]uint32, x []float64) {
 	for k, f := range s.Features {
 		lv, lok := lattrs[f.LAttr]
 		rv, rok := rattrs[f.RAttr]
@@ -192,7 +202,6 @@ func (s *Set) VectorWith(lattrs, rattrs map[string]string, lsets, rsets [][]uint
 		}
 		x[k] = f.Fn(lv, rv)
 	}
-	return x
 }
 
 // Vectors computes the feature matrix for every pair of a candidate-set

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFlatForestBitIdentical is the equivalence suite of ISSUE 10: over
+// quick-generated forests (random shape, alpha, depth, seed) and random
+// query vectors, FlatForest.PredictProba and PredictProbaBatch must return
+// floats bit-identical to RandomForest.PredictProba.
+func TestFlatForestBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rf := &RandomForest{
+			NumTrees: 1 + rng.Intn(16),
+			MaxDepth: 1 + rng.Intn(8),
+			Alpha:    []float64{0, 0.3, 0.5, 0.9}[rng.Intn(4)],
+			Seed:     rng.Int63(),
+		}
+		train := synthDataset(50+rng.Intn(200), rng.Intn(4), rng.Int63())
+		if err := rf.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		ff, err := NewFlatForest(rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ff.NumTrees() != rf.numTrees() {
+			return false
+		}
+		nf := train.NumFeatures()
+		xs := make([][]float64, 64)
+		for i := range xs {
+			x := make([]float64, nf)
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			xs[i] = x
+		}
+		out := make([]float64, len(xs))
+		ff.PredictProbaBatch(xs, out)
+		for i, x := range xs {
+			want := rf.PredictProba(x)
+			if got := ff.PredictProba(x); math.Float64bits(got) != math.Float64bits(want) {
+				t.Logf("PredictProba diverged: got %v want %v", got, want)
+				return false
+			}
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Logf("PredictProbaBatch diverged: got %v want %v", out[i], want)
+				return false
+			}
+			if vf := ff.VoteFraction(x); math.Float64bits(vf) != math.Float64bits(rf.VoteFraction(x)) {
+				t.Logf("VoteFraction diverged")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatForestNotFitted(t *testing.T) {
+	if _, err := NewFlatForest(nil); err != ErrNotFitted {
+		t.Fatalf("NewFlatForest(nil) err = %v, want ErrNotFitted", err)
+	}
+	if _, err := NewFlatForest(&RandomForest{}); err != ErrNotFitted {
+		t.Fatalf("NewFlatForest(unfitted) err = %v, want ErrNotFitted", err)
+	}
+}
+
+// TestFlatForestZeroAlloc pins the //emlint:zeroalloc contracts on the flat
+// traversal kernels and alphaShift.
+func TestFlatForestZeroAlloc(t *testing.T) {
+	rf := &RandomForest{NumTrees: 8, Seed: 3}
+	if err := rf.Fit(synthDataset(200, 2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	ff, err := NewFlatForest(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([][]float64, 16)
+	rng := rand.New(rand.NewSource(9))
+	for i := range xs {
+		xs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	out := make([]float64, len(xs))
+	var sink float64
+	if allocs := testing.AllocsPerRun(50, func() {
+		sink = ff.PredictProba(xs[0])
+		sink += ff.VoteFraction(xs[1])
+		if ff.vote(ff.roots[0], xs[2]) {
+			sink++
+		}
+		ff.PredictProbaBatch(xs, out)
+		sink += alphaShift(0.7, 0.4)
+	}); allocs != 0 {
+		t.Fatalf("flat inference allocs = %v, want 0", allocs)
+	}
+	_ = sink
+}

@@ -131,9 +131,18 @@ func (f *RandomForest) VoteFraction(x []float64) float64 {
 // shifted so that the αn voting rule of the paper coincides with the usual
 // 0.5 threshold: a pair is a match iff at least α·n trees say so.
 func (f *RandomForest) PredictProba(x []float64) float64 {
-	v := f.VoteFraction(x)
-	a := f.alpha()
-	// Piecewise-linear map sending [0,a] -> [0,0.5] and [a,1] -> [0.5,1].
+	return alphaShift(f.VoteFraction(x), f.alpha())
+}
+
+// alphaShift is the piecewise-linear map sending [0,a] -> [0,0.5] and
+// [a,1] -> [0.5,1]. It is the single implementation shared by the pointer
+// forest and FlatForest so the two paths stay bit-identical: both compute
+// the same exact integer-valued vote fraction, then apply this same float
+// expression.
+//
+//emlint:zeroalloc
+//emlint:hotpath
+func alphaShift(v, a float64) float64 {
 	if v <= a {
 		if a == 0 {
 			return 1

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/feature"
@@ -16,53 +17,102 @@ import (
 
 // slot is one corpus record's resident state. Slots are append-only
 // between compactions: Update tombstones the old slot and appends a fresh
-// one, so every posting list stays sorted by construction.
+// one, so every posting list stays sorted by construction. Once a slot is
+// visible in a published snapshot it is immutable — liveness lives in the
+// snapshot's tombSet, not here.
 type slot struct {
 	rec  Record
 	toks []uint32 // sorted duplicate-free blocking token IDs
 	// fsets caches the record's per-feature interned sets
 	// (feature.Set.RecordSets, corpus side); nil until a matcher is set.
 	fsets [][]uint32
-	// deadEpoch is the mutation epoch that tombstoned this slot; 0 = live.
-	deadEpoch uint64
-}
-
-// postings is one token's slot list: exactly one of slots and bits is
-// non-nil. Array postings flip to bitmaps once they reach the configured
-// threshold; both enumerate slots in ascending order.
-type postings struct {
-	slots []uint32
-	bits  *bitvec.Set
 }
 
 // Corpus is a long-lived, incrementally maintained match target. All
-// methods are safe for concurrent use: mutations take the write lock,
-// MatchOne and the other readers run under the read lock (queries proceed
-// concurrently with each other, serialized against ingest).
+// methods are safe for concurrent use. Reads (MatchOne, CandidateIDs,
+// Stats, Len) are coordination-free: they load the current snapshot with
+// one atomic pointer load and never take a lock, so queries proceed at
+// full speed while — and regardless of how long — a writer is working.
+// Mutations (Add, Update, Delete, Compact, SetMatcher) serialize on a
+// writer-only mutex, apply copy-on-write deltas against the current state,
+// and publish the successor snapshot atomically.
 type Corpus struct {
-	mu  sync.RWMutex
-	cfg corpusConfig
+	cfg  corpusConfig
+	snap atomic.Pointer[snapshot]
 
-	dict  *intern.Dict
+	// Writer-side state; mu is never taken by the read path.
+	mu    sync.Mutex
+	dict  *intern.SnapDict
 	slots []slot
 	byID  map[string]uint32 // live records only
-	posts map[uint32]*postings
+	posts []atomic.Pointer[postings]
+	tombs *tombSet
 	dead  int    // tombstoned slots awaiting compaction
 	epoch uint64 // bumps on every mutation
 	comps uint64 // compaction passes run
 
-	fs  *feature.Set
-	clf ml.Classifier
+	fs   *feature.Set
+	clf  ml.Classifier
+	flat *ml.FlatForest
 }
 
 // NewCorpus returns an empty corpus.
 func NewCorpus(opts ...CorpusOption) *Corpus {
-	return &Corpus{
-		cfg:   applyCorpusOptions(opts),
-		dict:  intern.NewDict(),
-		byID:  make(map[string]uint32),
-		posts: make(map[uint32]*postings),
+	c := &Corpus{
+		cfg:  applyCorpusOptions(opts),
+		dict: intern.NewSnapDict(),
+		byID: make(map[string]uint32),
 	}
+	c.publishLocked()
+	return c
+}
+
+// publishLocked builds the successor snapshot from the writer state and
+// publishes it. Caller holds mu (or exclusively owns c, as in NewCorpus).
+// Everything the snapshot references was written before this store, and
+// readers start from the atomic load of c.snap, so the store orders the
+// snapshot's contents before any reader that observes it.
+func (c *Corpus) publishLocked() {
+	c.ensurePosts(c.dict.Len())
+	c.snap.Store(&snapshot{
+		view:    c.dict.View(),
+		slots:   c.slots,
+		tombs:   c.tombs,
+		posts:   c.posts,
+		records: len(c.byID),
+		dead:    c.dead,
+		epoch:   c.epoch,
+		comps:   c.comps,
+		fs:      c.fs,
+		clf:     c.clf,
+		flat:    c.flat,
+	})
+}
+
+// ensurePosts grows the postings entries array to cover n token IDs. The
+// old backing stays valid for already-published snapshots: entries there
+// stop receiving updates, which at worst hides slots appended after those
+// snapshots — slots their readers filter out anyway.
+func (c *Corpus) ensurePosts(n int) {
+	if n <= len(c.posts) {
+		return
+	}
+	if n <= cap(c.posts) {
+		c.posts = c.posts[:n]
+		return
+	}
+	ncap := 2 * cap(c.posts)
+	if ncap < n {
+		ncap = n
+	}
+	if ncap < 64 {
+		ncap = 64
+	}
+	np := make([]atomic.Pointer[postings], ncap)
+	for i := range c.posts {
+		np[i].Store(c.posts[i].Load())
+	}
+	c.posts = np[:n]
 }
 
 // Stats is a point-in-time snapshot of corpus state.
@@ -73,24 +123,19 @@ type Stats struct {
 	Compactions uint64 `json:"compactions"`
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters. Lock-free.
 func (c *Corpus) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	sn := c.snap.Load()
 	return Stats{
-		Records:     len(c.byID),
-		Tombstones:  c.dead,
-		Epoch:       c.epoch,
-		Compactions: c.comps,
+		Records:     sn.records,
+		Tombstones:  sn.dead,
+		Epoch:       sn.epoch,
+		Compactions: sn.comps,
 	}
 }
 
-// Len returns the number of live records.
-func (c *Corpus) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.byID)
-}
+// Len returns the number of live records. Lock-free.
+func (c *Corpus) Len() int { return c.snap.Load().records }
 
 // Add inserts a new record; it is an error if the ID is already live.
 func (c *Corpus) Add(rec Record) error {
@@ -102,7 +147,11 @@ func (c *Corpus) Add(rec Record) error {
 	if _, ok := c.byID[rec.ID]; ok {
 		return fmt.Errorf("serve: record %q already in corpus", rec.ID)
 	}
-	c.ingest(rec, "add")
+	// The chan-op reachability below is the test-only gate tokenizer
+	// (pool_test.go) showing up on the Tokenize dispatch edge; every
+	// production tokenizer is pure computation.
+	c.ingest(rec, "add") //emlint:allow locksafety -- only the test gate tokenizer does channel ops under Tokenize; writers already serialize on mu
+	c.publishLocked()
 	return nil
 }
 
@@ -120,10 +169,11 @@ func (c *Corpus) Update(rec Record) error {
 		return fmt.Errorf("serve: record %q not in corpus", rec.ID)
 	}
 	c.epoch++
-	c.slots[si].deadEpoch = c.epoch
+	c.tombs = c.tombs.withDead(si)
 	c.dead++
-	c.ingest(rec, "update")
+	c.ingest(rec, "update") //emlint:allow locksafety -- only the test gate tokenizer does channel ops under Tokenize; writers already serialize on mu
 	c.maybeCompact()
+	c.publishLocked()
 	return nil
 }
 
@@ -138,18 +188,19 @@ func (c *Corpus) Delete(id string) error {
 		return fmt.Errorf("serve: record %q not in corpus", id)
 	}
 	c.epoch++
-	c.slots[si].deadEpoch = c.epoch
+	c.tombs = c.tombs.withDead(si)
 	c.dead++
 	delete(c.byID, id)
 	rec := obs.Or(c.cfg.metrics)
 	rec.Count(obs.ServeIngestTotal, 1, obs.L("op", "delete"))
 	c.gauges(rec)
 	c.maybeCompact()
+	c.publishLocked()
 	return nil
 }
 
-// ingest appends rec as a fresh slot and patches the postings in place.
-// Caller holds the write lock and has bumped byID/tombstones as needed.
+// ingest appends rec as a fresh slot and swaps updated postings in. Caller
+// holds mu, has adjusted byID/tombstones as needed, and publishes after.
 func (c *Corpus) ingest(rec Record, op string) {
 	c.epoch++
 	si := uint32(len(c.slots))
@@ -162,37 +213,27 @@ func (c *Corpus) ingest(rec Record, op string) {
 	}
 	c.slots = append(c.slots, s)
 	c.byID[rec.ID] = si
+	c.ensurePosts(c.dict.Len())
 	for _, t := range s.toks {
-		p := c.posts[t]
-		if p == nil {
-			p = &postings{}
-			c.posts[t] = p
-		}
-		if p.bits != nil {
-			p.bits.Add(si)
-			continue
-		}
-		// si exceeds every slot already present (slots are append-only),
-		// so the array stays sorted without a search.
-		p.slots = append(p.slots, si)
-		if c.cfg.bitmapMin > 0 && len(p.slots) >= c.cfg.bitmapMin {
-			p.bits = bitvec.FromSorted(p.slots)
-			p.slots = nil
-		}
+		// Copy-on-write: the entry gets a fresh *postings; the old value
+		// stays frozen for any snapshot still holding it. si exceeds every
+		// slot already present (slots are append-only), so the tail stays
+		// sorted without a search.
+		c.posts[t].Store(c.posts[t].Load().with(si, c.cfg.bitmapMin))
 	}
 	mrec := obs.Or(c.cfg.metrics)
 	mrec.Count(obs.ServeIngestTotal, 1, obs.L("op", op))
 	c.gauges(mrec)
 }
 
-// gauges refreshes the corpus-size gauges. Caller holds a lock.
+// gauges refreshes the corpus-size gauges. Caller holds mu.
 func (c *Corpus) gauges(rec obs.Recorder) {
 	rec.SetGauge(obs.ServeCorpusRecords, float64(len(c.byID)))
 	rec.SetGauge(obs.ServeCorpusTombstones, float64(c.dead))
 }
 
 // maybeCompact runs a compaction pass when tombstones have crossed the
-// configured bar. Caller holds the write lock.
+// configured bar. Caller holds mu.
 func (c *Corpus) maybeCompact() {
 	if c.cfg.compactAfter > 0 && c.dead >= c.cfg.compactAfter {
 		c.compactLocked()
@@ -208,42 +249,45 @@ func (c *Corpus) Compact() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.compactLocked()
+	c.publishLocked()
 }
 
-// compactLocked is the compaction body. Caller holds the write lock.
+// compactLocked is the compaction body: it builds a fresh slot array,
+// byID, and postings generation over the live slots and leaves the old
+// generation untouched for snapshots still reading it. Caller holds mu
+// and publishes after.
 func (c *Corpus) compactLocked() {
 	if c.dead == 0 {
 		return
 	}
 	live := make([]slot, 0, len(c.byID))
-	for _, s := range c.slots {
-		if s.deadEpoch == 0 {
-			live = append(live, s)
+	for i := range c.slots {
+		if !c.tombs.dead(uint32(i)) {
+			live = append(live, c.slots[i])
 		}
 	}
 	c.slots = live
 	c.byID = make(map[string]uint32, len(live))
-	c.posts = make(map[uint32]*postings)
+	lists := make([][]uint32, c.dict.Len())
 	for i := range c.slots {
 		si := uint32(i)
 		c.byID[c.slots[i].rec.ID] = si
 		for _, t := range c.slots[i].toks {
-			p := c.posts[t]
-			if p == nil {
-				p = &postings{}
-				c.posts[t] = p
-			}
-			p.slots = append(p.slots, si)
+			lists[t] = append(lists[t], si)
 		}
 	}
-	if c.cfg.bitmapMin > 0 {
-		for _, p := range c.posts {
-			if len(p.slots) >= c.cfg.bitmapMin {
-				p.bits = bitvec.FromSorted(p.slots)
-				p.slots = nil
-			}
+	c.posts = make([]atomic.Pointer[postings], len(lists))
+	for t, list := range lists {
+		if list == nil {
+			continue
 		}
+		p := &postings{slots: list}
+		if c.cfg.bitmapMin > 0 && len(list) >= c.cfg.bitmapMin {
+			p = &postings{bits: bitvec.FromSorted(list)}
+		}
+		c.posts[t].Store(p)
 	}
+	c.tombs = nil
 	c.dead = 0
 	c.comps++
 	rec := obs.Or(c.cfg.metrics)
@@ -252,7 +296,10 @@ func (c *Corpus) compactLocked() {
 }
 
 // SetMatcher installs the resident scorer: MatchOne extracts fs's feature
-// vector for each candidate pair and scores it with clf.PredictProba.
+// vector for each candidate pair and scores it with clf. When clf is a
+// fitted *ml.RandomForest it is additionally compiled into an
+// ml.FlatForest and candidates are scored through the flat batch kernel —
+// bit-identical to clf.PredictProba, just without the pointer chasing.
 // Every resident record's per-feature sets are (re)computed and cached so
 // queries only featurize their own side. Pass (nil, nil) to revert to the
 // blocking-token Jaccard fallback.
@@ -263,72 +310,40 @@ func (c *Corpus) SetMatcher(fs *feature.Set, clf ml.Classifier) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.fs, c.clf = fs, clf
-	for i := range c.slots {
+	c.flat = nil
+	if rf, ok := clf.(*ml.RandomForest); ok {
+		if ff, err := ml.NewFlatForest(rf); err == nil {
+			c.flat = ff
+		}
+	}
+	// Published slots are immutable, so the fsets recompute clones the
+	// array instead of patching elements in place.
+	fresh := make([]slot, len(c.slots))
+	copy(fresh, c.slots)
+	for i := range fresh {
 		if fs == nil {
-			c.slots[i].fsets = nil
+			fresh[i].fsets = nil
 			continue
 		}
-		c.slots[i].fsets = fs.RecordSets(c.slots[i].rec.Attrs, true, c.dict.SortedSet)
+		fresh[i].fsets = fs.RecordSets(fresh[i].rec.Attrs, true, c.dict.SortedSet) //emlint:allow locksafety -- only the test gate tokenizer does channel ops under Tokenize; writers already serialize on mu
 	}
+	c.slots = fresh
+	c.publishLocked()
 	return nil
-}
-
-// candidateSlots returns the live slots sharing at least minOverlap
-// distinct blocking tokens with the query token set, in ascending slot
-// order. Caller holds at least the read lock.
-func (c *Corpus) candidateSlots(qtoks []uint32) []uint32 {
-	counts := make(map[uint32]int)
-	hi := uint32(len(c.slots))
-	for _, t := range qtoks {
-		p := c.posts[t]
-		if p == nil {
-			continue
-		}
-		if p.bits != nil {
-			p.bits.ForEachIn(0, hi, func(si uint32) bool {
-				counts[si]++
-				return true
-			})
-			continue
-		}
-		for _, si := range p.slots {
-			counts[si]++
-		}
-	}
-	var out []uint32
-	for si, n := range counts {
-		if n >= c.cfg.minOverlap && c.slots[si].deadEpoch == 0 {
-			out = append(out, si)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
-}
-
-// queryTokens maps the query's blocking tokens to corpus IDs without
-// mutating the dictionary (unknown tokens have no postings and are
-// dropped). Caller holds at least the read lock.
-func (c *Corpus) queryTokens(attrs map[string]string) []uint32 {
-	toks := blockTokens(c.cfg.tok, attrs)
-	ids := make([]uint32, 0, len(toks))
-	for _, t := range toks {
-		if id, ok := c.dict.Lookup(t); ok {
-			ids = append(ids, id)
-		}
-	}
-	return intern.SortedDedup(ids)
 }
 
 // CandidateIDs returns the record IDs blocking surfaces for the query, in
 // ascending ID order — the unit the batch-rebuild equivalence oracle
-// compares.
+// compares. Lock-free.
 func (c *Corpus) CandidateIDs(q Record) []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	slots := c.candidateSlots(c.queryTokens(q.Attrs))
+	sn := c.snap.Load()
+	sc := matchPool.Get().(*matchScratch)
+	defer matchPool.Put(sc)
+	qtoks := sn.queryTokens(blockTokens(c.cfg.tok, q.Attrs), sc)
+	slots := sn.candidateSlots(qtoks, c.cfg.minOverlap, sc)
 	out := make([]string, len(slots))
 	for i, si := range slots {
-		out[i] = c.slots[si].rec.ID
+		out[i] = sn.slots[si].rec.ID
 	}
 	sort.Strings(out)
 	return out
@@ -339,20 +354,28 @@ func (c *Corpus) CandidateIDs(q Record) []string {
 // scoring through the resident matcher (or, with no matcher installed,
 // Jaccard over the blocking token sets). Results are sorted by descending
 // score, ties broken by ascending record ID, truncated to WithLimit.
+//
+// The whole path is lock-free: it loads the published snapshot once and
+// never coordinates with writers, so a stalled or busy writer cannot delay
+// a query (and vice versa). Per-query working memory comes from a
+// sync.Pool; with a matcher installed, candidates are featurized into one
+// flat matrix and scored through the FlatForest batch kernel.
 func (c *Corpus) MatchOne(ctx context.Context, q Record) ([]ScoredPair, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
 	rec := obs.Or(c.cfg.metrics)
 	defer obs.StartTimer(rec, obs.ServeMatchSeconds)()
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	sn := c.snap.Load()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sc := matchPool.Get().(*matchScratch)
+	defer matchPool.Put(sc)
 
 	stopCand := obs.StartTimer(rec, obs.ServeStageSeconds, obs.L("stage", "candidates"))
-	cands := c.candidateSlots(c.queryTokens(q.Attrs))
+	qtoks := sn.queryTokens(blockTokens(c.cfg.tok, q.Attrs), sc)
+	cands := sn.candidateSlots(qtoks, c.cfg.minOverlap, sc)
 	stopCand()
 	if len(cands) == 0 {
 		return []ScoredPair{}, nil
@@ -362,31 +385,22 @@ func (c *Corpus) MatchOne(ctx context.Context, q Record) ([]ScoredPair, error) {
 	stopFeat := obs.StartTimer(rec, obs.ServeStageSeconds, obs.L("stage", "features"))
 	var qsets [][]uint32
 	var qset []uint32
-	if c.fs != nil {
-		qsets = c.fs.RecordSets(q.Attrs, false, c.dict.SortedSetEphemeral)
+	if sn.fs != nil {
+		qsets = sn.fs.RecordSets(q.Attrs, false, sn.view.SortedSetEphemeral)
 	} else {
-		qset = c.dict.SortedSetEphemeral(blockTokens(c.cfg.tok, q.Attrs))
+		qset = sn.view.SortedSetEphemeral(blockTokens(c.cfg.tok, q.Attrs))
 	}
 	stopFeat()
 
 	stopScore := obs.StartTimer(rec, obs.ServeStageSeconds, obs.L("stage", "score"))
 	defer stopScore()
+	scores, err := sn.scoreCandidates(ctx, q, cands, qsets, qset, sc)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]ScoredPair, 0, len(cands))
 	for i, si := range cands {
-		if i%256 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		s := &c.slots[si]
-		var score float64
-		if c.fs != nil {
-			x := c.fs.VectorWith(q.Attrs, s.rec.Attrs, qsets, s.fsets)
-			score = c.clf.PredictProba(x)
-		} else {
-			score = sim.JaccardU32(qset, s.toks)
-		}
-		out = append(out, ScoredPair{QueryID: q.ID, ID: s.rec.ID, Score: score})
+		out = append(out, ScoredPair{QueryID: q.ID, ID: sn.slots[si].rec.ID, Score: scores[i]})
 	}
 	sort.SliceStable(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
@@ -400,25 +414,80 @@ func (c *Corpus) MatchOne(ctx context.Context, q Record) ([]ScoredPair, error) {
 	return out, nil
 }
 
+// scoreCandidates fills sc.scores for cands: matcher-equipped snapshots
+// build the candidate feature matrix in pooled scratch and run the flat
+// batch kernel (falling back to per-candidate Classifier.PredictProba when
+// no flat compilation exists); matcher-less snapshots score Jaccard over
+// the blocking token sets. The returned slice lives in sc.
+func (sn *snapshot) scoreCandidates(ctx context.Context, q Record, cands []uint32, qsets [][]uint32, qset []uint32, sc *matchScratch) ([]float64, error) {
+	if cap(sc.scores) < len(cands) {
+		sc.scores = make([]float64, len(cands))
+	}
+	scores := sc.scores[:len(cands)]
+	if sn.fs == nil {
+		for i, si := range cands {
+			if i%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			scores[i] = sim.JaccardU32(qset, sn.slots[si].toks)
+		}
+		return scores, nil
+	}
+	nf := len(sn.fs.Features)
+	if cap(sc.xbuf) < len(cands)*nf {
+		sc.xbuf = make([]float64, len(cands)*nf)
+	}
+	xbuf := sc.xbuf[:len(cands)*nf]
+	if cap(sc.xrows) < len(cands) {
+		sc.xrows = make([][]float64, 0, len(cands))
+	}
+	xrows := sc.xrows[:0]
+	for i, si := range cands {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row := xbuf[i*nf : (i+1)*nf : (i+1)*nf]
+		sn.fs.VectorWithInto(q.Attrs, sn.slots[si].rec.Attrs, qsets, sn.slots[si].fsets, row)
+		xrows = append(xrows, row)
+	}
+	sc.xrows = xrows
+	if sn.flat != nil {
+		sn.flat.PredictProbaBatch(xrows, scores)
+		return scores, nil
+	}
+	for i := range xrows {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		scores[i] = sn.clf.PredictProba(xrows[i])
+	}
+	return scores, nil
+}
+
 // Rebuilt returns a from-scratch batch build of the live records (in
 // resident slot order) under the same configuration — the equivalence
 // oracle: its candidates must be bit-identical to the incrementally
 // maintained corpus's for every query.
 func (c *Corpus) Rebuilt() *Corpus {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	sn := c.snap.Load()
 	fresh := &Corpus{
-		cfg:   c.cfg,
-		dict:  intern.NewDict(),
-		byID:  make(map[string]uint32),
-		posts: make(map[uint32]*postings),
+		cfg:  c.cfg,
+		dict: intern.NewSnapDict(),
+		byID: make(map[string]uint32),
 	}
 	fresh.cfg.metrics = nil // the oracle build is not traffic
-	for _, s := range c.slots {
-		if s.deadEpoch != 0 {
+	for i := range sn.slots {
+		if sn.tombs.dead(uint32(i)) {
 			continue
 		}
-		fresh.ingest(s.rec, "add")
+		fresh.ingest(sn.slots[i].rec, "add")
 	}
+	fresh.publishLocked()
 	return fresh
 }

@@ -140,10 +140,13 @@ func TestSetMatcherValidation(t *testing.T) {
 }
 
 // TestConcurrentMatchDuringIngest hammers MatchOne from reader goroutines
-// while a writer interleaves add/update/delete/compact — the -race target
-// for the serving core. Results are not asserted against an oracle here
-// (the corpus is moving); the invariant is freedom from races and
-// torn reads, plus every returned candidate being internally consistent.
+// while a writer interleaves add/update/delete plus explicit Compact and
+// SetMatcher swaps — the -race target for the snapshot-published serving
+// core: every class of writer (postings deltas, slot-space rewrites, full
+// matcher recompiles) runs against lock-free readers. Results are not
+// asserted against an oracle here (the corpus is moving); the invariant is
+// freedom from races and torn reads, plus every returned candidate being
+// internally consistent.
 func TestConcurrentMatchDuringIngest(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	c := NewCorpus(WithCompactAfter(8))
@@ -180,6 +183,20 @@ func TestConcurrentMatchDuringIngest(t *testing.T) {
 	}
 	for i := 0; i < 300; i++ {
 		mutate(t, c, ids, &next, rng)
+		switch {
+		case i%60 == 30:
+			c.Compact()
+		case i%100 == 50:
+			// Tear the matcher down and reinstall it mid-traffic: queries
+			// in flight keep the snapshot they loaded, so each one scores
+			// every candidate through one consistent (fs, clf, fsets) world.
+			if err := c.SetMatcher(nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SetMatcher(fs, clf); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 	close(stop)
 	wg.Wait()

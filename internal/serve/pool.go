@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -56,8 +58,13 @@ func (t *Ticket) Wait(ctx context.Context) ([]ScoredPair, error) {
 type Pool struct {
 	corpus  *Corpus
 	tasks   chan task
+	workers int
 	wg      sync.WaitGroup
 	metrics obs.Recorder
+	// ewmaNs is the exponentially-weighted moving average of per-match
+	// service time in nanoseconds (α = 1/8), updated by the workers and
+	// read by RetryAfterSeconds to turn queue depth into a drain estimate.
+	ewmaNs atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -76,6 +83,7 @@ func NewPool(c *Corpus, workers, queueCap int) *Pool {
 	p := &Pool{
 		corpus:  c,
 		tasks:   make(chan task, queueCap),
+		workers: workers,
 		metrics: obs.Or(c.cfg.metrics),
 	}
 	p.wg.Add(workers)
@@ -87,12 +95,16 @@ func NewPool(c *Corpus, workers, queueCap int) *Pool {
 }
 
 // worker drains the queue until Close.
+//
+//emlint:allow nondeterminism -- service-time sampling feeds the Retry-After EWMA, never the match results
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.tasks {
 		p.metrics.Gauge(obs.ServeQueueDepth, -1)
 		t.stopWait()
+		start := time.Now()
 		t.tk.pairs, t.tk.err = p.corpus.MatchOne(t.ctx, t.rec)
+		p.observe(time.Since(start))
 		status := "ok"
 		if t.tk.err != nil {
 			status = "error"
@@ -100,6 +112,49 @@ func (p *Pool) worker() {
 		p.metrics.Count(obs.ServeRequestsTotal, 1, obs.L("status", status))
 		close(t.tk.done)
 	}
+}
+
+// observe folds one match's service time into the EWMA. Workers race on
+// the update, so it goes through a CAS loop; a lost round just means one
+// sample lands with slightly different weight.
+func (p *Pool) observe(dur time.Duration) {
+	for {
+		old := p.ewmaNs.Load()
+		next := int64(dur)
+		if old != 0 {
+			next = old + (int64(dur)-old)/8
+		}
+		if p.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RetryAfterSeconds estimates how long an overloaded caller should back
+// off before the queue has likely drained: current queue depth times the
+// EWMA per-match service time, divided across the workers, rounded up to
+// whole seconds and clamped to [1, 30]. This replaces the old hardcoded
+// Retry-After: 1 on 429 responses.
+func (p *Pool) RetryAfterSeconds() int {
+	return retryAfterSeconds(len(p.tasks), time.Duration(p.ewmaNs.Load()), p.workers)
+}
+
+// retryAfterSeconds is the pure drain-time estimate behind
+// Pool.RetryAfterSeconds, split out so the clamping and rounding are unit
+// testable without a live pool.
+func retryAfterSeconds(depth int, perReq time.Duration, workers int) int {
+	if depth <= 0 || perReq <= 0 || workers <= 0 {
+		return 1
+	}
+	drain := time.Duration(depth) * perReq / time.Duration(workers)
+	secs := int((drain + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
 }
 
 // Submit enqueues one match request without blocking. It returns

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tokenize"
 )
 
 func poolCorpus(t *testing.T, n int, opts ...CorpusOption) *Corpus {
@@ -22,6 +25,37 @@ func poolCorpus(t *testing.T, n int, opts ...CorpusOption) *Corpus {
 	}
 	return c
 }
+
+// gateTok parks any Tokenize call whose input contains the trigger token
+// until release is closed, signalling entered first. Installed as a
+// corpus's blocking tokenizer it lets tests park a pool worker inside
+// MatchOne deterministically — the read path takes no locks, so the old
+// trick of holding the writer mutex no longer stalls queries.
+type gateTok struct {
+	inner   tokenize.Tokenizer
+	entered chan struct{}
+	release chan struct{}
+}
+
+const gateTrigger = "gatepark"
+
+func newGateTok() *gateTok {
+	return &gateTok{
+		inner:   tokenize.Whitespace{ReturnSet: true},
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gateTok) Tokenize(s string) []string {
+	if strings.Contains(s, gateTrigger) {
+		g.entered <- struct{}{}
+		<-g.release
+	}
+	return g.inner.Tokenize(s)
+}
+
+func (g *gateTok) Name() string { return "gate:" + g.inner.Name() }
 
 // TestPoolMatchesSync: a pooled match returns exactly what a direct
 // MatchOne returns.
@@ -53,21 +87,24 @@ func TestPoolMatchesSync(t *testing.T) {
 
 // TestPoolOverload: once the queue is full Submit returns ErrOverloaded
 // immediately instead of buffering — the typed backpressure contract.
-// A gate blocks the single worker inside a query's read section so the
-// queue genuinely fills.
+// A gate tokenizer parks the single worker inside a query so the queue
+// genuinely — and deterministically — fills.
 func TestPoolOverload(t *testing.T) {
 	reg := obs.NewRegistry()
-	c := poolCorpus(t, 10, WithMetrics(reg))
-	// Jam ingest: hold the write lock so the worker parks inside
-	// MatchOne's RLock and queued tasks stay queued.
-	c.mu.Lock()
+	gate := newGateTok()
+	c := poolCorpus(t, 10, WithMetrics(reg), WithTokenizer(gate))
 	const queueCap = 3
 	p := NewPool(c, 1, queueCap)
 	rng := rand.New(rand.NewSource(37))
+	// Park the worker inside a query; entered confirms it is provably busy
+	// before the queue-filling submissions below.
+	blocker, err := p.Submit(context.Background(), Record{ID: "qb", Attrs: map[string]string{"name": gateTrigger}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered
 	var tickets []*Ticket
 	overloaded := 0
-	// One task occupies the worker; queueCap more fill the queue. Submit
-	// until refusal, with slack for the scheduler's pickup race.
 	for i := 0; i < queueCap+4; i++ {
 		tk, err := p.Submit(context.Background(), randomRecord("q", rng))
 		switch {
@@ -76,15 +113,22 @@ func TestPoolOverload(t *testing.T) {
 		case errors.Is(err, ErrOverloaded):
 			overloaded++
 		default:
-			c.mu.Unlock()
 			t.Fatalf("Submit: %v", err)
 		}
 	}
-	if overloaded == 0 {
-		c.mu.Unlock()
-		t.Fatalf("queue of %d absorbed %d submissions without refusing", queueCap, queueCap+4)
+	// With the worker parked the queue holds exactly queueCap tasks, so
+	// exactly the excess submissions are refused.
+	if overloaded != 4 || len(tickets) != queueCap {
+		t.Fatalf("queue of %d: %d accepted, %d refused; want %d accepted, 4 refused",
+			queueCap, len(tickets), overloaded, queueCap)
 	}
-	c.mu.Unlock() // release the worker; queued tickets drain
+	if got := p.RetryAfterSeconds(); got < 1 || got > 30 {
+		t.Errorf("RetryAfterSeconds under full queue = %d, want within [1, 30]", got)
+	}
+	close(gate.release) // release the worker; queued tickets drain
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	for _, tk := range tickets {
 		if _, err := tk.Wait(context.Background()); err != nil {
 			t.Fatal(err)
@@ -94,11 +138,36 @@ func TestPoolOverload(t *testing.T) {
 	if got := reg.CounterValue(obs.ServeRequestsTotal, obs.L("status", "overloaded")); got != float64(overloaded) {
 		t.Errorf("overloaded counter = %v, want %d", got, overloaded)
 	}
-	if got := reg.CounterValue(obs.ServeRequestsTotal, obs.L("status", "ok")); got != float64(len(tickets)) {
-		t.Errorf("ok counter = %v, want %d", got, len(tickets))
+	if got := reg.CounterValue(obs.ServeRequestsTotal, obs.L("status", "ok")); got != float64(len(tickets)+1) {
+		t.Errorf("ok counter = %v, want %d", got, len(tickets)+1)
 	}
 	if got := reg.GaugeValue(obs.ServeQueueDepth); got != 0 {
 		t.Errorf("queue depth after drain = %v, want 0", got)
+	}
+}
+
+// TestRetryAfterSeconds pins the drain-time estimate: depth times service
+// time over workers, rounded up, clamped to [1, 30].
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		depth   int
+		perReq  time.Duration
+		workers int
+		want    int
+	}{
+		{0, time.Second, 1, 1},             // empty queue: minimal backoff
+		{5, 0, 1, 1},                       // no samples yet: minimal backoff
+		{5, time.Second, 0, 1},             // defensive: no workers
+		{3, 100 * time.Millisecond, 1, 1},  // sub-second drain rounds up to 1
+		{10, time.Second, 1, 10},           // 10 × 1s / 1 worker
+		{10, time.Second, 4, 3},            // 2.5s rounds up to 3
+		{500, time.Second, 1, 30},          // clamped at 30
+		{4, 1500 * time.Millisecond, 2, 3}, // 3s exactly
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.depth, tc.perReq, tc.workers); got != tc.want {
+			t.Errorf("retryAfterSeconds(%d, %v, %d) = %d, want %d", tc.depth, tc.perReq, tc.workers, got, tc.want)
+		}
 	}
 }
 
@@ -125,22 +194,20 @@ func TestPoolClose(t *testing.T) {
 // TestTicketWaitCancel: Wait respects its own context independently of
 // the match's.
 func TestTicketWaitCancel(t *testing.T) {
-	c := poolCorpus(t, 5)
-	c.mu.Lock() // park the worker
+	gate := newGateTok()
+	c := poolCorpus(t, 5, WithTokenizer(gate))
 	p := NewPool(c, 1, 2)
-	//emlint:allow locksafety -- Submit's send is non-blocking by construction; the held lock parks the worker, not the submitter
-	tk, err := p.Submit(context.Background(), Record{ID: "q", Attrs: map[string]string{"name": "acme"}})
+	tk, err := p.Submit(context.Background(), Record{ID: "q", Attrs: map[string]string{"name": "acme " + gateTrigger}})
 	if err != nil {
-		c.mu.Unlock()
 		t.Fatal(err)
 	}
+	<-gate.entered // the match is provably in flight
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := tk.Wait(ctx); !errors.Is(err, context.Canceled) {
-		c.mu.Unlock()
 		t.Fatalf("Wait under cancelled context: %v", err)
 	}
-	c.mu.Unlock()
+	close(gate.release)
 	if _, err := tk.Wait(context.Background()); err != nil {
 		t.Fatalf("second Wait after completion: %v", err)
 	}

@@ -4,19 +4,25 @@
 // cached per-record feature sets resident and incrementally maintained
 // under Add/Update/Delete — instead of re-interning, re-blocking, and
 // re-featurizing the whole corpus per request the way the batch pipeline
-// does. Deletions tombstone their slot with the mutation epoch and
-// postings are patched in place; a periodic compaction pass rewrites the
-// slot space once enough tombstones accumulate. Rebuilt() is the
-// equivalence oracle: a from-scratch batch build of the live records,
-// which must yield bit-identical candidates for every query (pinned by
-// the testing/quick interleaving tests and the benchem serve experiment).
+// does. All read-path state lives in an immutable snapshot published
+// through an atomic pointer (DESIGN.md §13): MatchOne, CandidateIDs,
+// Stats, and Len load the snapshot once and take no locks, while writers
+// serialize on a writer-only mutex, apply copy-on-write deltas, and
+// publish a fresh snapshot as their last act. Deletions tombstone their
+// slot in a copy-on-write bitmap; a periodic compaction pass rewrites the
+// slot space — as a fresh generation, invisible to in-flight readers —
+// once enough tombstones accumulate. Rebuilt() is the equivalence oracle:
+// a from-scratch batch build of the live records, which must yield
+// bit-identical candidates for every query (pinned by the testing/quick
+// interleaving tests and the benchem serve experiment).
 //
 // MatchOne is the low-latency query path (candidate generation → cached
-// feature extraction → resident matcher), and Pool wraps it with batched
-// async submission under admission control: a bounded queue that returns
-// typed ErrOverloaded backpressure instead of buffering without bound.
-// This is the "services + metamanager" serving gap of PAPER.md §1/Table 4,
-// shaped after the resident incrementally-maintained indexes Large-Scale
+// feature extraction → resident matcher, batch-scored through the flat
+// forest when one compiled), and Pool wraps it with batched async
+// submission under admission control: a bounded queue that returns typed
+// ErrOverloaded backpressure instead of buffering without bound. This is
+// the "services + metamanager" serving gap of PAPER.md §1/Table 4, shaped
+// after the resident incrementally-maintained indexes Large-Scale
 // Collective Entity Matching uses to reach web scale.
 package serve
 

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/feature"
+	"repro/internal/intern"
+	"repro/internal/ml"
+)
+
+// snapshot is the immutable read-side world of a Corpus, published through
+// Corpus.snap (an atomic.Pointer). A reader loads it once and then runs the
+// whole query — candidate generation, featurization, scoring — with zero
+// locks; the writer builds the next snapshot with copy-on-write deltas and
+// publishes it in one atomic store (DESIGN.md §13).
+//
+// What immutability means here, field by field:
+//
+//   - slots: append-only shared backing. The writer appends at indices >=
+//     every published length, so elements [0, len(snapshot.slots)) never
+//     change after publication. SetMatcher and Compact, which would mutate
+//     elements in place, clone the whole array instead.
+//   - tombs: a persistent bitmap — every mutation produces a new *tombSet
+//     sharing unchanged blocks.
+//   - posts: the entries array is shared with the writer, which keeps
+//     updating token postings after this snapshot is published. That is
+//     safe because postings only ever gain slots >= len(snapshot.slots):
+//     readers bound every enumeration by hi = len(snapshot.slots), so any
+//     post-publication growth is invisible. Each entry is loaded atomically
+//     and each loaded *postings value is internally immutable.
+//   - view: resolves exactly the tokens interned before publication
+//     (intern.View contract), so every resolvable token ID indexes within
+//     posts and every posting it reaches predates the snapshot.
+type snapshot struct {
+	view  intern.View
+	slots []slot
+	tombs *tombSet
+	posts []atomic.Pointer[postings]
+
+	records int
+	dead    int
+	epoch   uint64
+	comps   uint64
+
+	fs   *feature.Set
+	clf  ml.Classifier
+	flat *ml.FlatForest
+}
+
+// tombSet is a persistent (copy-on-write) tombstone bitmap over slot IDs.
+// A set bit marks a dead slot; absent blocks mean all-live, so the common
+// append-only workload pays nothing. withDead clones only the spine and the
+// touched 4096-slot block, keeping per-tombstone cost O(1)-ish instead of
+// the O(slots) a flat clone would cost. A nil *tombSet is the empty set.
+type tombSet struct {
+	blocks [][]uint64
+}
+
+const (
+	tombBlockBits  = 12 // 4096 slots per block
+	tombBlockWords = 1 << (tombBlockBits - 6)
+)
+
+// dead reports whether slot si is tombstoned.
+//
+//emlint:zeroalloc
+//emlint:hotpath
+func (t *tombSet) dead(si uint32) bool {
+	if t == nil {
+		return false
+	}
+	b := int(si >> tombBlockBits)
+	if b >= len(t.blocks) || t.blocks[b] == nil {
+		return false
+	}
+	return t.blocks[b][(si>>6)&(tombBlockWords-1)]&(1<<(si&63)) != 0
+}
+
+// withDead returns a new set with si marked dead, sharing every untouched
+// block with the receiver.
+func (t *tombSet) withDead(si uint32) *tombSet {
+	b := int(si >> tombBlockBits)
+	nt := &tombSet{}
+	if t != nil {
+		nt.blocks = slices.Clone(t.blocks)
+	}
+	for len(nt.blocks) <= b {
+		nt.blocks = append(nt.blocks, nil)
+	}
+	var blk []uint64
+	if nt.blocks[b] == nil {
+		blk = make([]uint64, tombBlockWords)
+	} else {
+		blk = slices.Clone(nt.blocks[b])
+	}
+	blk[(si>>6)&(tombBlockWords-1)] |= 1 << (si & 63)
+	nt.blocks[b] = blk
+	return nt
+}
+
+// postings is one token's slot list: an optional frozen bitmap holding the
+// cold prefix plus a sorted array tail for recent appends. Both parts
+// enumerate slots ascending and the bitmap's members all precede the
+// tail's. The struct is immutable once stored into a posts entry: the
+// writer publishes changes by building a new *postings (the tail may share
+// backing with the predecessor — appends only write indices beyond every
+// published length) and atomically swapping the entry pointer.
+type postings struct {
+	bits  *bitvec.Set
+	slots []uint32
+}
+
+// with returns the postings extended by slot si (which must exceed every
+// member — slots are append-only). When the tail has grown past bitmapMin
+// and past a fixed fraction of the frozen bitmap, the whole set is merged
+// into a fresh bitmap: the old bitmap is never mutated (readers hold it),
+// and the geometric trigger keeps the amortized merge cost per append
+// constant.
+func (p *postings) with(si uint32, bitmapMin int) *postings {
+	np := &postings{}
+	if p != nil {
+		np.bits = p.bits
+		np.slots = p.slots
+	}
+	np.slots = append(np.slots, si)
+	if bitmapMin > 0 && len(np.slots) >= bitmapMin {
+		if np.bits == nil || len(np.slots)*8 >= np.bits.Len() {
+			return np.merged()
+		}
+	}
+	return np
+}
+
+// merged folds bitmap and tail into one fresh bitmap.
+func (p *postings) merged() *postings {
+	n := len(p.slots)
+	if p.bits != nil {
+		n += p.bits.Len()
+	}
+	all := make([]uint32, 0, n)
+	if p.bits != nil {
+		all = p.bits.AppendTo(all)
+	}
+	all = append(all, p.slots...)
+	return &postings{bits: bitvec.FromSorted(all)}
+}
+
+// matchScratch is the per-query working state of the read path, recycled
+// through matchPool so steady-state queries allocate only their result
+// slice. counts is a dense per-slot overlap counter; touched remembers
+// which entries to zero afterwards, so the pool hands back clean counters
+// without an O(slots) wipe per query.
+type matchScratch struct {
+	counts  []int32
+	touched []uint32
+	cands   []uint32
+	qids    []uint32
+	xbuf    []float64
+	xrows   [][]float64
+	scores  []float64
+}
+
+var matchPool = sync.Pool{New: func() any { return &matchScratch{} }}
+
+// prepare sizes the overlap counters for n slots and resets the per-query
+// append targets. Growth lives here, outside the annotated kernel.
+func (sc *matchScratch) prepare(n int) {
+	if cap(sc.counts) < n {
+		sc.counts = make([]int32, n)
+	}
+	sc.counts = sc.counts[:n]
+	sc.touched = sc.touched[:0]
+	sc.cands = sc.cands[:0]
+}
+
+// bump counts one posting hit, remembering first touches for cleanup.
+//
+//emlint:zeroalloc
+//emlint:hotpath
+func (sc *matchScratch) bump(si uint32) {
+	if sc.counts[si] == 0 {
+		sc.touched = append(sc.touched, si)
+	}
+	sc.counts[si]++
+}
+
+// candidateSlots returns the live slots sharing at least minOverlap
+// distinct blocking tokens with the query token set, ascending — the
+// lock-free rewrite of the old map-and-sort kernel. qtoks must come from
+// sn.view (every ID resolvable and < len(sn.posts)); enumeration is
+// bounded by the snapshot's slot horizon so concurrent writer appends are
+// invisible. Steady state allocates nothing: counts are dense per-slot
+// counters recycled through the pool, wiped via the touched list instead
+// of an O(slots) clear.
+//
+//emlint:zeroalloc
+func (sn *snapshot) candidateSlots(qtoks []uint32, minOverlap int, sc *matchScratch) []uint32 {
+	hi := uint32(len(sn.slots))
+	sc.prepare(len(sn.slots))
+	for _, t := range qtoks {
+		if int(t) >= len(sn.posts) {
+			continue // interned for features only; no postings entry
+		}
+		p := sn.posts[t].Load()
+		if p == nil {
+			continue
+		}
+		if p.bits != nil {
+			p.bits.ForEachIn(0, hi, func(si uint32) bool {
+				sc.bump(si)
+				return true
+			})
+		}
+		for _, si := range p.slots {
+			if si >= hi {
+				break // appended after this snapshot was published
+			}
+			sc.bump(si)
+		}
+	}
+	cands := sc.cands
+	for _, si := range sc.touched {
+		if sc.counts[si] >= int32(minOverlap) && !sn.tombs.dead(si) {
+			cands = append(cands, si)
+		}
+		sc.counts[si] = 0
+	}
+	slices.Sort(cands)
+	sc.cands = cands
+	return cands
+}
+
+// queryTokens maps the query's blocking tokens to corpus IDs through the
+// snapshot's dictionary view (unknown tokens have no postings and are
+// dropped). The returned slice lives in sc.
+func (sn *snapshot) queryTokens(toks []string, sc *matchScratch) []uint32 {
+	ids := sc.qids[:0]
+	for _, t := range toks {
+		if id, ok := sn.view.Lookup(t); ok {
+			ids = append(ids, id)
+		}
+	}
+	ids = intern.SortedDedup(ids)
+	sc.qids = ids
+	return ids
+}
